@@ -1,0 +1,53 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+namespace bbrnash::bench {
+
+BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions opts;
+  opts.fidelity = fidelity_from_env();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) {
+      opts.csv = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      opts.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--fidelity") == 0 && i + 1 < argc) {
+      const std::string v = argv[++i];
+      opts.fidelity = v == "quick"  ? Fidelity::kQuick
+                      : v == "full" ? Fidelity::kFull
+                                    : Fidelity::kDefault;
+    }
+  }
+  return opts;
+}
+
+void print_banner(const BenchOptions& opts, const std::string& figure,
+                  const std::string& description) {
+  if (opts.csv) return;
+  std::printf("### %s — %s\n", figure.c_str(), description.c_str());
+  std::printf("### fidelity=%s (set BBRNASH_FIDELITY=quick|default|full)\n\n",
+              to_string(opts.fidelity));
+}
+
+void emit(const BenchOptions& opts, const Table& table) {
+  if (opts.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print_aligned(std::cout);
+    std::cout << '\n';
+  }
+}
+
+TrialConfig trial_config(const BenchOptions& opts) {
+  TrialConfig cfg;
+  cfg.duration = experiment_duration(opts.fidelity);
+  cfg.warmup = experiment_warmup(opts.fidelity);
+  cfg.trials = experiment_trials(opts.fidelity);
+  cfg.seed = opts.seed;
+  return cfg;
+}
+
+}  // namespace bbrnash::bench

@@ -1,0 +1,33 @@
+// Shared scaffolding for the figure-regeneration benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/fidelity.hpp"
+#include "exp/sweeps.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace bbrnash::bench {
+
+/// Parsed command line common to all benches: [--csv] [--seed N].
+struct BenchOptions {
+  bool csv = false;
+  std::uint64_t seed = 1;
+  Fidelity fidelity = Fidelity::kDefault;
+};
+
+BenchOptions parse_options(int argc, char** argv);
+
+/// Prints the figure banner: what is being reproduced and at what fidelity.
+void print_banner(const BenchOptions& opts, const std::string& figure,
+                  const std::string& description);
+
+/// Emits the table in the selected format.
+void emit(const BenchOptions& opts, const Table& table);
+
+/// Trial config at the chosen fidelity.
+TrialConfig trial_config(const BenchOptions& opts);
+
+}  // namespace bbrnash::bench

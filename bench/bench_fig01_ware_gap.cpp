@@ -1,0 +1,34 @@
+// Figure 1: the motivating gap — Ware et al.'s prediction vs BBR's actual
+// bandwidth share for one CUBIC flow vs one BBR flow on a 50 Mbps / 40 ms
+// bottleneck, buffer swept 1..50 BDP, 2-minute flows.
+#include <vector>
+
+#include "bench_common.hpp"
+#include "model/ware_model.hpp"
+
+using namespace bbrnash;
+using namespace bbrnash::bench;
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_options(argc, argv);
+  print_banner(opts, "Figure 1",
+               "Ware et al. model vs actual BBR share, 50 Mbps / 40 ms");
+
+  Table table({"buffer_bdp", "ware_mbps", "sim_bbr_mbps", "ware_err_pct"});
+  const TrialConfig trial = trial_config(opts);
+
+  const double step = 2.0 * sweep_step_multiplier(opts.fidelity);
+  for (double bdp = 1.0; bdp <= 50.0 + 1e-9; bdp += step) {
+    const NetworkParams net = make_params(50.0, 40.0, bdp);
+    const WarePrediction ware =
+        ware_prediction(net, WareInputs{1, to_sec(trial.duration), 1500});
+    const MixOutcome sim = run_mix_trials(net, 1, 1, CcKind::kBbr, trial);
+    const double ware_mbps = to_mbps(ware.lambda_bbr);
+    const double sim_mbps = sim.per_flow_other_mbps;
+    const double err =
+        sim_mbps > 0 ? 100.0 * (ware_mbps - sim_mbps) / sim_mbps : 0.0;
+    table.add_row({bdp, ware_mbps, sim_mbps, err});
+  }
+  emit(opts, table);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 4 (a, b): multi-flow model validation. 5 CUBIC vs 5 BBR and
+// 10 CUBIC vs 10 BBR through a 100 Mbps / 40 ms bottleneck, buffer swept
+// 1..30 BDP. Series: the model's CUBIC-synchronized and de-synchronized
+// bounds (the "predicted region"), the Ware et al. baseline, and the
+// simulated per-flow BBR throughput.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "model/mishra_model.hpp"
+#include "model/ware_model.hpp"
+
+using namespace bbrnash;
+using namespace bbrnash::bench;
+
+namespace {
+
+void run_panel(const BenchOptions& opts, int per_side) {
+  Table table({"buffer_bdp", "ware_mbps", "sync_bound_mbps",
+               "desync_bound_mbps", "sim_bbr_mbps", "in_region"});
+  const TrialConfig trial = trial_config(opts);
+
+  const double step = 1.0 * sweep_step_multiplier(opts.fidelity);
+  int inside = 0;
+  int total = 0;
+  for (double bdp = 1.0; bdp <= 30.0 + 1e-9; bdp += step) {
+    const NetworkParams net = make_params(100.0, 40.0, bdp);
+    const auto region = prediction_interval(net, per_side, per_side);
+    const WarePrediction ware = ware_prediction(
+        net, WareInputs{per_side, to_sec(trial.duration), 1500});
+    const MixOutcome sim =
+        run_mix_trials(net, per_side, per_side, CcKind::kBbr, trial);
+
+    const double lo = region ? to_mbps(region->sync.per_flow_bbr) : 0.0;
+    const double hi = region ? to_mbps(region->desync.per_flow_bbr) : 0.0;
+    const double sim_mbps = sim.per_flow_other_mbps;
+    // 10% slack: the paper's own measurements hug (and sometimes touch)
+    // the region boundary.
+    const bool in_region =
+        sim_mbps >= lo * 0.9 && sim_mbps <= hi * 1.1;
+    inside += in_region ? 1 : 0;
+    ++total;
+    table.add_row({format_double(bdp), format_double(to_mbps(ware.lambda_bbr) /
+                                                     per_side),
+                   format_double(lo), format_double(hi),
+                   format_double(sim_mbps), in_region ? "yes" : "no"});
+  }
+  if (!opts.csv) {
+    std::printf("-- panel: %d CUBIC vs %d BBR, 100 Mbps, 40 ms --\n",
+                per_side, per_side);
+  }
+  emit(opts, table);
+  if (!opts.csv) {
+    std::printf("simulated points inside predicted region (+/-10%%): %d/%d\n\n",
+                inside, total);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_options(argc, argv);
+  print_banner(opts, "Figure 4",
+               "multi-flow predicted region vs simulated per-flow BBR");
+  run_panel(opts, 5);
+  run_panel(opts, 10);
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Figure 5 (a–d): diminishing returns for BBR. For N = 10 and 20 flows
+// through 100 Mbps / 40 ms with buffers of 3 and 10 BDP, the number of BBR
+// flows is swept 1..N; the series are the model's sync/desync bounds and
+// the simulated average per-flow BBR throughput. The paper's takeaway:
+// BBR's per-flow bandwidth falls as the proportion of BBR flows rises, and
+// eventually crosses the fair-share line.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "model/mishra_model.hpp"
+
+using namespace bbrnash;
+using namespace bbrnash::bench;
+
+namespace {
+
+void run_panel(const BenchOptions& opts, int total_flows, double buffer_bdp) {
+  Table table({"num_bbr", "sync_bound_mbps", "desync_bound_mbps",
+               "sim_bbr_mbps", "fair_share_mbps"});
+  const TrialConfig trial = trial_config(opts);
+  const NetworkParams net = make_params(100.0, 40.0, buffer_bdp);
+  const double fair = to_mbps(net.capacity) / total_flows;
+
+  const int step = opts.fidelity == Fidelity::kQuick ? 3
+                   : opts.fidelity == Fidelity::kFull ? 1
+                                                      : (total_flows > 10 ? 2 : 1);
+  double first_mixed = 0.0;
+  double max_mixed = 0.0;
+  double last_mixed = 0.0;
+  bool first = true;
+  for (int k = 1; k <= total_flows; k += step) {
+    const int nc = total_flows - k;
+    const MixOutcome sim = run_mix_trials(net, nc, k, CcKind::kBbr, trial);
+    double lo = 0.0;
+    double hi = 0.0;
+    if (nc >= 1) {
+      const auto region = prediction_interval(net, nc, k);
+      if (region) {
+        lo = to_mbps(region->sync.per_flow_bbr);
+        hi = to_mbps(region->desync.per_flow_bbr);
+      }
+    } else {
+      lo = hi = fair;  // all-BBR: fair share by definition
+    }
+    const double sim_mbps = sim.per_flow_other_mbps;
+    // The diminishing-returns claim concerns *mixed* distributions: at
+    // k = N the CUBIC pressure vanishes and per-flow BBR legitimately
+    // jumps back to fair share, so the all-BBR point is excluded from the
+    // trend statistics.
+    if (nc >= 1) {
+      if (first) first_mixed = sim_mbps;
+      max_mixed = std::max(max_mixed, sim_mbps);
+      last_mixed = sim_mbps;
+      first = false;
+    }
+    table.add_row({static_cast<double>(k), lo, hi, sim_mbps, fair});
+  }
+
+  if (!opts.csv) {
+    std::printf("-- panel: %d flows, %.0f BDP buffer --\n", total_flows,
+                buffer_bdp);
+  }
+  emit(opts, table);
+  if (!opts.csv) {
+    // Individual deep-buffer points are noisy across 3 trials; the claim
+    // is about the trend: the rare-BBR end is the peak and the advantage
+    // has clearly eroded by the crowded-BBR end.
+    const bool declining =
+        first_mixed >= 0.8 * max_mixed && last_mixed < 0.6 * first_mixed;
+    std::printf(
+        "diminishing returns (k=1 is ~peak, per-flow BBR at k=N-1 < 60%% of "
+        "k=1): %s (%.1f -> %.1f Mbps)\n\n",
+        declining ? "yes" : "violated", first_mixed, last_mixed);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_options(argc, argv);
+  print_banner(opts, "Figure 5",
+               "per-flow BBR throughput vs number of BBR flows");
+  run_panel(opts, 10, 3.0);
+  run_panel(opts, 20, 3.0);
+  run_panel(opts, 10, 10.0);
+  run_panel(opts, 20, 10.0);
+  return 0;
+}

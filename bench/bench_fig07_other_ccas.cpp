@@ -1,0 +1,54 @@
+// Figure 7: do other post-BBR congestion controls also take a
+// disproportionate share against CUBIC? 10 flows, 100 Mbps / 40 ms, 2 BDP
+// buffer; for X in {BBR, BBRv2, Copa, PCC-Vivace}, sweep the number of X
+// flows 1..10 and report the per-flow X throughput vs the fair-share line.
+//
+// The paper's finding: BBR, BBRv2 and Vivace exceed fair share at small
+// counts (so a mixed NE with CUBIC exists), Copa stays below it.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace bbrnash;
+using namespace bbrnash::bench;
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_options(argc, argv);
+  print_banner(opts, "Figure 7",
+               "per-flow throughput of X vs #X flows, X in "
+               "{bbr, bbrv2, copa, vivace}; 10 flows, 2 BDP");
+
+  const NetworkParams net = make_params(100.0, 40.0, 2.0);
+  const TrialConfig trial = trial_config(opts);
+  const double fair = to_mbps(net.capacity) / 10.0;
+  const int step = opts.fidelity == Fidelity::kQuick ? 3 : 1;
+
+  const std::vector<CcKind> kinds = {CcKind::kBbr, CcKind::kBbrV2,
+                                     CcKind::kCopa, CcKind::kVivace};
+
+  Table table({"num_x", "fair_share", "bbr", "bbrv2", "copa", "vivace"});
+  std::vector<double> best(kinds.size(), 0.0);
+  for (int k = 1; k <= 10; k += step) {
+    std::vector<double> row = {static_cast<double>(k), fair};
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+      const MixOutcome m = run_mix_trials(net, 10 - k, k, kinds[i], trial);
+      row.push_back(m.per_flow_other_mbps);
+      if (m.per_flow_other_mbps > best[i]) best[i] = m.per_flow_other_mbps;
+    }
+    table.add_row(row);
+  }
+  emit(opts, table);
+
+  if (!opts.csv) {
+    std::printf("disproportionate-share property (max per-flow > fair %.1f):\n",
+                fair);
+    const char* names[] = {"bbr", "bbrv2", "copa", "vivace"};
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+      std::printf("  %-7s max %.2f Mbps -> %s (paper: %s)\n", names[i], best[i],
+                  best[i] > fair ? "mixed NE expected" : "no NE expected",
+                  i == 2 ? "no NE expected" : "mixed NE expected");
+    }
+  }
+  return 0;
+}

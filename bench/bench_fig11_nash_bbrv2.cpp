@@ -1,0 +1,72 @@
+// Figure 11 (a, b): Nash Equilibria for CUBIC vs BBRv2, 50 flows,
+// {50, 100} Mbps x {20, 40, 80} ms. The region predicted by the *BBR*
+// model is printed alongside; the paper's finding is that BBRv2's NE has
+// at least as many CUBIC flows as BBR's for the same buffer (BBRv2 is less
+// aggressive because it reacts to loss).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "exp/nash_search.hpp"
+#include "model/nash.hpp"
+
+using namespace bbrnash;
+using namespace bbrnash::bench;
+
+namespace {
+
+constexpr int kTotalFlows = 50;
+
+void run_panel(const BenchOptions& opts, double cap_mbps,
+               const std::vector<double>& buffers,
+               const std::vector<double>& rtts) {
+  Table table({"buffer_bdp", "rtt_ms", "bbr_region_lo", "bbr_region_hi",
+               "cubic_at_ne_bbrv2"});
+  NashSearchConfig cfg;
+  cfg.challenger = CcKind::kBbrV2;
+  cfg.trial = trial_config(opts);
+  if (opts.fidelity != Fidelity::kFull) cfg.trial.trials = 1;
+
+  for (const double bdp : buffers) {
+    for (const double rtt : rtts) {
+      const NetworkParams net = make_params(cap_mbps, rtt, bdp);
+      const auto region = predict_nash_region(net, kTotalFlows);
+      const int k_ne = find_ne_crossing(net, kTotalFlows, cfg);
+      table.add_row(
+          {format_double(bdp, 1), format_double(rtt, 0),
+           region ? format_double(region->cubic_low(), 1) : "n/a",
+           region ? format_double(region->cubic_high(), 1) : "n/a",
+           format_double(static_cast<double>(kTotalFlows - k_ne), 0)});
+    }
+  }
+  if (!opts.csv) std::printf("-- panel: 50 flows, %.0f Mbps --\n", cap_mbps);
+  emit(opts, table);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_options(argc, argv);
+  print_banner(opts, "Figure 11",
+               "CUBIC vs BBRv2 Nash Equilibria, 50 flows");
+
+  std::vector<double> buffers;
+  std::vector<double> rtts;
+  switch (opts.fidelity) {
+    case Fidelity::kQuick:
+      buffers = {5};
+      rtts = {40};
+      break;
+    case Fidelity::kDefault:
+      buffers = {2, 8, 20, 40};
+      rtts = {20, 40, 80};
+      break;
+    case Fidelity::kFull:
+      buffers = {1, 2, 5, 8, 12, 20, 30, 40, 50};
+      rtts = {20, 40, 80};
+      break;
+  }
+  run_panel(opts, 50.0, buffers, rtts);
+  run_panel(opts, 100.0, buffers, rtts);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 12: model performance in ultra-deep buffers. One CUBIC vs one BBR
+// flow at 50 Mbps / 40 ms, buffer swept 1..250 BDP. The paper's point:
+// beyond ~100 BDP, BBR is no longer cwnd-limited (ProbeBW cycles are too
+// slow to pin inflight at 2xBDP), so the model — which assumes the cap —
+// over-estimates BBR's throughput; the measured share dips below the
+// prediction.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "model/mishra_model.hpp"
+#include "model/ware_model.hpp"
+
+using namespace bbrnash;
+using namespace bbrnash::bench;
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_options(argc, argv);
+  print_banner(opts, "Figure 12",
+               "1v1 in ultra-deep buffers (model over-estimation region)");
+
+  std::vector<double> buffers;
+  switch (opts.fidelity) {
+    case Fidelity::kQuick:
+      buffers = {5, 60, 150};
+      break;
+    case Fidelity::kDefault:
+      buffers = {1, 5, 15, 30, 60, 100, 150, 200, 250};
+      break;
+    case Fidelity::kFull:
+      for (double b = 1; b <= 250; b += 10) buffers.push_back(b);
+      break;
+  }
+
+  const TrialConfig trial = trial_config(opts);
+  Table table({"buffer_bdp", "ware_mbps", "model_mbps", "sim_bbr_mbps",
+               "model_overestimates"});
+  int deep_over = 0;
+  int deep_total = 0;
+  for (const double bdp : buffers) {
+    const NetworkParams net = make_params(50.0, 40.0, bdp);
+    const auto model = two_flow_prediction(net);
+    const WarePrediction ware =
+        ware_prediction(net, WareInputs{1, to_sec(trial.duration), 1500});
+    const MixOutcome sim = run_mix_trials(net, 1, 1, CcKind::kBbr, trial);
+    const double model_mbps = model ? to_mbps(model->lambda_bbr) : 0.0;
+    const bool over = model_mbps > sim.per_flow_other_mbps;
+    if (bdp >= 100.0) {
+      deep_total++;
+      deep_over += over ? 1 : 0;
+    }
+    table.add_row({format_double(bdp, 0), format_double(to_mbps(ware.lambda_bbr)),
+                   format_double(model_mbps),
+                   format_double(sim.per_flow_other_mbps),
+                   over ? "yes" : "no"});
+  }
+  emit(opts, table);
+  if (!opts.csv && deep_total > 0) {
+    std::printf(
+        "buffers >= 100 BDP where the model over-estimates BBR: %d/%d "
+        "(paper: all — BBR stops being cwnd-limited there)\n",
+        deep_over, deep_total);
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// buffer_sizing_study: how does bottleneck buffer sizing shape the
+// CUBIC/BBR equilibrium?
+//
+// The paper's §5 ("Implications on Internet Buffer Sizing") warns that the
+// classic buffer-sizing rules assumed loss-based flows, while BBR keeps
+// 2xBDP in flight. This example sweeps the buffer from 1 to 50 BDP and
+// reports, per size: the model's predicted split of the link between a
+// CUBIC and a BBR flow, the queueing delay the mix induces, and where the
+// 50-flow Nash Equilibrium falls — the quantities an operator would weigh
+// when provisioning buffers.
+//
+//   usage: buffer_sizing_study [capacity_mbps] [rtt_ms]
+#include <cstdio>
+#include <cstdlib>
+
+#include "exp/scenario_runner.hpp"
+#include "model/mishra_model.hpp"
+#include "model/nash.hpp"
+#include "util/table.hpp"
+
+using namespace bbrnash;
+
+int main(int argc, char** argv) {
+  const double cap_mbps = argc > 1 ? std::atof(argv[1]) : 50.0;
+  const double rtt_ms = argc > 2 ? std::atof(argv[2]) : 40.0;
+
+  std::printf("Buffer-sizing study: %.0f Mbps, %.0f ms base RTT\n\n", cap_mbps,
+              rtt_ms);
+  std::printf("%-10s %-12s %-12s %-14s %-22s\n", "buffer", "BBR share",
+              "CUBIC share", "queue delay*", "50-flow NE (#CUBIC)");
+  std::printf("%-10s %-12s %-12s %-14s %-22s\n", "(BDP)", "(model)",
+              "(model)", "(simulated)", "(model region)");
+
+  for (const double bdp : {1.0, 2.0, 3.0, 5.0, 8.0, 12.0, 20.0, 30.0, 50.0}) {
+    const NetworkParams net = make_params(cap_mbps, rtt_ms, bdp);
+    const auto pred = two_flow_prediction(net);
+    const auto region = predict_nash_region(net, 50);
+
+    // One short simulation for the delay column.
+    Scenario s = make_mix_scenario(net, 1, 1);
+    s.duration = from_sec(30);
+    s.warmup = from_sec(8);
+    const RunResult r = run_scenario(s);
+
+    std::printf("%-10.0f %-12s %-12s %-14s %-22s\n", bdp,
+                pred ? (format_double(100.0 * pred->lambda_bbr / net.capacity,
+                                      0) + "%")
+                           .c_str()
+                     : "n/a",
+                pred ? (format_double(100.0 * pred->lambda_cubic / net.capacity,
+                                      0) + "%")
+                           .c_str()
+                     : "n/a",
+                (format_double(r.avg_queue_delay_ms, 0) + " ms").c_str(),
+                region ? (format_double(region->cubic_low(), 0) + " - " +
+                          format_double(region->cubic_high(), 0))
+                             .c_str()
+                       : "n/a");
+  }
+
+  std::printf(
+      "\n* 1 CUBIC vs 1 BBR mix. Takeaways (matching the paper): deeper\n"
+      "  buffers push the equilibrium toward CUBIC but cost queueing delay;\n"
+      "  shallow buffers hand BBR most of the link. Neither the old\n"
+      "  'loss-based only' sizing rules nor a BBR-only analysis describes\n"
+      "  the mixed equilibrium the Internet is heading to.\n");
+  return 0;
+}

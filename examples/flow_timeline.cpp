@@ -1,0 +1,76 @@
+// flow_timeline: watch a CUBIC/BBR contest unfold second by second.
+//
+// Uses the telemetry API to sample every flow's congestion state and the
+// bottleneck queue, then prints a human-readable timeline (or full CSV
+// with --csv) — the view behind the paper's narrative: CUBIC's sawtooth,
+// BBR's ProbeRTT dips every ~10 s, and the queue they share.
+//
+//   usage: flow_timeline [capacity_mbps] [rtt_ms] [buffer_bdp] [secs] [--csv]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "exp/scenario_runner.hpp"
+
+using namespace bbrnash;
+
+int main(int argc, char** argv) {
+  double cap_mbps = 50.0;
+  double rtt_ms = 40.0;
+  double buffer_bdp = 4.0;
+  double secs = 40.0;
+  bool csv = false;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) {
+      csv = true;
+      continue;
+    }
+    const double v = std::atof(argv[i]);
+    switch (positional++) {
+      case 0: cap_mbps = v; break;
+      case 1: rtt_ms = v; break;
+      case 2: buffer_bdp = v; break;
+      case 3: secs = v; break;
+      default: break;
+    }
+  }
+
+  const NetworkParams net = make_params(cap_mbps, rtt_ms, buffer_bdp);
+  Scenario s = make_mix_scenario(net, 1, 1);
+  s.duration = from_sec(secs);
+  s.warmup = from_sec(secs / 5);
+  s.sample_period = from_sec(1);
+
+  SnapshotLog log;
+  s.on_sample = log.sink();
+  run_scenario(s);
+
+  if (csv) {
+    log.write_csv(std::cout);
+    return 0;
+  }
+
+  std::printf("CUBIC vs BBR on %.0f Mbps / %.0f ms / %.0f BDP\n\n", cap_mbps,
+              rtt_ms, buffer_bdp);
+  std::printf("%5s  %21s  %21s  %8s\n", "", "CUBIC", "BBR", "queue");
+  std::printf("%5s  %10s %10s  %10s %10s  %8s\n", "t(s)", "Mbps", "cwnd_pk",
+              "Mbps", "cwnd_pk", "%full");
+  const auto& snaps = log.snapshots();
+  for (std::size_t i = 1; i < snaps.size(); ++i) {
+    const Snapshot& s2 = snaps[i];
+    std::printf("%5.0f  %10.2f %10lld  %10.2f %10lld  %7.0f%%\n",
+                to_sec(s2.t), to_mbps(log.goodput_between(i, 0)),
+                static_cast<long long>(s2.flows[0].cwnd / kDefaultMss),
+                to_mbps(log.goodput_between(i, 1)),
+                static_cast<long long>(s2.flows[1].cwnd / kDefaultMss),
+                100.0 * static_cast<double>(s2.queue_bytes) /
+                    static_cast<double>(net.buffer_bytes));
+  }
+  std::printf(
+      "\nLook for: CUBIC's sawtooth (cwnd climbs, collapses ~0.7x on loss),\n"
+      "BBR's ProbeRTT dips (cwnd -> 4 packets roughly every 10 s), and the\n"
+      "queue hovering near full whenever CUBIC holds a large share.\n");
+  return 0;
+}

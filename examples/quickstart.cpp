@@ -1,0 +1,62 @@
+// Quickstart: predict and simulate one CUBIC flow competing with one BBR
+// flow, then locate the Nash Equilibrium mix for a 10-flow population.
+//
+//   $ ./quickstart
+//
+// This walks the three layers of the library:
+//   1. the analytical model (src/model) — instant predictions,
+//   2. the packet-level simulator (src/exp + src/sim/net/cc/flow),
+//   3. the game-theoretic layer — where does the CUBIC/BBR mix stabilize?
+#include <cstdio>
+
+#include "exp/scenario_runner.hpp"
+#include "model/mishra_model.hpp"
+#include "model/nash.hpp"
+#include "model/ware_model.hpp"
+
+using namespace bbrnash;
+
+int main() {
+  // A 50 Mbps bottleneck, 40 ms base RTT, 5-BDP drop-tail buffer.
+  const NetworkParams net = make_params(/*capacity_mbps=*/50.0,
+                                        /*rtt_ms=*/40.0,
+                                        /*buffer_bdp=*/5.0);
+
+  std::printf("== 1. Analytical prediction (Mishra et al., IMC'22) ==\n");
+  const auto pred = two_flow_prediction(net);
+  if (!pred) {
+    std::fprintf(stderr, "network outside the model's validity domain\n");
+    return 1;
+  }
+  std::printf("BBR   predicted: %6.2f Mbps\n", to_mbps(pred->lambda_bbr));
+  std::printf("CUBIC predicted: %6.2f Mbps\n", to_mbps(pred->lambda_cubic));
+
+  const WarePrediction ware = ware_prediction(net);
+  std::printf("(Ware et al.'19 baseline predicts BBR at %.2f Mbps)\n\n",
+              to_mbps(ware.lambda_bbr));
+
+  std::printf("== 2. Packet-level simulation ==\n");
+  Scenario s = make_mix_scenario(net, /*num_cubic=*/1, /*num_other=*/1);
+  s.duration = from_sec(40);
+  s.warmup = from_sec(8);
+  const RunResult r = run_scenario(s);
+  std::printf("BBR   measured:  %6.2f Mbps\n",
+              r.avg_goodput_mbps(CcKind::kBbr));
+  std::printf("CUBIC measured:  %6.2f Mbps\n",
+              r.avg_goodput_mbps(CcKind::kCubic));
+  std::printf("avg queuing delay: %.1f ms, link utilization: %.1f%%\n\n",
+              r.avg_queue_delay_ms, 100.0 * r.link_utilization);
+
+  std::printf("== 3. Where does a 10-flow population stabilize? ==\n");
+  const auto region = predict_nash_region(net, /*total_flows=*/10);
+  if (region) {
+    std::printf(
+        "Nash region: between %.1f and %.1f CUBIC flows out of 10\n"
+        "(CUBIC-synchronized vs de-synchronized bounds)\n",
+        region->cubic_low(), region->cubic_high());
+    std::printf(
+        "=> a mixed CUBIC/BBR population is the equilibrium: BBR is not\n"
+        "   expected to take over this bottleneck.\n");
+  }
+  return 0;
+}

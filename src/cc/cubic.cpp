@@ -1,0 +1,125 @@
+#include "cc/cubic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace bbrnash {
+
+Cubic::Cubic(const CubicConfig& cfg) : cfg_(cfg) {}
+
+void Cubic::on_start(TimeNs now) {
+  (void)now;
+  cwnd_ = cfg_.initial_cwnd;
+  ssthresh_ = std::numeric_limits<Bytes>::max() / 2;
+}
+
+void Cubic::on_ack(const AckEvent& ev) {
+  if (ev.rtt != kTimeNone) last_srtt_ = ev.rtt;
+  // Window is frozen during recovery (standard conservative behaviour;
+  // growth resumes once the episode ends).
+  if (ev.in_recovery) return;
+
+  if (cwnd_ < ssthresh_) {
+    if (cfg_.hystart) hystart_update(ev);
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += ev.acked_bytes;  // slow start: one MSS per acked MSS
+      return;
+    }
+  }
+  cubic_growth(ev);
+}
+
+// HyStart delay-based exit (the RFC 9406 mechanism, simplified): when a
+// round's minimum RTT exceeds the previous round's by eta =
+// clamp(last/8, min_eta, max_eta), congestion is building — stop slow
+// start at the current window instead of pushing to loss.
+void Cubic::hystart_update(const AckEvent& ev) {
+  if (ev.rtt != kTimeNone) {
+    round_min_rtt_ = std::min(round_min_rtt_, ev.rtt);
+  }
+  if (ev.prior_delivered < next_round_delivered_) return;
+  // Round boundary.
+  next_round_delivered_ = ev.delivered;
+  if (round_min_rtt_ != kTimeInf && last_round_min_rtt_ != kTimeInf) {
+    const TimeNs eta = std::clamp(last_round_min_rtt_ / 8,
+                                  cfg_.hystart_min_eta, cfg_.hystart_max_eta);
+    if (round_min_rtt_ >= last_round_min_rtt_ + eta) {
+      ssthresh_ = std::max(cwnd_, cfg_.min_cwnd);
+    }
+  }
+  if (round_min_rtt_ != kTimeInf) last_round_min_rtt_ = round_min_rtt_;
+  round_min_rtt_ = kTimeInf;
+}
+
+void Cubic::cubic_growth(const AckEvent& ev) {
+  const double cwnd_seg = segments(cwnd_);
+
+  if (epoch_start_ == kTimeNone) {
+    epoch_start_ = ev.now;
+    if (w_max_ < cwnd_seg) {
+      // We are already past the previous saturation point.
+      w_max_ = cwnd_seg;
+      k_ = 0.0;
+    } else {
+      k_ = std::cbrt((w_max_ - cwnd_seg) / cfg_.c);
+    }
+    if (w_est_ <= 0.0) w_est_ = cwnd_seg;
+  }
+
+  const double t = to_sec(ev.now - epoch_start_);
+  const double rtt_s = last_srtt_ != kTimeNone ? to_sec(last_srtt_) : 0.0;
+
+  // W_cubic one RTT in the future: the RFC's growth-pacing trick, so the
+  // window reaches the cubic curve's value within the next round trip.
+  const double dt = t + rtt_s - k_;
+  const double target = cfg_.c * dt * dt * dt + w_max_;
+
+  const double acked_seg = segments(ev.acked_bytes);
+  double next = cwnd_seg;
+  if (target > cwnd_seg) {
+    next += (target - cwnd_seg) / cwnd_seg * acked_seg;
+  } else {
+    // Minimal growth keeps the epoch clock meaningful in the concave tail.
+    next += 0.01 * acked_seg / cwnd_seg;
+  }
+
+  if (cfg_.tcp_friendly) {
+    // RFC 9438 Reno-emulation: alpha = 3 * (1 - beta) / (1 + beta).
+    const double alpha = 3.0 * (1.0 - cfg_.beta) / (1.0 + cfg_.beta);
+    w_est_ += alpha * acked_seg / cwnd_seg;
+    next = std::max(next, w_est_);
+  }
+
+  cwnd_ = std::max(cfg_.min_cwnd, bytes_of(next));
+}
+
+void Cubic::on_congestion_event(const LossEvent& ev) {
+  (void)ev;
+  const double cwnd_seg = segments(cwnd_);
+  if (cfg_.fast_convergence && cwnd_seg < w_max_) {
+    // Release bandwidth early so newcomers converge faster.
+    w_max_ = cwnd_seg * (1.0 + cfg_.beta) / 2.0;
+  } else {
+    w_max_ = cwnd_seg;
+  }
+  ssthresh_ = std::max(cfg_.min_cwnd,
+                       static_cast<Bytes>(static_cast<double>(cwnd_) * cfg_.beta));
+  cwnd_ = ssthresh_;
+  epoch_start_ = kTimeNone;
+  w_est_ = segments(cwnd_);
+}
+
+void Cubic::on_rto(TimeNs now) {
+  (void)now;
+  // Linux semantics: remember the saturation point, collapse to loss-window.
+  const double cwnd_seg = segments(cwnd_);
+  w_max_ = cwnd_seg;
+  ssthresh_ = std::max(cfg_.min_cwnd,
+                       static_cast<Bytes>(static_cast<double>(cwnd_) * cfg_.beta));
+  cwnd_ = cfg_.mss;
+  epoch_start_ = kTimeNone;
+  w_est_ = 0.0;
+}
+
+}  // namespace bbrnash

@@ -1,0 +1,46 @@
+#include "cc/reno.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace bbrnash {
+
+Reno::Reno(const RenoConfig& cfg) : cfg_(cfg) {}
+
+void Reno::on_start(TimeNs now) {
+  (void)now;
+  cwnd_ = cfg_.initial_cwnd;
+  ssthresh_ = std::numeric_limits<Bytes>::max() / 2;
+}
+
+void Reno::on_ack(const AckEvent& ev) {
+  if (ev.in_recovery) return;
+  if (cwnd_ < ssthresh_) {
+    cwnd_ += ev.acked_bytes;
+    return;
+  }
+  // Congestion avoidance: one MSS per cwnd's worth of acknowledged bytes
+  // (byte-counting variant of cwnd += MSS*MSS/cwnd that is exact across
+  // partial windows).
+  ack_credit_ += ev.acked_bytes;
+  if (ack_credit_ >= cwnd_) {
+    ack_credit_ -= cwnd_;
+    cwnd_ += cfg_.mss;
+  }
+}
+
+void Reno::on_congestion_event(const LossEvent& ev) {
+  (void)ev;
+  ssthresh_ = std::max(cfg_.min_cwnd, cwnd_ / 2);
+  cwnd_ = ssthresh_;
+  ack_credit_ = 0;
+}
+
+void Reno::on_rto(TimeNs now) {
+  (void)now;
+  ssthresh_ = std::max(cfg_.min_cwnd, cwnd_ / 2);
+  cwnd_ = cfg_.mss;
+  ack_credit_ = 0;
+}
+
+}  // namespace bbrnash

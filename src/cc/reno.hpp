@@ -1,0 +1,40 @@
+// TCP NewReno (RFC 5681/6582): the historical baseline CUBIC replaced.
+// Included for the paper's §1/§5 narrative (CUBIC-vs-NewReno transition)
+// and used by the ablation examples.
+#pragma once
+
+#include <string>
+
+#include "cc/congestion_control.hpp"
+
+namespace bbrnash {
+
+struct RenoConfig {
+  Bytes mss = kDefaultMss;
+  Bytes initial_cwnd = 10 * kDefaultMss;
+  Bytes min_cwnd = 2 * kDefaultMss;
+};
+
+class Reno final : public CongestionControl {
+ public:
+  explicit Reno(const RenoConfig& cfg = {});
+
+  void on_start(TimeNs now) override;
+  void on_ack(const AckEvent& ev) override;
+  void on_congestion_event(const LossEvent& ev) override;
+  void on_rto(TimeNs now) override;
+
+  [[nodiscard]] Bytes cwnd() const override { return cwnd_; }
+  [[nodiscard]] BytesPerSec pacing_rate() const override { return kNoPacing; }
+  [[nodiscard]] std::string name() const override { return "reno"; }
+
+  [[nodiscard]] bool in_slow_start() const { return cwnd_ < ssthresh_; }
+
+ private:
+  RenoConfig cfg_;
+  Bytes cwnd_ = 0;
+  Bytes ssthresh_ = 0;
+  Bytes ack_credit_ = 0;  ///< congestion-avoidance byte counter
+};
+
+}  // namespace bbrnash

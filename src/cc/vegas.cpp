@@ -1,0 +1,66 @@
+#include "cc/vegas.hpp"
+
+#include <algorithm>
+
+namespace bbrnash {
+
+Vegas::Vegas(const VegasConfig& cfg) : cfg_(cfg) {}
+
+void Vegas::on_start(TimeNs now) {
+  (void)now;
+  cwnd_ = cfg_.initial_cwnd;
+}
+
+void Vegas::on_ack(const AckEvent& ev) {
+  if (ev.rtt != kTimeNone) {
+    base_rtt_ = std::min(base_rtt_, ev.rtt);
+    round_min_rtt_ = std::min(round_min_rtt_, ev.rtt);
+  }
+  if (ev.in_recovery) return;
+  if (ev.prior_delivered < next_round_delivered_) return;
+
+  // Round boundary: run the Vegas estimator once per RTT.
+  next_round_delivered_ = ev.delivered;
+  const TimeNs rtt = round_min_rtt_;
+  round_min_rtt_ = kTimeInf;
+  if (rtt == kTimeInf || base_rtt_ == kTimeInf || rtt <= 0) return;
+
+  const double cwnd_pkts =
+      static_cast<double>(cwnd_) / static_cast<double>(cfg_.mss);
+  const double expected = cwnd_pkts / to_sec(base_rtt_);
+  const double actual = cwnd_pkts / to_sec(rtt);
+  const double diff_pkts = (expected - actual) * to_sec(base_rtt_);
+
+  if (slow_start_) {
+    if (diff_pkts > cfg_.alpha) {
+      slow_start_ = false;
+      cwnd_ -= cfg_.mss;  // step back out of the overshoot
+    } else if (grow_this_round_) {
+      cwnd_ *= 2;  // Vegas doubles every other round in slow start
+    }
+    grow_this_round_ = !grow_this_round_;
+  } else {
+    if (diff_pkts < cfg_.alpha) {
+      cwnd_ += cfg_.mss;
+    } else if (diff_pkts > cfg_.beta) {
+      cwnd_ -= cfg_.mss;
+    }
+  }
+  cwnd_ = std::max(cwnd_, cfg_.min_cwnd);
+}
+
+void Vegas::on_congestion_event(const LossEvent& ev) {
+  (void)ev;
+  // Vegas halves on loss, like Reno, but rarely reaches loss by itself.
+  slow_start_ = false;
+  cwnd_ = std::max(cfg_.min_cwnd, cwnd_ / 2);
+}
+
+void Vegas::on_rto(TimeNs now) {
+  (void)now;
+  slow_start_ = true;
+  grow_this_round_ = true;
+  cwnd_ = std::max(cfg_.min_cwnd, 2 * cfg_.mss);
+}
+
+}  // namespace bbrnash

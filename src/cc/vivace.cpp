@@ -1,0 +1,261 @@
+#include "cc/vivace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bbrnash {
+
+Vivace::Vivace(const VivaceConfig& cfg) : cfg_(cfg) {}
+
+void Vivace::on_start(TimeNs now) {
+  (void)now;
+  // Initial window paced over a nominal 100 ms RTT (~1 Mbps); slow start
+  // doubles from there.
+  rate_mbps_ = to_mbps(static_cast<double>(cfg_.initial_cwnd) / 0.100);
+  rate_mbps_ = std::max(cfg_.min_rate_mbps, rate_mbps_);
+  pacing_now_mbps_ = rate_mbps_;
+  phase_ = Phase::kSlowStart;
+}
+
+Bytes Vivace::cwnd() const {
+  // Vivace is rate-based; the window is a generous safety cap (2 * rate *
+  // srtt) so that pacing, not the window, governs in normal operation. The
+  // floor keeps enough packets in flight for dupack-based loss detection —
+  // reference PCC runs over UDP and never RTO-collapses.
+  const TimeNs rtt = srtt_ == kTimeNone ? from_ms(100) : srtt_;
+  const auto cap = static_cast<Bytes>(2.0 * mbps(rate_mbps_) * to_sec(rtt));
+  return std::max<Bytes>(cap, 8 * cfg_.mss);
+}
+
+BytesPerSec Vivace::pacing_rate() const {
+  return mbps(pacing_now_mbps_ > 0 ? pacing_now_mbps_ : rate_mbps_);
+}
+
+TimeNs Vivace::mi_duration(double rate) const {
+  // At least one RTT, and long enough to emit ~10 packets at the probe
+  // rate, so goodput quantization noise cannot dominate the comparison.
+  const TimeNs rtt = srtt_ == kTimeNone ? from_ms(100) : srtt_;
+  const auto ten_packets = static_cast<TimeNs>(
+      10.0 * static_cast<double>(cfg_.mss) / mbps(std::max(rate, 0.01)) *
+      static_cast<double>(kNsPerSec));
+  return std::max(rtt, ten_packets);
+}
+
+double Vivace::gradient(const Bucket& b) const {
+  const double denom = b.n * b.stt - b.st * b.st;
+  if (b.n < 4.0 || denom <= 1e-12) return 0.0;
+  const double slope = (b.n * b.sty - b.st * b.sy) / denom;
+  return std::fabs(slope) >= cfg_.gradient_deadband ? slope : 0.0;
+}
+
+double Vivace::goodput_mbps(const Bucket& b) const {
+  if (b.start == kTimeNone || b.end <= b.start) return 0.0;
+  return to_mbps(static_cast<double>(b.acked) / to_sec(b.end - b.start));
+}
+
+double Vivace::utility(const Bucket& b, double loss_fraction) const {
+  const double x = goodput_mbps(b);
+  // The NSDI'18 utility's d(RTT)/dT measures RTT change per *monitor
+  // interval*, not per second — convert the per-second slope by the MI
+  // span. (With a per-second reading, b = 900 makes any competitor-induced
+  // queue growth fatal and Vivace capitulates to CUBIC, contradicting the
+  // paper's Fig. 7.)
+  const double span_sec =
+      b.start != kTimeNone && b.end > b.start ? to_sec(b.end - b.start) : 0.0;
+  return std::pow(x, cfg_.utility_exponent) -
+         cfg_.latency_coeff * x * gradient(b) * span_sec -
+         cfg_.loss_coeff * x * loss_fraction;
+}
+
+void Vivace::attribute_ack(const AckEvent& ev) {
+  if (ev.rtt == kTimeNone) {
+    return;
+  }
+  const TimeNs t_send = ev.now - ev.rtt;
+  Bucket* b = nullptr;
+  if (up_.contains(t_send)) {
+    b = &up_;
+  } else if (down_.contains(t_send)) {
+    b = &down_;
+  } else if (ss_.contains(t_send)) {
+    b = &ss_;
+  }
+  if (b != nullptr) {
+    b->acked += ev.acked_bytes;
+    b->add_rtt(t_send, ev.rtt);
+  }
+}
+
+void Vivace::start_epoch(TimeNs now) {
+  phase_ = Phase::kUp;
+  const double up_rate = rate_mbps_ * (1.0 + cfg_.probe_epsilon);
+  const TimeNs d = mi_duration(up_rate);
+  up_ = Bucket{};
+  up_.start = now;
+  up_.end = now + d;
+  up_.rate_mbps = up_rate;
+  phase_start_ = now;
+  phase_end_ = up_.end;
+  pacing_now_mbps_ = up_rate;
+}
+
+void Vivace::on_ack(const AckEvent& ev) {
+  if (ev.rtt != kTimeNone) {
+    srtt_ = srtt_ == kTimeNone ? ev.rtt : (7 * srtt_ + ev.rtt) / 8;
+  }
+  attribute_ack(ev);
+
+  if (phase_start_ == kTimeNone) {
+    // First ack: open the slow-start measurement window.
+    phase_start_ = ev.now;
+    phase_end_ = ev.now + mi_duration(rate_mbps_);
+    ss_ = Bucket{};
+    ss_.start = phase_start_;
+    ss_.end = phase_end_;
+    ss_.rate_mbps = rate_mbps_;
+    pacing_now_mbps_ = rate_mbps_;
+    return;
+  }
+  if (ev.now < phase_end_) return;
+
+  switch (phase_) {
+    case Phase::kSlowStart: {
+      // Score the window that just *finished sending*; its acks are mostly
+      // in (one-RTT lag tolerated: doubling decisions only need the trend).
+      const double total =
+          static_cast<double>(ss_.acked + ss_.lost);
+      const double loss =
+          total > 0 ? static_cast<double>(ss_.lost) / total : 0.0;
+      const double u = utility(ss_, loss);
+      if ((!has_last_utility_ || u > last_utility_) && loss < cfg_.loss_brake) {
+        last_utility_ = u;
+        has_last_utility_ = true;
+        rate_mbps_ *= 2.0;
+        ss_ = Bucket{};
+        ss_.start = ev.now;
+        ss_.end = ev.now + mi_duration(rate_mbps_);
+        ss_.rate_mbps = rate_mbps_;
+        phase_start_ = ss_.start;
+        phase_end_ = ss_.end;
+        pacing_now_mbps_ = rate_mbps_;
+      } else {
+        // Exit slow start near what the path actually delivered; a loss- or
+        // transient-triggered exit must not strand the rate at the floor.
+        rate_mbps_ = std::max({cfg_.min_rate_mbps, 0.9 * goodput_mbps(ss_),
+                               loss >= cfg_.loss_brake ? 0.0
+                                                       : rate_mbps_ / 2.0});
+        start_epoch(ev.now);
+      }
+      break;
+    }
+    case Phase::kUp: {
+      phase_ = Phase::kDown;
+      const double down_rate = rate_mbps_ * (1.0 - cfg_.probe_epsilon);
+      const TimeNs d = mi_duration(down_rate);
+      down_ = Bucket{};
+      down_.start = ev.now;
+      down_.end = ev.now + d;
+      down_.rate_mbps = down_rate;
+      phase_start_ = ev.now;
+      phase_end_ = down_.end;
+      pacing_now_mbps_ = down_rate;
+      break;
+    }
+    case Phase::kDown: {
+      // Settle at the base rate while the probe buckets finish collecting
+      // acks (one RTT) and loss marks (~another half RTT).
+      phase_ = Phase::kSettle;
+      const TimeNs rtt = srtt_ == kTimeNone ? from_ms(100) : srtt_;
+      phase_start_ = ev.now;
+      phase_end_ = ev.now + rtt + rtt / 2;
+      pacing_now_mbps_ = rate_mbps_;
+      break;
+    }
+    case Phase::kSettle: {
+      decide(ev.now);
+      start_epoch(ev.now);
+      break;
+    }
+  }
+}
+
+void Vivace::decide(TimeNs now) {
+  (void)now;
+  const Bytes pair_total = up_.acked + up_.lost + down_.acked + down_.lost;
+  const double pair_loss =
+      pair_total > 0
+          ? static_cast<double>(up_.lost + down_.lost) /
+                static_cast<double>(pair_total)
+          : 0.0;
+  const bool enough_samples =
+      pair_total >= cfg_.loss_brake_min_packets * cfg_.mss;
+  if (pair_loss > cfg_.loss_brake && enough_samples) {
+    // Safety brake: grossly overdriving the path — fall back toward actual
+    // delivery, but never collapse by more than ~half per epoch (the
+    // measured goodput of a mass-loss MI under-reads badly).
+    const double measured =
+        0.5 * (goodput_mbps(up_) + goodput_mbps(down_));
+    rate_mbps_ = std::max({cfg_.min_rate_mbps, 0.9 * measured,
+                           0.55 * rate_mbps_});
+    streak_ = 0;
+    last_direction_ = 0;
+    return;
+  }
+  const double up_total = static_cast<double>(up_.acked + up_.lost);
+  const double down_total = static_cast<double>(down_.acked + down_.lost);
+  const double up_loss =
+      up_total > 0 ? static_cast<double>(up_.lost) / up_total : 0.0;
+  const double down_loss =
+      down_total > 0 ? static_cast<double>(down_.lost) / down_total : 0.0;
+  const double u_up = utility(up_, up_loss);
+  const double u_down = utility(down_, down_loss);
+  step_rate(u_up - u_down);
+}
+
+void Vivace::step_rate(double grad_direction) {
+  const int dir = grad_direction > 0 ? 1 : -1;
+  if (dir == last_direction_) {
+    streak_ = std::min(streak_ + 1, cfg_.max_confidence);
+  } else {
+    streak_ = 0;
+  }
+  last_direction_ = dir;
+
+  // Confidence-amplified, rate-proportional step, bounded to a fraction of
+  // the current rate per epoch.
+  const double amplifier = static_cast<double>(1 << streak_);
+  double step =
+      std::max(cfg_.base_step_mbps, 0.08 * rate_mbps_) * amplifier;
+  step = std::min(step, cfg_.max_step_fraction * rate_mbps_);
+  rate_mbps_ = std::max(cfg_.min_rate_mbps,
+                        rate_mbps_ + static_cast<double>(dir) * step);
+}
+
+void Vivace::on_congestion_event(const LossEvent& ev) { (void)ev; }
+
+void Vivace::on_packet_lost(TimeNs now, Bytes lost_bytes, Bytes inflight) {
+  (void)inflight;
+  // Attribute the loss to the MI its packet was (approximately) sent in:
+  // detection lags by roughly one smoothed RTT.
+  const TimeNs t_send = now - (srtt_ == kTimeNone ? from_ms(100) : srtt_);
+  if (up_.contains(t_send)) {
+    up_.lost += lost_bytes;
+  } else if (down_.contains(t_send)) {
+    down_.lost += lost_bytes;
+  } else if (ss_.contains(t_send)) {
+    ss_.lost += lost_bytes;
+  }
+}
+
+void Vivace::on_rto(TimeNs now) {
+  // Gentle: an RTO in this transport usually means a shared-buffer loss
+  // burst, not a Vivace-specific signal; the utility's loss term already
+  // punishes the rate.
+  rate_mbps_ = std::max(cfg_.min_rate_mbps, rate_mbps_ * 0.7);
+  streak_ = 0;
+  last_direction_ = 0;
+  if (phase_ != Phase::kSlowStart) start_epoch(now);
+  pacing_now_mbps_ = rate_mbps_;
+}
+
+}  // namespace bbrnash

@@ -1,0 +1,77 @@
+#include "exp/fidelity.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace bbrnash {
+
+Fidelity fidelity_from_env() {
+  const char* raw = std::getenv("BBRNASH_FIDELITY");
+  if (raw == nullptr) return Fidelity::kDefault;
+  const std::string v{raw};
+  if (v == "quick") return Fidelity::kQuick;
+  if (v == "full") return Fidelity::kFull;
+  return Fidelity::kDefault;
+}
+
+TimeNs experiment_duration(Fidelity f) {
+  switch (f) {
+    case Fidelity::kQuick:
+      return from_sec(25);
+    case Fidelity::kDefault:
+      return from_sec(60);
+    case Fidelity::kFull:
+      return from_sec(120);
+  }
+  return from_sec(60);
+}
+
+TimeNs experiment_warmup(Fidelity f) {
+  switch (f) {
+    case Fidelity::kQuick:
+      return from_sec(8);
+    case Fidelity::kDefault:
+      return from_sec(15);
+    case Fidelity::kFull:
+      return from_sec(15);
+  }
+  return from_sec(15);
+}
+
+int experiment_trials(Fidelity f) {
+  switch (f) {
+    case Fidelity::kQuick:
+      return 1;
+    case Fidelity::kDefault:
+      return 3;
+    case Fidelity::kFull:
+      return 10;
+  }
+  return 3;
+}
+
+int sweep_step_multiplier(Fidelity f) {
+  switch (f) {
+    case Fidelity::kQuick:
+      return 6;
+    case Fidelity::kDefault:
+      return 2;
+    case Fidelity::kFull:
+      return 1;
+  }
+  return 2;
+}
+
+const char* to_string(Fidelity f) {
+  switch (f) {
+    case Fidelity::kQuick:
+      return "quick";
+    case Fidelity::kDefault:
+      return "default";
+    case Fidelity::kFull:
+      return "full";
+  }
+  return "default";
+}
+
+}  // namespace bbrnash

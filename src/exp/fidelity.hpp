@@ -1,0 +1,37 @@
+// Bench fidelity knobs.
+//
+// The paper's full grids (10 trials x 2-minute flows x every distribution x
+// dozens of buffer sizes x 6 network settings) are hours of CPU. Every
+// bench binary scales its grid by the BBRNASH_FIDELITY environment
+// variable:
+//   quick — smoke-test sized (seconds),
+//   default — minutes for the whole suite, shapes preserved,
+//   full — the paper's durations and grids.
+#pragma once
+
+#include "util/units.hpp"
+
+namespace bbrnash {
+
+enum class Fidelity { kQuick, kDefault, kFull };
+
+/// Reads BBRNASH_FIDELITY ("quick" | "default" | "full"); anything else
+/// (including unset) yields kDefault.
+Fidelity fidelity_from_env();
+
+/// Flow duration for throughput experiments at this fidelity.
+/// The paper uses 120 s; default fidelity uses 60 s, quick 25 s.
+TimeNs experiment_duration(Fidelity f);
+
+/// Warm-up excluded from measurements (slow-start convergence).
+TimeNs experiment_warmup(Fidelity f);
+
+/// Trials per configuration (paper: 10, default: 3, quick: 1).
+int experiment_trials(Fidelity f);
+
+/// Grid thinning factor for buffer sweeps (1 = paper's step).
+int sweep_step_multiplier(Fidelity f);
+
+const char* to_string(Fidelity f);
+
+}  // namespace bbrnash

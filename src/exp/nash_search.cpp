@@ -1,0 +1,234 @@
+#include "exp/nash_search.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "exp/scenario_runner.hpp"
+
+namespace bbrnash {
+
+EmpiricalPayoffs measure_payoffs(const NetworkParams& net, int total_flows,
+                                 const NashSearchConfig& cfg) {
+  EmpiricalPayoffs out;
+  out.cubic_mbps.assign(static_cast<std::size_t>(total_flows) + 1, 0.0);
+  out.other_mbps.assign(static_cast<std::size_t>(total_flows) + 1, 0.0);
+  for (int k = 0; k <= total_flows; ++k) {
+    const MixOutcome m =
+        run_mix_trials(net, total_flows - k, k, cfg.challenger, cfg.trial);
+    out.cubic_mbps[static_cast<std::size_t>(k)] = m.per_flow_cubic_mbps;
+    out.other_mbps[static_cast<std::size_t>(k)] = m.per_flow_other_mbps;
+  }
+  return out;
+}
+
+std::vector<int> find_ne_enumerate(const NetworkParams& net, int total_flows,
+                                   const NashSearchConfig& cfg) {
+  const EmpiricalPayoffs p = measure_payoffs(net, total_flows, cfg);
+  const double fair_mbps = to_mbps(net.capacity) / total_flows;
+  SymmetricGame game{total_flows, p.cubic_mbps, p.other_mbps};
+  return game.equilibria(cfg.tolerance_frac * fair_mbps);
+}
+
+int find_ne_crossing(const NetworkParams& net, int total_flows,
+                     const NashSearchConfig& cfg) {
+  if (total_flows < 2) throw std::invalid_argument{"need >= 2 flows"};
+  const double fair_mbps = to_mbps(net.capacity) / total_flows;
+  const double tol = cfg.tolerance_frac * fair_mbps;
+
+  std::map<int, MixOutcome> cache;
+  const auto outcome_at = [&](int k) -> const MixOutcome& {
+    auto it = cache.find(k);
+    if (it == cache.end()) {
+      it = cache
+               .emplace(k, run_mix_trials(net, total_flows - k, k,
+                                          cfg.challenger, cfg.trial))
+               .first;
+    }
+    return it->second;
+  };
+  // Advantage of the challenger over fair share at distribution k >= 1.
+  const auto advantage = [&](int k) {
+    return outcome_at(k).per_flow_other_mbps - fair_mbps;
+  };
+
+  // The challenger's per-flow throughput decays monotonically in k
+  // (the paper's diminishing-returns observation, Fig. 5): binary-search
+  // the largest k whose advantage is still non-negative.
+  int lo = 1;
+  int hi = total_flows;
+  if (advantage(lo) < 0) {
+    hi = 0;  // not even one challenger flow beats fair share
+  } else if (advantage(hi) >= 0) {
+    lo = total_flows;  // all-challenger is above/at fair share (Case 1)
+  } else {
+    while (hi - lo > 1) {
+      const int mid = lo + (hi - lo) / 2;
+      if (advantage(mid) >= 0) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    hi = lo;
+  }
+  const int crossing = hi;
+
+  // Verify the NE condition in the crossing's neighbourhood using the
+  // cached-and-extended payoff table.
+  const auto payoff_cubic = [&](int k) {
+    return k >= total_flows ? 0.0 : outcome_at(k).per_flow_cubic_mbps;
+  };
+  const auto payoff_other = [&](int k) {
+    return k <= 0 ? 0.0 : outcome_at(k).per_flow_other_mbps;
+  };
+  const auto is_ne = [&](int k) {
+    if (k < 0 || k > total_flows) return false;
+    if (k < total_flows && payoff_other(k + 1) > payoff_cubic(k) + tol) {
+      return false;
+    }
+    if (k > 0 && payoff_cubic(k - 1) > payoff_other(k) + tol) return false;
+    return true;
+  };
+  for (const int k : {crossing, crossing + 1, crossing - 1}) {
+    if (k >= 0 && k <= total_flows && is_ne(k)) return k;
+  }
+  return crossing;
+}
+
+namespace {
+
+struct ProfileOutcome {
+  std::vector<double> cubic_mbps;  // per group, per-flow
+  std::vector<double> other_mbps;
+};
+
+ProfileOutcome run_profile(BytesPerSec capacity, Bytes buffer_bytes,
+                           const std::vector<RttGroup>& groups,
+                           const GroupProfile& profile, CcKind challenger,
+                           const TrialConfig& trial) {
+  const auto g_count = groups.size();
+  ProfileOutcome avg;
+  avg.cubic_mbps.assign(g_count, 0.0);
+  avg.other_mbps.assign(g_count, 0.0);
+
+  const int trials = trial.trials > 0 ? trial.trials : 1;
+  for (int t = 0; t < trials; ++t) {
+    Scenario s;
+    s.capacity = capacity;
+    s.buffer_bytes = buffer_bytes;
+    s.duration = trial.duration;
+    s.warmup = trial.warmup;
+    s.seed = trial.seed + static_cast<std::uint64_t>(t) * 1000003ULL;
+
+    std::vector<std::size_t> flow_group;
+    for (std::size_t g = 0; g < g_count; ++g) {
+      const int cubics = profile.cubic_per_group[g];
+      for (int i = 0; i < groups[g].flows; ++i) {
+        s.flows.push_back(
+            {i < cubics ? CcKind::kCubic : challenger, groups[g].base_rtt});
+        flow_group.push_back(g);
+      }
+    }
+
+    const RunResult r = run_scenario(s);
+    std::vector<double> cubic_sum(g_count, 0.0);
+    std::vector<double> other_sum(g_count, 0.0);
+    std::vector<int> cubic_n(g_count, 0);
+    std::vector<int> other_n(g_count, 0);
+    for (std::size_t i = 0; i < r.flows.size(); ++i) {
+      const std::size_t g = flow_group[i];
+      if (r.flows[i].cc == CcKind::kCubic) {
+        cubic_sum[g] += to_mbps(r.flows[i].stats.goodput_bps);
+        ++cubic_n[g];
+      } else {
+        other_sum[g] += to_mbps(r.flows[i].stats.goodput_bps);
+        ++other_n[g];
+      }
+    }
+    for (std::size_t g = 0; g < g_count; ++g) {
+      if (cubic_n[g]) avg.cubic_mbps[g] += cubic_sum[g] / cubic_n[g];
+      if (other_n[g]) avg.other_mbps[g] += other_sum[g] / other_n[g];
+    }
+  }
+  for (std::size_t g = 0; g < g_count; ++g) {
+    avg.cubic_mbps[g] /= trials;
+    avg.other_mbps[g] /= trials;
+  }
+  return avg;
+}
+
+}  // namespace
+
+MultiRttNe find_multi_rtt_ne(BytesPerSec capacity, Bytes buffer_bytes,
+                             const std::vector<RttGroup>& groups,
+                             const GroupProfile& start,
+                             const NashSearchConfig& cfg) {
+  if (groups.empty() || start.cubic_per_group.size() != groups.size()) {
+    throw std::invalid_argument{"profile/group size mismatch"};
+  }
+  int total = 0;
+  for (const auto& g : groups) total += g.flows;
+  const double fair_mbps = to_mbps(capacity) / std::max(total, 1);
+  const double tol = cfg.tolerance_frac * fair_mbps;
+
+  MultiRttNe result;
+  result.profile = start;
+
+  ProfileOutcome current = run_profile(capacity, buffer_bytes, groups,
+                                       result.profile, cfg.challenger,
+                                       cfg.trial);
+
+  const int max_steps = 2 * total + 4;
+  for (int step = 0; step < max_steps; ++step) {
+    double best_gain = tol;
+    GroupProfile best_profile;
+    ProfileOutcome best_outcome;
+    bool found = false;
+
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      // A CUBIC flow in group g considers switching to the challenger.
+      if (result.profile.cubic_per_group[g] > 0) {
+        GroupProfile cand = result.profile;
+        --cand.cubic_per_group[g];
+        const ProfileOutcome o = run_profile(capacity, buffer_bytes, groups,
+                                             cand, cfg.challenger, cfg.trial);
+        const double gain = o.other_mbps[g] - current.cubic_mbps[g];
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_profile = cand;
+          best_outcome = o;
+          found = true;
+        }
+      }
+      // A challenger flow in group g considers switching to CUBIC.
+      if (result.profile.cubic_per_group[g] < groups[g].flows) {
+        GroupProfile cand = result.profile;
+        ++cand.cubic_per_group[g];
+        const ProfileOutcome o = run_profile(capacity, buffer_bytes, groups,
+                                             cand, cfg.challenger, cfg.trial);
+        const double gain = o.cubic_mbps[g] - current.other_mbps[g];
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_profile = cand;
+          best_outcome = o;
+          found = true;
+        }
+      }
+    }
+
+    if (!found) {
+      result.converged = true;
+      break;
+    }
+    result.profile = best_profile;
+    current = best_outcome;
+    result.steps_taken = step + 1;
+  }
+
+  result.group_cubic_mbps = current.cubic_mbps;
+  result.group_other_mbps = current.other_mbps;
+  return result;
+}
+
+}  // namespace bbrnash

@@ -1,0 +1,85 @@
+// Empirical Nash Equilibrium search (the paper's §4.4/§4.5 methodology).
+//
+// Same-RTT populations are symmetric, so a strategy profile is just k = the
+// number of flows running the non-CUBIC algorithm. Two searches are
+// provided:
+//   * enumerate — the paper's method: simulate every k in [0, n], build the
+//     payoff tables, list all equilibria (via model::SymmetricGame);
+//   * crossing — exploits the measured monotone decay of BBR's per-flow
+//     throughput in k (the paper's Fig. 5 "diminishing returns"): binary
+//     search for the fair-share crossing, then verify the NE condition on
+//     the crossing's neighbourhood. O(log n) runs instead of O(n).
+// Multi-RTT populations (Fig. 10) use best-response dynamics over
+// per-RTT-group counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cc/congestion_control.hpp"
+#include "exp/sweeps.hpp"
+#include "model/nash.hpp"
+#include "model/network_params.hpp"
+
+namespace bbrnash {
+
+struct NashSearchConfig {
+  CcKind challenger = CcKind::kBbr;  ///< the non-CUBIC strategy
+  TrialConfig trial;
+  /// Throughput slack treated as "no incentive" (fraction of fair share).
+  /// The paper observes multiple neighbouring NE because gains near the
+  /// crossing are inside noise; this models that explicitly.
+  double tolerance_frac = 0.05;
+};
+
+/// Per-distribution payoff tables: index k = number of challenger flows.
+struct EmpiricalPayoffs {
+  std::vector<double> cubic_mbps;  ///< per-flow CUBIC payoff at k (k < n)
+  std::vector<double> other_mbps;  ///< per-flow challenger payoff at k (k > 0)
+};
+
+EmpiricalPayoffs measure_payoffs(const NetworkParams& net, int total_flows,
+                                 const NashSearchConfig& cfg);
+
+/// Full-enumeration NE list from measured payoffs.
+std::vector<int> find_ne_enumerate(const NetworkParams& net, int total_flows,
+                                   const NashSearchConfig& cfg);
+
+/// Crossing search: returns one representative NE value of k.
+int find_ne_crossing(const NetworkParams& net, int total_flows,
+                     const NashSearchConfig& cfg);
+
+// --- Multi-RTT (Fig. 10) -------------------------------------------------
+
+struct RttGroup {
+  TimeNs base_rtt = from_ms(40);
+  int flows = 10;
+};
+
+struct GroupProfile {
+  std::vector<int> cubic_per_group;  ///< rest of each group runs challenger
+
+  [[nodiscard]] int total_cubic() const {
+    int n = 0;
+    for (const int c : cubic_per_group) n += c;
+    return n;
+  }
+};
+
+struct MultiRttNe {
+  GroupProfile profile;
+  std::vector<double> group_cubic_mbps;  ///< per-flow, by group (0 if none)
+  std::vector<double> group_other_mbps;
+  int steps_taken = 0;   ///< best-response moves until absorption
+  bool converged = false;
+};
+
+/// Best-response dynamics over group-level unilateral deviations, starting
+/// from `start`. Each step simulates the candidate deviations and takes the
+/// most profitable strictly-improving one.
+MultiRttNe find_multi_rtt_ne(BytesPerSec capacity, Bytes buffer_bytes,
+                             const std::vector<RttGroup>& groups,
+                             const GroupProfile& start,
+                             const NashSearchConfig& cfg);
+
+}  // namespace bbrnash

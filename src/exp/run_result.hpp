@@ -1,0 +1,62 @@
+// Results extracted from one scenario run.
+#pragma once
+
+#include <vector>
+
+#include "cc/congestion_control.hpp"
+#include "flow/flow_stats.hpp"
+#include "util/units.hpp"
+
+namespace bbrnash {
+
+struct FlowResult {
+  CcKind cc = CcKind::kCubic;
+  TimeNs base_rtt = 0;
+  FlowStats stats;
+};
+
+struct RunResult {
+  std::vector<FlowResult> flows;
+
+  double avg_queue_delay_ms = 0.0;   ///< time-avg occupancy / capacity
+  double avg_queue_bytes = 0.0;
+  double link_utilization = 0.0;     ///< served bytes / (C * window)
+  std::uint64_t total_drops = 0;
+
+  // Aggregate CUBIC buffer-occupancy statistics (the model's b_c, b_cmin,
+  // b_cmax over the measurement window).
+  double cubic_buffer_avg = 0.0;
+  Bytes cubic_buffer_min = 0;
+  Bytes cubic_buffer_max = 0;
+  // And BBR-family aggregate occupancy (the model's b_b).
+  double noncubic_buffer_avg = 0.0;
+
+  /// Mean per-flow goodput (Mbps) across flows of `kind`; 0 if none.
+  [[nodiscard]] double avg_goodput_mbps(CcKind kind) const {
+    double sum = 0.0;
+    int n = 0;
+    for (const auto& f : flows) {
+      if (f.cc != kind) continue;
+      sum += to_mbps(f.stats.goodput_bps);
+      ++n;
+    }
+    return n ? sum / n : 0.0;
+  }
+
+  /// Aggregate goodput (Mbps) across flows of `kind`.
+  [[nodiscard]] double total_goodput_mbps(CcKind kind) const {
+    double sum = 0.0;
+    for (const auto& f : flows) {
+      if (f.cc == kind) sum += to_mbps(f.stats.goodput_bps);
+    }
+    return sum;
+  }
+
+  [[nodiscard]] double total_goodput_all_mbps() const {
+    double sum = 0.0;
+    for (const auto& f : flows) sum += to_mbps(f.stats.goodput_bps);
+    return sum;
+  }
+};
+
+}  // namespace bbrnash

@@ -1,0 +1,69 @@
+// Scenario: a complete description of one dumbbell experiment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cc/congestion_control.hpp"
+#include "exp/telemetry.hpp"
+#include "model/network_params.hpp"
+#include "net/packet.hpp"
+#include "util/units.hpp"
+
+namespace bbrnash {
+
+/// Bottleneck queue discipline for a scenario.
+enum class AqmKind { kDropTail, kRed, kCoDel };
+
+[[nodiscard]] const char* to_string(AqmKind kind);
+
+struct FlowSpec {
+  CcKind cc = CcKind::kCubic;
+  TimeNs base_rtt = from_ms(40);
+  /// 0 = unbounded bulk flow; otherwise a finite transfer of this size.
+  Bytes transfer_bytes = 0;
+  /// Explicit start time; kTimeNone = start at t ~ U[0, start_jitter).
+  TimeNs start_at = kTimeNone;
+};
+
+struct Scenario {
+  BytesPerSec capacity = mbps(100);
+  Bytes buffer_bytes = 0;
+  std::vector<FlowSpec> flows;
+  TimeNs duration = from_sec(30);   ///< total simulated time
+  TimeNs warmup = from_sec(6);      ///< excluded from all averages
+  TimeNs start_jitter = from_ms(100);  ///< flows start uniform in [0, jitter)
+  /// Per-packet random delay on the sender->bottleneck access path,
+  /// uniform in [0, access_jitter). Defaults (when negative) to one
+  /// bottleneck packet serialization time. Deterministic drop-tail
+  /// simulations otherwise phase-lock: a short-RTT flow's ack-clocked
+  /// window increments always arrive exactly when the queue is full and
+  /// soak up ALL the drops (Floyd & Jacobson's "phase effects"); real
+  /// testbeds have enough cross-traffic/OS noise to break this.
+  TimeNs access_jitter = -1;
+  Bytes mss = kDefaultMss;
+  std::uint64_t seed = 1;
+  /// Ablation knob: BBR-family cwnd gain (paper assumption 2 uses 2.0).
+  double bbr_cwnd_gain = 2.0;
+
+  /// Telemetry: when both are set, `on_sample` receives a Snapshot every
+  /// `sample_period` of simulated time (starting at t = sample_period).
+  TimeNs sample_period = 0;
+  SampleFn on_sample;
+
+  /// Queue discipline at the bottleneck (default: the paper's drop-tail).
+  AqmKind aqm = AqmKind::kDropTail;
+
+  [[nodiscard]] int count(CcKind kind) const {
+    int n = 0;
+    for (const auto& f : flows) n += (f.cc == kind) ? 1 : 0;
+    return n;
+  }
+};
+
+/// The paper's standard setup: `num_cubic` + `num_other` flows with one
+/// shared base RTT through (C, B). `other` defaults to BBR.
+Scenario make_mix_scenario(const NetworkParams& net, int num_cubic,
+                           int num_other, CcKind other = CcKind::kBbr);
+
+}  // namespace bbrnash

@@ -1,0 +1,272 @@
+#include "exp/scenario_runner.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "flow/receiver.hpp"
+#include "flow/sender.hpp"
+#include "net/aqm.hpp"
+#include "net/bottleneck_link.hpp"
+#include "net/delay_line.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace bbrnash {
+
+const char* to_string(AqmKind kind) {
+  switch (kind) {
+    case AqmKind::kDropTail:
+      return "droptail";
+    case AqmKind::kRed:
+      return "red";
+    case AqmKind::kCoDel:
+      return "codel";
+  }
+  return "unknown";
+}
+
+Scenario make_mix_scenario(const NetworkParams& net, int num_cubic,
+                           int num_other, CcKind other) {
+  net.validate();
+  Scenario s;
+  s.capacity = net.capacity;
+  s.buffer_bytes = net.buffer_bytes;
+  for (int i = 0; i < num_cubic; ++i) {
+    s.flows.push_back({CcKind::kCubic, net.base_rtt});
+  }
+  for (int i = 0; i < num_other; ++i) {
+    s.flows.push_back({other, net.base_rtt});
+  }
+  return s;
+}
+
+namespace {
+
+/// A packet plus its bottleneck sojourn, travelling the forward delay line.
+struct Delivery {
+  Packet pkt;
+  TimeNs sojourn;
+};
+
+}  // namespace
+
+RunResult run_scenario(const Scenario& scenario) {
+  if (scenario.flows.empty()) {
+    throw std::invalid_argument{"scenario needs at least one flow"};
+  }
+  if (scenario.warmup >= scenario.duration) {
+    throw std::invalid_argument{"warmup must end before the run does"};
+  }
+
+  const auto n = static_cast<std::uint32_t>(scenario.flows.size());
+  Simulator sim;
+  Rng rng{scenario.seed};
+
+  BottleneckLink link{sim, scenario.capacity, scenario.buffer_bytes, n};
+  switch (scenario.aqm) {
+    case AqmKind::kDropTail:
+      break;
+    case AqmKind::kRed: {
+      RedConfig red;
+      red.seed = scenario.seed ^ 0x9E3779B97F4A7C15ULL;
+      link.set_aqm(std::make_unique<RedPolicy>(red));
+      break;
+    }
+    case AqmKind::kCoDel:
+      link.set_aqm(std::make_unique<CoDelPolicy>());
+      break;
+  }
+
+  std::vector<std::unique_ptr<Sender>> senders;
+  std::vector<std::unique_ptr<Receiver>> receivers;
+  std::vector<std::unique_ptr<DelayLine<Delivery>>> fwd_lines;
+  std::vector<std::unique_ptr<DelayLine<Ack>>> rev_lines;
+  senders.reserve(n);
+  receivers.reserve(n);
+  fwd_lines.reserve(n);
+  rev_lines.reserve(n);
+
+  // Per-flow access-path state (see Scenario::access_jitter).
+  struct AccessPath {
+    Rng rng;
+    TimeNs jitter = 1;
+    TimeNs last_arrival = 0;
+  };
+  std::vector<AccessPath> access(n);
+  const TimeNs default_jitter = serialization_time(
+      scenario.mss + kHeaderBytes, scenario.capacity);
+  for (auto& a : access) {
+    a.rng = rng.fork();
+    a.jitter = std::max<TimeNs>(
+        1, scenario.access_jitter >= 0 ? scenario.access_jitter
+                                       : default_jitter);
+  }
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const FlowSpec& spec = scenario.flows[i];
+    const TimeNs one_way = spec.base_rtt / 2;
+
+    receivers.push_back(std::make_unique<Receiver>(i));
+    fwd_lines.push_back(std::make_unique<DelayLine<Delivery>>(sim, one_way));
+    rev_lines.push_back(
+        std::make_unique<DelayLine<Ack>>(sim, spec.base_rtt - one_way));
+
+    CcConfig cc_cfg;
+    cc_cfg.mss = scenario.mss;
+    cc_cfg.initial_cwnd = 10 * scenario.mss;
+    cc_cfg.seed = rng.next_u64();
+    cc_cfg.bbr_cwnd_gain = scenario.bbr_cwnd_gain;
+    auto cc = make_congestion_control(spec.cc, cc_cfg);
+
+    SenderConfig snd_cfg;
+    snd_cfg.mss = scenario.mss;
+    snd_cfg.transfer_bytes = spec.transfer_bytes;
+    senders.push_back(std::make_unique<Sender>(
+        sim, i, snd_cfg, std::move(cc),
+        [&sim, &link, &access, i](const Packet& pkt) {
+          // Access-path jitter with a monotonicity guard so a flow's own
+          // packets are never reordered.
+          access[i].last_arrival = std::max(
+              access[i].last_arrival + 1,
+              sim.now() + static_cast<TimeNs>(access[i].rng.next_below(
+                              static_cast<std::uint64_t>(access[i].jitter))));
+          sim.schedule_at(access[i].last_arrival,
+                          [&link, pkt] { link.send(pkt); });
+        }));
+
+    // Bottleneck exit -> forward propagation -> receiver.
+    fwd_lines[i]->set_sink([&receivers, i](const Delivery& d) {
+      receivers[i]->on_packet(d.pkt, d.sojourn);
+    });
+    // Receiver -> reverse propagation -> sender.
+    receivers[i]->set_ack_sink(
+        [&rev_lines, i](const Ack& ack) { rev_lines[i]->send(ack); });
+    rev_lines[i]->set_sink(
+        [&senders, i](const Ack& ack) { senders[i]->on_ack(ack); });
+  }
+
+  link.set_sink([&sim, &fwd_lines](const Packet& pkt) {
+    const TimeNs sojourn =
+        pkt.enqueued_at == kTimeNone ? 0 : sim.now() - pkt.enqueued_at;
+    fwd_lines[pkt.flow]->send(Delivery{pkt, sojourn});
+  });
+
+  // Group instrumentation: aggregate CUBIC occupancy drives the model's
+  // b_cmin / b_cmax validation, aggregate non-CUBIC occupancy is b_b.
+  std::vector<FlowId> cubic_ids;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (scenario.flows[i].cc == CcKind::kCubic) cubic_ids.push_back(i);
+  }
+  if (!cubic_ids.empty()) link.queue().track_group(cubic_ids);
+
+  // Start flows: explicit start times win; otherwise a deterministic
+  // jitter decorrelates the slow starts.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const TimeNs jitter =
+        scenario.start_jitter > 0
+            ? static_cast<TimeNs>(rng.next_below(
+                  static_cast<std::uint64_t>(scenario.start_jitter)))
+            : 0;
+    const TimeNs at = scenario.flows[i].start_at != kTimeNone
+                          ? scenario.flows[i].start_at
+                          : jitter;
+    senders[i]->start(at);
+  }
+
+  // Telemetry sampling.
+  if (scenario.sample_period > 0 && scenario.on_sample) {
+    for (TimeNs t = scenario.sample_period; t <= scenario.duration;
+         t += scenario.sample_period) {
+      sim.schedule_at(t, [&, t] {
+        Snapshot snap;
+        snap.t = t;
+        snap.queue_bytes = link.queue().occupied_bytes();
+        snap.total_drops = link.queue().total_drops();
+        snap.bytes_served = link.bytes_served();
+        snap.flows.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          FlowSnapshot fs;
+          fs.cc = scenario.flows[i].cc;
+          fs.cwnd = senders[i]->cc().cwnd();
+          fs.pacing_rate = senders[i]->cc().pacing_rate();
+          fs.inflight = senders[i]->inflight_bytes();
+          fs.delivered = senders[i]->delivered_bytes();
+          fs.queue_bytes = link.queue().flow_occupancy(i);
+          fs.retransmits = senders[i]->retransmit_count();
+          fs.rtos = senders[i]->rto_count();
+          fs.smoothed_rtt = senders[i]->smoothed_rtt();
+          snap.flows.push_back(fs);
+        }
+        scenario.on_sample(snap);
+      });
+    }
+  }
+
+  // Begin measurement after warm-up.
+  Bytes served_at_warmup = 0;
+  sim.schedule_at(scenario.warmup, [&] {
+    link.queue().begin_measurement(sim.now());
+    for (auto& s : senders) s->begin_measurement();
+    served_at_warmup = link.bytes_served();
+  });
+
+  sim.run_until(scenario.duration);
+
+  // Collect.
+  link.queue().finalize(sim.now());
+  const double window_sec = to_sec(scenario.duration - scenario.warmup);
+
+  RunResult out;
+  out.flows.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    FlowResult fr;
+    fr.cc = scenario.flows[i].cc;
+    fr.base_rtt = scenario.flows[i].base_rtt;
+
+    const Sender& s = *senders[i];
+    FlowStats st;
+    st.goodput_bps =
+        static_cast<double>(s.delivered_bytes() -
+                            s.delivered_at_measurement_start()) /
+        window_sec;
+    st.avg_rtt_ms = s.rtt_stats().mean();
+    st.min_rtt_ms = s.rtt_stats().min();
+    st.max_rtt_ms = s.rtt_stats().max();
+    st.retransmits = s.retransmit_count() - s.retransmits_at_measurement_start();
+    st.rtos = s.rto_count() - s.rtos_at_measurement_start();
+    st.avg_inflight_bytes = s.avg_inflight_bytes();
+    st.completed_at = s.completed_at();
+    st.avg_queue_occupancy_bytes = link.queue().avg_flow_occupancy(i);
+    st.min_queue_occupancy_bytes = link.queue().min_flow_occupancy(i);
+    st.max_queue_occupancy_bytes = link.queue().max_flow_occupancy(i);
+    fr.stats = st;
+    out.flows.push_back(fr);
+  }
+
+  out.avg_queue_bytes = link.queue().avg_occupied_bytes();
+  out.avg_queue_delay_ms = to_ms(static_cast<TimeNs>(
+      out.avg_queue_bytes / scenario.capacity * kNsPerSec));
+  out.link_utilization =
+      static_cast<double>(link.bytes_served() - served_at_warmup) /
+      (scenario.capacity * window_sec);
+  out.total_drops = link.queue().total_drops();
+
+  if (!cubic_ids.empty()) {
+    out.cubic_buffer_avg = link.queue().group_avg_occupancy();
+    out.cubic_buffer_min = link.queue().group_min_occupancy();
+    out.cubic_buffer_max = link.queue().group_max_occupancy();
+  }
+  double noncubic_avg = 0.0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (scenario.flows[i].cc != CcKind::kCubic) {
+      noncubic_avg += link.queue().avg_flow_occupancy(i);
+    }
+  }
+  out.noncubic_buffer_avg = noncubic_avg;
+  return out;
+}
+
+}  // namespace bbrnash

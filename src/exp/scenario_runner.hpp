@@ -1,0 +1,25 @@
+// ScenarioRunner: wires a Scenario into a live dumbbell simulation and
+// extracts a RunResult.
+//
+// Topology per flow i (base RTT r_i):
+//
+//   Sender_i --(instant)--> [BottleneckLink: rate C, drop-tail buffer B]
+//            --(serialize)--> DelayLine fwd (r_i/2) --> Receiver_i
+//   Receiver_i --ACK--> DelayLine rev (r_i/2) --> Sender_i
+//
+// All of a flow's propagation delay is split across the two delay lines, so
+// the base (congestion-free) RTT is exactly r_i and every queueing byte
+// adds sojourn time at the shared bottleneck — the configuration the
+// paper's model describes (Fig. 2).
+#pragma once
+
+#include "exp/run_result.hpp"
+#include "exp/scenario.hpp"
+
+namespace bbrnash {
+
+/// Runs the scenario to completion and returns measurements taken over
+/// [warmup, duration].
+RunResult run_scenario(const Scenario& scenario);
+
+}  // namespace bbrnash

@@ -1,0 +1,42 @@
+#include "exp/sweeps.hpp"
+
+#include "exp/scenario_runner.hpp"
+
+namespace bbrnash {
+
+MixOutcome run_mix_trials(const NetworkParams& net, int num_cubic,
+                          int num_other, CcKind other,
+                          const TrialConfig& cfg) {
+  MixOutcome avg;
+  const int trials = cfg.trials > 0 ? cfg.trials : 1;
+  for (int t = 0; t < trials; ++t) {
+    Scenario s = make_mix_scenario(net, num_cubic, num_other, other);
+    s.duration = cfg.duration;
+    s.warmup = cfg.warmup;
+    s.seed = cfg.seed + static_cast<std::uint64_t>(t) * 1000003ULL;
+
+    const RunResult r = run_scenario(s);
+    avg.per_flow_cubic_mbps += r.avg_goodput_mbps(CcKind::kCubic);
+    avg.per_flow_other_mbps += r.avg_goodput_mbps(other);
+    avg.total_cubic_mbps += r.total_goodput_mbps(CcKind::kCubic);
+    avg.total_other_mbps += r.total_goodput_mbps(other);
+    avg.avg_queue_delay_ms += r.avg_queue_delay_ms;
+    avg.link_utilization += r.link_utilization;
+    avg.cubic_buffer_avg += r.cubic_buffer_avg;
+    avg.cubic_buffer_min += static_cast<double>(r.cubic_buffer_min);
+    avg.noncubic_buffer_avg += r.noncubic_buffer_avg;
+  }
+  const auto k = static_cast<double>(trials);
+  avg.per_flow_cubic_mbps /= k;
+  avg.per_flow_other_mbps /= k;
+  avg.total_cubic_mbps /= k;
+  avg.total_other_mbps /= k;
+  avg.avg_queue_delay_ms /= k;
+  avg.link_utilization /= k;
+  avg.cubic_buffer_avg /= k;
+  avg.cubic_buffer_min /= k;
+  avg.noncubic_buffer_avg /= k;
+  return avg;
+}
+
+}  // namespace bbrnash

@@ -1,0 +1,36 @@
+// Trial-averaged mix measurements — the workhorse behind every figure.
+#pragma once
+
+#include <cstdint>
+
+#include "cc/congestion_control.hpp"
+#include "exp/run_result.hpp"
+#include "model/network_params.hpp"
+
+namespace bbrnash {
+
+struct TrialConfig {
+  TimeNs duration = from_sec(40);
+  TimeNs warmup = from_sec(8);
+  int trials = 3;
+  std::uint64_t seed = 1;
+};
+
+/// Averages over trials of a (num_cubic x CUBIC) vs (num_other x `other`)
+/// mix through `net`.
+struct MixOutcome {
+  double per_flow_cubic_mbps = 0.0;   ///< 0 when num_cubic == 0
+  double per_flow_other_mbps = 0.0;   ///< 0 when num_other == 0
+  double total_cubic_mbps = 0.0;
+  double total_other_mbps = 0.0;
+  double avg_queue_delay_ms = 0.0;
+  double link_utilization = 0.0;
+  double cubic_buffer_avg = 0.0;      ///< model's aggregate b_c
+  double cubic_buffer_min = 0.0;      ///< model's b_cmin
+  double noncubic_buffer_avg = 0.0;   ///< model's b_b
+};
+
+MixOutcome run_mix_trials(const NetworkParams& net, int num_cubic,
+                          int num_other, CcKind other, const TrialConfig& cfg);
+
+}  // namespace bbrnash

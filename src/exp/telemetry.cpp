@@ -1,0 +1,38 @@
+#include "exp/telemetry.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace bbrnash {
+
+double SnapshotLog::goodput_between(std::size_t i, std::size_t flow) const {
+  if (i == 0 || i >= snapshots_.size()) {
+    throw std::out_of_range{"snapshot index"};
+  }
+  const Snapshot& a = snapshots_[i - 1];
+  const Snapshot& b = snapshots_[i];
+  const double dt = to_sec(b.t - a.t);
+  if (dt <= 0) return 0.0;
+  return static_cast<double>(b.flows.at(flow).delivered -
+                             a.flows.at(flow).delivered) /
+         dt;
+}
+
+void SnapshotLog::write_csv(std::ostream& os) const {
+  os << "t_sec,flow,cc,cwnd_bytes,pacing_bps,inflight_bytes,delivered_bytes,"
+        "queue_bytes,retransmits,rtos,srtt_ms,total_queue_bytes,drops\n";
+  for (const Snapshot& s : snapshots_) {
+    for (std::size_t f = 0; f < s.flows.size(); ++f) {
+      const FlowSnapshot& fs = s.flows[f];
+      os << to_sec(s.t) << ',' << f << ',' << to_string(fs.cc) << ','
+         << fs.cwnd << ','
+         << (fs.pacing_rate >= kNoPacing ? -1.0 : fs.pacing_rate) << ','
+         << fs.inflight << ',' << fs.delivered << ',' << fs.queue_bytes << ','
+         << fs.retransmits << ',' << fs.rtos << ','
+         << (fs.smoothed_rtt == kTimeNone ? -1.0 : to_ms(fs.smoothed_rtt))
+         << ',' << s.queue_bytes << ',' << s.total_drops << '\n';
+    }
+  }
+}
+
+}  // namespace bbrnash

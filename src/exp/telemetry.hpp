@@ -1,0 +1,62 @@
+// Telemetry: periodic snapshots of a running scenario.
+//
+// Attach a sampler to Scenario (`sample_period` + `on_sample`) and
+// run_scenario() will deliver a Snapshot of every flow's congestion state
+// and the bottleneck queue at each period — the data behind time-series
+// plots like the paper's Fig. 12 discussion (cwnd-limited vs not) and the
+// flow_timeline example.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cc/congestion_control.hpp"
+#include "util/units.hpp"
+
+namespace bbrnash {
+
+struct FlowSnapshot {
+  CcKind cc = CcKind::kCubic;
+  Bytes cwnd = 0;
+  BytesPerSec pacing_rate = 0;   ///< kNoPacing when unpaced
+  Bytes inflight = 0;
+  Bytes delivered = 0;           ///< lifetime delivered payload bytes
+  Bytes queue_bytes = 0;         ///< this flow's bottleneck occupancy
+  std::uint64_t retransmits = 0;
+  std::uint64_t rtos = 0;
+  TimeNs smoothed_rtt = kTimeNone;
+};
+
+struct Snapshot {
+  TimeNs t = 0;
+  std::vector<FlowSnapshot> flows;
+  Bytes queue_bytes = 0;         ///< total bottleneck occupancy
+  std::uint64_t total_drops = 0;
+  Bytes bytes_served = 0;        ///< cumulative at the bottleneck
+};
+
+using SampleFn = std::function<void(const Snapshot&)>;
+
+/// Convenience sink: accumulates snapshots in memory.
+class SnapshotLog {
+ public:
+  [[nodiscard]] SampleFn sink() {
+    return [this](const Snapshot& s) { snapshots_.push_back(s); };
+  }
+  [[nodiscard]] const std::vector<Snapshot>& snapshots() const {
+    return snapshots_;
+  }
+  [[nodiscard]] bool empty() const { return snapshots_.empty(); }
+
+  /// Per-flow goodput (bytes/sec) between consecutive snapshots i-1 and i.
+  [[nodiscard]] double goodput_between(std::size_t i, std::size_t flow) const;
+
+  /// Writes a CSV with one row per (snapshot, flow).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<Snapshot> snapshots_;
+};
+
+}  // namespace bbrnash

@@ -1,0 +1,69 @@
+#include "exp/workload.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bbrnash {
+
+Bytes pareto_size(Rng& rng, double alpha, Bytes min_size, Bytes max_size) {
+  if (alpha <= 0 || min_size <= 0 || max_size < min_size) {
+    throw std::invalid_argument{"bad Pareto parameters"};
+  }
+  // Inverse-CDF sampling of the bounded Pareto distribution.
+  const double l = static_cast<double>(min_size);
+  const double h = static_cast<double>(max_size);
+  const double u = rng.next_double();
+  const double la = std::pow(l, alpha);
+  const double ha = std::pow(h, alpha);
+  const double x =
+      std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+  return static_cast<Bytes>(std::min(std::max(x, l), h));
+}
+
+std::vector<FlowSpec> generate_workload(const WorkloadConfig& cfg) {
+  if (cfg.arrivals_per_sec <= 0 || cfg.end <= cfg.start) {
+    throw std::invalid_argument{"bad workload window"};
+  }
+  Rng rng{cfg.seed};
+  std::vector<FlowSpec> flows;
+  // Poisson arrivals: exponential inter-arrival gaps.
+  TimeNs t = cfg.start;
+  while (true) {
+    const double gap_sec =
+        -std::log(1.0 - rng.next_double()) / cfg.arrivals_per_sec;
+    t += from_sec(gap_sec);
+    if (t >= cfg.end) break;
+    FlowSpec f;
+    f.cc = cfg.cc;
+    f.base_rtt = cfg.base_rtt;
+    f.transfer_bytes =
+        pareto_size(rng, cfg.pareto_alpha, cfg.min_size, cfg.max_size);
+    f.start_at = t;
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+void add_workload(Scenario& scenario, const WorkloadConfig& cfg) {
+  for (const FlowSpec& f : generate_workload(cfg)) {
+    scenario.flows.push_back(f);
+  }
+}
+
+double offered_load(const WorkloadConfig& cfg, BytesPerSec capacity) {
+  // Mean of the bounded Pareto.
+  const double a = cfg.pareto_alpha;
+  const double l = static_cast<double>(cfg.min_size);
+  const double h = static_cast<double>(cfg.max_size);
+  double mean;
+  if (std::abs(a - 1.0) < 1e-9) {
+    mean = l * h / (h - l) * std::log(h / l);
+  } else {
+    mean = (std::pow(l, a) / (1.0 - std::pow(l / h, a))) *
+           (a / (a - 1.0)) *
+           (1.0 / std::pow(l, a - 1.0) - 1.0 / std::pow(h, a - 1.0));
+  }
+  return cfg.arrivals_per_sec * mean / capacity;
+}
+
+}  // namespace bbrnash

@@ -1,0 +1,52 @@
+// Workload generation: realistic flow arrival patterns.
+//
+// The paper's evaluation uses only simultaneous long-lived flows and its
+// §5 lists "more diverse workloads" as future work. This module generates
+// the standard synthetic approximation of Internet traffic: flows arriving
+// as a Poisson process with heavy-tailed (bounded Pareto) sizes, on top of
+// an optional population of long-lived elephants.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cc/congestion_control.hpp"
+#include "exp/scenario.hpp"
+#include "model/network_params.hpp"
+#include "util/rng.hpp"
+
+namespace bbrnash {
+
+struct WorkloadConfig {
+  /// Mean arrival rate of short flows (flows per second).
+  double arrivals_per_sec = 2.0;
+  /// Bounded-Pareto size distribution (classic web-traffic model).
+  double pareto_alpha = 1.2;
+  Bytes min_size = 30 * 1024;
+  Bytes max_size = 5 * 1024 * 1024;
+  /// CCA used by the generated short flows.
+  CcKind cc = CcKind::kCubic;
+  TimeNs base_rtt = from_ms(40);
+  /// Arrivals occupy [start, end) of scenario time.
+  TimeNs start = 0;
+  TimeNs end = from_sec(60);
+  std::uint64_t seed = 1;
+};
+
+/// Draws one bounded-Pareto size.
+[[nodiscard]] Bytes pareto_size(Rng& rng, double alpha, Bytes min_size,
+                                Bytes max_size);
+
+/// Generates the flow specs for a workload (arrival times and sizes are
+/// deterministic given the seed).
+[[nodiscard]] std::vector<FlowSpec> generate_workload(const WorkloadConfig& cfg);
+
+/// Appends a generated workload to a scenario.
+void add_workload(Scenario& scenario, const WorkloadConfig& cfg);
+
+/// Offered load of a generated workload as a fraction of link capacity
+/// (expected bytes per second / capacity).
+[[nodiscard]] double offered_load(const WorkloadConfig& cfg,
+                                  BytesPerSec capacity);
+
+}  // namespace bbrnash

@@ -1,0 +1,26 @@
+// Per-flow measurement results extracted after a simulation run.
+#pragma once
+
+#include <cstdint>
+
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace bbrnash {
+
+struct FlowStats {
+  double goodput_bps = 0.0;        ///< payload bytes/sec over the window
+  double avg_rtt_ms = 0.0;         ///< mean of RTT samples in the window
+  double min_rtt_ms = 0.0;
+  double max_rtt_ms = 0.0;
+  std::uint64_t retransmits = 0;   ///< packets retransmitted in the window
+  std::uint64_t rtos = 0;          ///< RTO episodes in the window
+  double avg_inflight_bytes = 0.0; ///< time-averaged bytes in flight
+  /// Flow completion time for finite transfers (kTimeNone otherwise).
+  TimeNs completed_at = kTimeNone;
+  double avg_queue_occupancy_bytes = 0.0;  ///< this flow's b (from the queue)
+  Bytes min_queue_occupancy_bytes = 0;     ///< this flow's minimum b
+  Bytes max_queue_occupancy_bytes = 0;     ///< this flow's maximum b
+};
+
+}  // namespace bbrnash

@@ -1,0 +1,63 @@
+// Receiver: acknowledges every data packet immediately.
+//
+// The ACK carries both the triggering packet's sequence number (equivalent
+// to SACK information — the sender can mark that exact packet delivered)
+// and the cumulative next-expected sequence. There is no delayed ACK; the
+// paper's testbed senders were Linux with quickack-like behaviour under
+// loss, and per-packet ACKs keep the ACK clock simple and exact.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+
+#include "net/packet.hpp"
+
+namespace bbrnash {
+
+class Receiver {
+ public:
+  using AckSink = std::function<void(const Ack&)>;
+
+  explicit Receiver(FlowId flow) : flow_(flow) {}
+
+  void set_ack_sink(AckSink sink) { ack_sink_ = std::move(sink); }
+
+  /// Consumes a data packet; emits exactly one ACK.
+  void on_packet(const Packet& pkt, TimeNs queue_delay) {
+    if (pkt.seq == cum_next_) {
+      ++cum_next_;
+      // Drain any buffered out-of-order packets now in order.
+      auto it = ooo_.begin();
+      while (it != ooo_.end() && *it == cum_next_) {
+        ++cum_next_;
+        it = ooo_.erase(it);
+      }
+    } else if (pkt.seq > cum_next_) {
+      ooo_.insert(pkt.seq);
+    }
+    // seq < cum_next_: duplicate (spurious retransmit); still ACK it so the
+    // sender's bookkeeping converges.
+    ++packets_received_;
+    if (ack_sink_) {
+      ack_sink_(Ack{flow_, pkt.seq, cum_next_, queue_delay});
+    }
+  }
+
+  [[nodiscard]] SeqNo cumulative_next() const noexcept { return cum_next_; }
+  [[nodiscard]] std::uint64_t packets_received() const noexcept {
+    return packets_received_;
+  }
+  [[nodiscard]] std::size_t reorder_buffer_size() const noexcept {
+    return ooo_.size();
+  }
+
+ private:
+  FlowId flow_;
+  AckSink ack_sink_;
+  SeqNo cum_next_ = 0;
+  std::set<SeqNo> ooo_;
+  std::uint64_t packets_received_ = 0;
+};
+
+}  // namespace bbrnash

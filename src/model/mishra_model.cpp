@@ -1,0 +1,89 @@
+#include "model/mishra_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math.hpp"
+
+namespace bbrnash {
+
+double backoff_kappa(CubicSyncBound bound, int num_cubic) {
+  if (bound == CubicSyncBound::kSynchronized) return 0.7;
+  // Eq. 22: only one of N_c flows backs off at a time, so the aggregate
+  // retains (N_c - 0.3)/N_c of W_max.
+  const double nc = std::max(1, num_cubic);
+  return (nc - 0.3) / nc;
+}
+
+std::optional<MishraPrediction> solve_mishra(const NetworkParams& net,
+                                             double kappa) {
+  net.validate();
+  const double c = net.capacity;
+  const double rtt = to_sec(net.base_rtt);
+  const double b = static_cast<double>(net.buffer_bytes);
+  const double bdp = c * rtt;
+
+  // Validity: assumptions 1 and 2 need at least 1 BDP of buffer.
+  if (b < bdp) return std::nullopt;
+  if (kappa <= 0.5 || kappa > 1.0) return std::nullopt;
+
+  const double b_cmin = (b - bdp) / 2.0;
+
+  const auto residual = [&](double b_b) {
+    const double lhs = b_cmin + b_cmin / (b_cmin + b_b) * bdp;
+    const double rhs = kappa * ((b - b_b) + (b - b_b) / b * bdp);
+    return lhs - rhs;
+  };
+
+  // f(0) = (1/2 - kappa)(B + bdp) < 0, f(B) = b_cmin*(1 + bdp/(b_cmin+B))
+  // >= 0: a bracket always exists. Guard the degenerate B == bdp case
+  // where b_cmin == 0 and the root is exactly b_b == B.
+  std::optional<double> root;
+  if (b_cmin <= 0.0) {
+    root = b;
+  } else {
+    root = find_root_bisect(residual, 0.0, b, RootOptions{1e-6, 200});
+  }
+  if (!root) return std::nullopt;
+
+  MishraPrediction out;
+  out.bbr_buffer_bytes = *root;
+  out.cubic_min_buffer = b_cmin;
+  out.kappa = kappa;
+  // Eq. 19 with b_c = B - b_b (the buffer-full approximation used to get
+  // Eq. 18 from Eq. 17).
+  const double lambda_c = (b - *root) / (rtt + 2.0 * b_cmin / c);
+  out.lambda_cubic = std::clamp(lambda_c, 0.0, c);
+  out.lambda_bbr = c - out.lambda_cubic;  // Eq. 20
+  return out;
+}
+
+std::optional<MishraPrediction> two_flow_prediction(const NetworkParams& net) {
+  return solve_mishra(net, 0.7);
+}
+
+std::optional<MultiFlowPrediction> multi_flow_prediction(
+    const NetworkParams& net, int num_cubic, int num_bbr,
+    CubicSyncBound bound) {
+  if (num_cubic < 1 || num_bbr < 1) return std::nullopt;
+  const auto agg = solve_mishra(net, backoff_kappa(bound, num_cubic));
+  if (!agg) return std::nullopt;
+  MultiFlowPrediction out;
+  out.aggregate = *agg;
+  out.per_flow_cubic = agg->lambda_cubic / num_cubic;  // Eq. 23
+  out.per_flow_bbr = agg->lambda_bbr / num_bbr;        // Eq. 24
+  return out;
+}
+
+std::optional<PredictionInterval> prediction_interval(const NetworkParams& net,
+                                                      int num_cubic,
+                                                      int num_bbr) {
+  const auto sync = multi_flow_prediction(net, num_cubic, num_bbr,
+                                          CubicSyncBound::kSynchronized);
+  const auto desync = multi_flow_prediction(net, num_cubic, num_bbr,
+                                            CubicSyncBound::kDesynchronized);
+  if (!sync || !desync) return std::nullopt;
+  return PredictionInterval{*sync, *desync};
+}
+
+}  // namespace bbrnash

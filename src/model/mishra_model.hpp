@@ -1,0 +1,81 @@
+// The paper's throughput model (§2.3 basic 2-flow form, §2.4 multi-flow
+// form with synchronization bounds).
+//
+// Derivation recap (all quantities in bytes, bytes/sec, seconds):
+//   bdp     = C * RTT
+//   b_cmin  = (B - bdp) / 2                          [Eq. 10 + buffer-full]
+//   Solve for BBR's average buffer occupancy b_b in (0, B):   [Eq. 17/18]
+//     b_cmin + b_cmin/(b_cmin + b_b) * bdp
+//         = kappa * ( (B - b_b) + (B - b_b)/B * bdp )
+//   with kappa = 0.7 for the 2-flow model and the CUBIC-synchronized bound
+//   (Eq. 21), kappa = (N_c - 0.3)/N_c for the de-synchronized bound
+//   (Eq. 22). Then                                     [Eq. 19/20]
+//     lambda_c = (B - b_b) / (RTT + 2*b_cmin/C)
+//     lambda_b = C - lambda_c.
+//
+// Because kappa > 1/2, the residual f(b_b) = LHS - RHS satisfies
+// f(0) = (1/2 - kappa)(B + bdp) < 0 and f(B) > 0, so a root always exists
+// in (0, B); f has at most one sign change there (LHS and RHS are both
+// decreasing but RHS strictly steeper past the dip), which bisection finds
+// reliably.
+//
+// Validity domain: B >= 1 BDP (below that BBR is not cwnd-bound and CUBIC
+// suffers premature loss — the model's assumptions 1 and 2) and roughly
+// B <= 100 BDP (above that BBR stops being cwnd-limited; Fig. 12).
+#pragma once
+
+#include <optional>
+
+#include "model/network_params.hpp"
+
+namespace bbrnash {
+
+/// Which b_cmin boundary case of §2.4 to use.
+enum class CubicSyncBound {
+  kSynchronized,    ///< Eq. 21: all CUBIC flows back off together (kappa=0.7)
+  kDesynchronized,  ///< Eq. 22: one of N_c backs off at a time
+};
+
+struct MishraPrediction {
+  double bbr_buffer_bytes = 0.0;    ///< b_b, BBR's average buffer occupancy
+  double cubic_min_buffer = 0.0;    ///< b_cmin used by the solution
+  double lambda_cubic = 0.0;        ///< aggregate CUBIC bandwidth, bytes/sec
+  double lambda_bbr = 0.0;          ///< aggregate BBR bandwidth, bytes/sec
+  double kappa = 0.0;               ///< backoff factor used
+};
+
+/// kappa for a given bound and CUBIC flow count (Eqs. 21/22).
+[[nodiscard]] double backoff_kappa(CubicSyncBound bound, int num_cubic);
+
+/// Aggregate-flow solution. Returns std::nullopt outside the validity
+/// domain (B < 1 BDP) or if the root bracket fails (cannot happen for
+/// kappa > 1/2, but the API is defensive).
+[[nodiscard]] std::optional<MishraPrediction> solve_mishra(
+    const NetworkParams& net, double kappa);
+
+/// The §2.3 basic 2-flow model: one CUBIC flow vs one BBR flow.
+[[nodiscard]] std::optional<MishraPrediction> two_flow_prediction(
+    const NetworkParams& net);
+
+struct MultiFlowPrediction {
+  MishraPrediction aggregate;
+  double per_flow_cubic = 0.0;  ///< lambda_c / N_c   [Eq. 23]
+  double per_flow_bbr = 0.0;    ///< lambda_b / N_b   [Eq. 24]
+};
+
+/// The §2.4 multi-flow model for N_c CUBIC flows vs N_b BBR flows.
+/// Requires N_c >= 1 and N_b >= 1.
+[[nodiscard]] std::optional<MultiFlowPrediction> multi_flow_prediction(
+    const NetworkParams& net, int num_cubic, int num_bbr,
+    CubicSyncBound bound);
+
+/// Both bounds at once — the paper's "predicted region" in Figs. 4/5.
+struct PredictionInterval {
+  MultiFlowPrediction sync;    ///< lower BBR throughput bound
+  MultiFlowPrediction desync;  ///< upper BBR throughput bound
+};
+
+[[nodiscard]] std::optional<PredictionInterval> prediction_interval(
+    const NetworkParams& net, int num_cubic, int num_bbr);
+
+}  // namespace bbrnash

@@ -1,0 +1,138 @@
+#include "model/nash.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace bbrnash {
+
+namespace {
+
+// Per-flow BBR throughput at a real-valued split of `total` flows into
+// nb BBR and (total - nb) CUBIC, under one synchronization bound.
+std::optional<double> per_flow_bbr(const NetworkParams& net, double total,
+                                   double nb, CubicSyncBound bound) {
+  const double nc = total - nb;
+  if (nc <= 0.0 || nb <= 0.0) return std::nullopt;
+  double kappa = 0.7;
+  if (bound == CubicSyncBound::kDesynchronized) {
+    kappa = (nc - 0.3) / nc;
+    // With less than one CUBIC flow the desync expression degenerates.
+    if (nc < 1.0) kappa = 0.7;
+  }
+  const auto agg = solve_mishra(net, kappa);
+  if (!agg) return std::nullopt;
+  return agg->lambda_bbr / nb;
+}
+
+}  // namespace
+
+std::optional<NashPoint> predict_nash(const NetworkParams& net,
+                                      int total_flows, CubicSyncBound bound) {
+  if (total_flows < 2) return std::nullopt;
+  const double n = total_flows;
+  const double fair_share = net.capacity / n;
+
+  // Advantage of being a BBR flow at split nb, relative to fair share.
+  const auto advantage = [&](double nb) -> std::optional<double> {
+    const auto lb = per_flow_bbr(net, n, nb, bound);
+    if (!lb) return std::nullopt;
+    return *lb - fair_share;
+  };
+
+  const double lo = 0.5;       // "almost no BBR flows" end of the AB line
+  const double hi = n - 0.5;   // "almost all BBR" end
+
+  const auto adv_lo = advantage(lo);
+  const auto adv_hi = advantage(hi);
+  if (!adv_lo || !adv_hi) return std::nullopt;
+
+  NashPoint out;
+  if (*adv_lo <= 0.0) {
+    // Even a lone BBR flow does not beat fair share: CUBIC-only NE.
+    out.num_bbr = 0.0;
+  } else if (*adv_hi >= 0.0) {
+    // The paper's Case 1: the AB line never crosses fair share.
+    out.num_bbr = n;
+  } else {
+    const auto root = find_root_bisect(
+        [&](double nb) { return advantage(nb).value_or(0.0); }, lo, hi,
+        RootOptions{1e-6, 200});
+    if (!root) return std::nullopt;
+    out.num_bbr = *root;
+  }
+  out.num_cubic = n - out.num_bbr;
+  return out;
+}
+
+std::optional<NashRegion> predict_nash_region(const NetworkParams& net,
+                                              int total_flows) {
+  const auto sync =
+      predict_nash(net, total_flows, CubicSyncBound::kSynchronized);
+  const auto desync =
+      predict_nash(net, total_flows, CubicSyncBound::kDesynchronized);
+  if (!sync || !desync) return std::nullopt;
+  return NashRegion{*sync, *desync};
+}
+
+SymmetricGame::SymmetricGame(int num_players, std::vector<double> payoff_a,
+                             std::vector<double> payoff_b)
+    : n_(num_players),
+      payoff_a_(std::move(payoff_a)),
+      payoff_b_(std::move(payoff_b)) {
+  if (n_ < 1) throw std::invalid_argument{"need at least one player"};
+  if (payoff_a_.size() != static_cast<std::size_t>(n_ + 1) ||
+      payoff_b_.size() != static_cast<std::size_t>(n_ + 1)) {
+    throw std::invalid_argument{"payoff tables must have n+1 entries"};
+  }
+}
+
+bool SymmetricGame::is_equilibrium(int k, double tolerance) const {
+  if (k < 0 || k > n_) throw std::out_of_range{"distribution out of range"};
+  if (k < n_) {
+    // Would a CUBIC player gain by switching to BBR?
+    if (payoff_b_[static_cast<std::size_t>(k) + 1] >
+        payoff_a_[static_cast<std::size_t>(k)] + tolerance) {
+      return false;
+    }
+  }
+  if (k > 0) {
+    // Would a BBR player gain by switching to CUBIC?
+    if (payoff_a_[static_cast<std::size_t>(k) - 1] >
+        payoff_b_[static_cast<std::size_t>(k)] + tolerance) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<int> SymmetricGame::equilibria(double tolerance) const {
+  std::vector<int> out;
+  for (int k = 0; k <= n_; ++k) {
+    if (is_equilibrium(k, tolerance)) out.push_back(k);
+  }
+  return out;
+}
+
+int SymmetricGame::best_response_path(int start, double tolerance) const {
+  int k = std::clamp(start, 0, n_);
+  const int max_steps = n_ * n_ + 1;
+  for (int step = 0; step < max_steps; ++step) {
+    if (k < n_ && payoff_b_[static_cast<std::size_t>(k) + 1] >
+                      payoff_a_[static_cast<std::size_t>(k)] + tolerance) {
+      ++k;  // a CUBIC player defects to BBR
+      continue;
+    }
+    if (k > 0 && payoff_a_[static_cast<std::size_t>(k) - 1] >
+                     payoff_b_[static_cast<std::size_t>(k)] + tolerance) {
+      --k;  // a BBR player defects to CUBIC
+      continue;
+    }
+    break;  // no profitable unilateral deviation: absorbed
+  }
+  return k;
+}
+
+}  // namespace bbrnash

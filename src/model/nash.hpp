@@ -1,0 +1,83 @@
+// Game-theoretic layer (§4 of the paper).
+//
+// Two components:
+//   * NashPredictor — model-driven: finds the CUBIC/BBR split at which a
+//     BBR flow's per-flow throughput equals the fair share C/N (Eq. 25),
+//     for each CUBIC-synchronization bound, yielding the "Nash region"
+//     plotted in Fig. 9.
+//   * SymmetricGame — empirical: given measured per-flow payoffs for every
+//     distribution k (number of BBR flows), enumerates the pure-strategy
+//     Nash Equilibria of the n-player 2-strategy symmetric game, exactly
+//     like the paper's testbed methodology (§4.4).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "model/mishra_model.hpp"
+#include "model/network_params.hpp"
+
+namespace bbrnash {
+
+struct NashPoint {
+  double num_bbr = 0.0;    ///< N_b at the fair-share crossing (real-valued)
+  double num_cubic = 0.0;  ///< N - N_b (the paper's Fig. 9 y-axis)
+};
+
+/// Locates the Eq. 25 crossing for one synchronization bound.
+/// Returns N_b = N (all BBR, the paper's Case 1 / point B) when the BBR
+/// per-flow advantage persists across every mixed distribution, and
+/// std::nullopt outside the model's validity domain.
+[[nodiscard]] std::optional<NashPoint> predict_nash(const NetworkParams& net,
+                                                    int total_flows,
+                                                    CubicSyncBound bound);
+
+struct NashRegion {
+  NashPoint sync;    ///< bound from Eq. 21
+  NashPoint desync;  ///< bound from Eq. 22
+  [[nodiscard]] double cubic_low() const {
+    return std::min(sync.num_cubic, desync.num_cubic);
+  }
+  [[nodiscard]] double cubic_high() const {
+    return std::max(sync.num_cubic, desync.num_cubic);
+  }
+};
+
+[[nodiscard]] std::optional<NashRegion> predict_nash_region(
+    const NetworkParams& net, int total_flows);
+
+/// Payoff table for an n-player, 2-strategy symmetric game.
+///
+/// Index k = number of players using strategy B (here: BBR). Payoffs are
+/// per-player. payoff_b[k] is meaningful for k >= 1; payoff_a[k] for
+/// k <= n-1 (with strategy A = CUBIC). Unused slots may hold anything.
+class SymmetricGame {
+ public:
+  SymmetricGame(int num_players, std::vector<double> payoff_a,
+                std::vector<double> payoff_b);
+
+  [[nodiscard]] int num_players() const { return n_; }
+
+  /// A distribution k is a (weak, pure) Nash Equilibrium when no single
+  /// player can strictly gain more than `tolerance` by switching:
+  ///   k < n: payoff_b[k+1] <= payoff_a[k] + tolerance   (A won't move)
+  ///   k > 0: payoff_a[k-1] <= payoff_b[k] + tolerance   (B won't move)
+  [[nodiscard]] bool is_equilibrium(int k, double tolerance = 0.0) const;
+
+  /// All equilibria in [0, n]. The paper observes multiple neighbouring
+  /// NE per experiment because payoff differences near the crossing are
+  /// within noise; `tolerance` models that.
+  [[nodiscard]] std::vector<int> equilibria(double tolerance = 0.0) const;
+
+  /// Best-response dynamics from `start` (each step, one profitable
+  /// unilateral switch). Returns the absorbing distribution, or the cycle
+  /// entry point capped at n^2 steps. Used by the multi-RTT search.
+  [[nodiscard]] int best_response_path(int start, double tolerance = 0.0) const;
+
+ private:
+  int n_;
+  std::vector<double> payoff_a_;  // CUBIC payoff, index = #BBR players
+  std::vector<double> payoff_b_;  // BBR payoff, index = #BBR players
+};
+
+}  // namespace bbrnash

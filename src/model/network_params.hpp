@@ -1,0 +1,40 @@
+// Shared bottleneck description used by all analytical models.
+#pragma once
+
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace bbrnash {
+
+/// The paper's (C, B, RTT) triple. All flows share the base RTT (the
+/// model's assumption 6).
+struct NetworkParams {
+  BytesPerSec capacity = 0;  ///< C, bytes/sec
+  Bytes buffer_bytes = 0;    ///< B, bytes
+  TimeNs base_rtt = 0;       ///< RTT, propagation only
+
+  [[nodiscard]] double bdp() const {
+    return capacity * to_sec(base_rtt);
+  }
+  [[nodiscard]] double buffer_in_bdp() const { return static_cast<double>(buffer_bytes) / bdp(); }
+
+  void validate() const {
+    if (capacity <= 0) throw std::invalid_argument{"capacity must be > 0"};
+    if (buffer_bytes <= 0) throw std::invalid_argument{"buffer must be > 0"};
+    if (base_rtt <= 0) throw std::invalid_argument{"base RTT must be > 0"};
+  }
+};
+
+/// Convenience constructor in the paper's units.
+inline NetworkParams make_params(double capacity_mbps, double rtt_ms,
+                                 double buffer_bdp) {
+  NetworkParams p;
+  p.capacity = mbps(capacity_mbps);
+  p.base_rtt = from_ms(rtt_ms);
+  p.buffer_bytes = static_cast<Bytes>(buffer_bdp * p.capacity * rtt_ms / 1e3);
+  p.validate();
+  return p;
+}
+
+}  // namespace bbrnash

@@ -1,0 +1,30 @@
+#include "model/ware_model.hpp"
+
+#include <algorithm>
+
+namespace bbrnash {
+
+WarePrediction ware_prediction(const NetworkParams& net, const WareInputs& in) {
+  net.validate();
+  const double c = net.capacity;
+  const double l = to_sec(net.base_rtt);
+  const double q_bytes = static_cast<double>(net.buffer_bytes);
+  const double x = net.buffer_in_bdp();
+  const double q_pkts = q_bytes / static_cast<double>(in.wire_packet_bytes);
+  const double d = in.duration_sec;
+
+  WarePrediction out;
+  double p = 0.5 - 1.0 / (2.0 * x) -
+             4.0 * static_cast<double>(in.num_bbr_flows) / q_pkts;
+  p = std::clamp(p, 0.0, 1.0);
+  out.cubic_fraction = p;
+
+  out.probe_time_sec = (q_bytes / c + 0.2 + l) * (d / 10.0);
+  const double active = std::max(0.0, d - out.probe_time_sec);
+  out.bbr_fraction = std::clamp((1.0 - p) * active / d, 0.0, 1.0);
+  out.lambda_bbr = out.bbr_fraction * c;
+  out.lambda_cubic = c - out.lambda_bbr;
+  return out;
+}
+
+}  // namespace bbrnash

@@ -1,0 +1,36 @@
+// The Ware et al. (IMC 2019) model — the baseline the paper compares
+// against (its Eqs. 2–4), implemented with the assumptions the paper
+// criticizes (notably: the bottleneck buffer is always full).
+//
+//   p          = 1/2 - 1/(2X) - 4N/q          [CUBIC's aggregate fraction]
+//   Probe_time = (q/c + 0.2 + l) * (d/10)
+//   BBR_frac   = (1 - p) * (d - Probe_time)/d
+//
+// where X = buffer size in BDP, N = number of BBR flows, q = buffer size
+// (the always-full assumption pins queue occupancy at capacity; the 4N term
+// is the 4 packets each BBR flow keeps in flight during ProbeRTT, so it is
+// evaluated in packets), l = base RTT, d = experiment duration.
+#pragma once
+
+#include "model/network_params.hpp"
+
+namespace bbrnash {
+
+struct WarePrediction {
+  double cubic_fraction = 0.0;   ///< p, clamped to [0, 1]
+  double probe_time_sec = 0.0;
+  double bbr_fraction = 0.0;     ///< aggregate BBR share of C, in [0, 1]
+  double lambda_bbr = 0.0;       ///< aggregate BBR bandwidth, bytes/sec
+  double lambda_cubic = 0.0;
+};
+
+struct WareInputs {
+  int num_bbr_flows = 1;
+  double duration_sec = 120.0;            ///< the paper uses 2-minute flows
+  Bytes wire_packet_bytes = 1500;         ///< for the 4N-packets term
+};
+
+[[nodiscard]] WarePrediction ware_prediction(const NetworkParams& net,
+                                             const WareInputs& in = {});
+
+}  // namespace bbrnash

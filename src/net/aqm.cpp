@@ -1,0 +1,78 @@
+#include "net/aqm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bbrnash {
+
+bool RedPolicy::drop_on_enqueue(TimeNs now, Bytes occupied, Bytes capacity,
+                                Bytes packet_bytes) {
+  (void)now;
+  (void)packet_bytes;
+  avg_ = (1.0 - cfg_.ewma_weight) * avg_ +
+         cfg_.ewma_weight * static_cast<double>(occupied);
+
+  const double min_th = cfg_.min_thresh_frac * static_cast<double>(capacity);
+  const double max_th = cfg_.max_thresh_frac * static_cast<double>(capacity);
+
+  if (avg_ < min_th) {
+    count_since_drop_ = -1;
+    return false;
+  }
+  if (avg_ >= max_th) {
+    count_since_drop_ = 0;
+    return true;
+  }
+  // Gentle region: probability ramps linearly, spaced-out via the classic
+  // count correction so drops are roughly uniform, not bursty.
+  ++count_since_drop_;
+  const double pb = cfg_.max_p * (avg_ - min_th) / (max_th - min_th);
+  const double pa =
+      pb / std::max(1e-9, 1.0 - static_cast<double>(count_since_drop_) * pb);
+  if (rng_.chance(std::clamp(pa, 0.0, 1.0))) {
+    count_since_drop_ = 0;
+    return true;
+  }
+  return false;
+}
+
+TimeNs CoDelPolicy::control_law(TimeNs t, std::uint64_t count) const {
+  return t + static_cast<TimeNs>(
+                 static_cast<double>(cfg_.interval) /
+                 std::sqrt(static_cast<double>(std::max<std::uint64_t>(count, 1))));
+}
+
+bool CoDelPolicy::drop_on_dequeue(TimeNs now, TimeNs sojourn) {
+  const bool below = sojourn < cfg_.target;
+  if (below) {
+    first_above_time_ = kTimeNone;
+    if (dropping_) dropping_ = false;
+    return false;
+  }
+
+  if (!dropping_) {
+    if (first_above_time_ == kTimeNone) {
+      first_above_time_ = now + cfg_.interval;
+      return false;
+    }
+    if (now < first_above_time_) return false;
+    // Sojourn has been above target for a full interval: start dropping.
+    dropping_ = true;
+    // Restart count near the last run's value if drops were recent (the
+    // CoDel "memory" heuristic, simplified to a fresh start here).
+    count_ = count_ > 2 ? count_ - 2 : 1;
+    drop_next_ = control_law(now, count_);
+    ++drop_count_total_;
+    return true;
+  }
+
+  if (now >= drop_next_) {
+    ++count_;
+    ++drop_count_total_;
+    drop_next_ = control_law(drop_next_, count_);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace bbrnash

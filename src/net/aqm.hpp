@@ -1,0 +1,97 @@
+// Active Queue Management policies for the bottleneck.
+//
+// The paper's §5 ("Taming the Zoo", "Implications on Internet Buffer
+// Sizing") argues that in-network mechanisms must now cope with a mixed
+// CUBIC/BBR population. These policies let the extension bench
+// (bench_ext_aqm) ask how the equilibrium shifts when the drop-tail FIFO
+// is replaced by RED or CoDel.
+//
+// Integration: BottleneckLink consults the policy at enqueue (early drop,
+// RED-style) and at service start (head drop, CoDel-style). The policy
+// never owns packets; it only votes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace bbrnash {
+
+class AqmPolicy {
+ public:
+  virtual ~AqmPolicy() = default;
+
+  /// Early-drop vote on arrival (before capacity check). `occupied` is the
+  /// current queue depth in bytes, `capacity` its limit.
+  virtual bool drop_on_enqueue(TimeNs now, Bytes occupied, Bytes capacity,
+                               Bytes packet_bytes) = 0;
+
+  /// Head-drop vote when a packet reaches the server. `sojourn` is the
+  /// time the packet spent queued.
+  virtual bool drop_on_dequeue(TimeNs now, TimeNs sojourn) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Random Early Detection (Floyd & Jacobson 1993): EWMA of queue depth;
+/// drop probability ramps from 0 at min_thresh to max_p at max_thresh,
+/// force-drop above max_thresh.
+struct RedConfig {
+  double min_thresh_frac = 0.2;   ///< of capacity
+  double max_thresh_frac = 0.6;   ///< of capacity
+  double max_p = 0.1;
+  double ewma_weight = 0.002;     ///< classic w_q
+  std::uint64_t seed = 1;
+};
+
+class RedPolicy final : public AqmPolicy {
+ public:
+  explicit RedPolicy(const RedConfig& cfg = {}) : cfg_(cfg), rng_(cfg.seed) {}
+
+  bool drop_on_enqueue(TimeNs now, Bytes occupied, Bytes capacity,
+                       Bytes packet_bytes) override;
+  bool drop_on_dequeue(TimeNs, TimeNs) override { return false; }
+  [[nodiscard]] std::string name() const override { return "red"; }
+
+  [[nodiscard]] double avg_queue_bytes() const { return avg_; }
+
+ private:
+  RedConfig cfg_;
+  Rng rng_;
+  double avg_ = 0.0;
+  int count_since_drop_ = -1;
+};
+
+/// CoDel (Nichols & Jacobson 2012): when packet sojourn stays above
+/// `target` for a full `interval`, drop the head and shorten the next
+/// deadline by 1/sqrt(drop_count) until the sojourn dips below target.
+struct CoDelConfig {
+  TimeNs target = from_ms(5);
+  TimeNs interval = from_ms(100);
+};
+
+class CoDelPolicy final : public AqmPolicy {
+ public:
+  explicit CoDelPolicy(const CoDelConfig& cfg = {}) : cfg_(cfg) {}
+
+  bool drop_on_enqueue(TimeNs, Bytes, Bytes, Bytes) override { return false; }
+  bool drop_on_dequeue(TimeNs now, TimeNs sojourn) override;
+  [[nodiscard]] std::string name() const override { return "codel"; }
+
+  [[nodiscard]] std::uint64_t drops() const { return drop_count_total_; }
+
+ private:
+  [[nodiscard]] TimeNs control_law(TimeNs t, std::uint64_t count) const;
+
+  CoDelConfig cfg_;
+  bool dropping_ = false;
+  TimeNs first_above_time_ = kTimeNone;
+  TimeNs drop_next_ = 0;
+  std::uint64_t count_ = 0;
+  std::uint64_t drop_count_total_ = 0;
+};
+
+}  // namespace bbrnash

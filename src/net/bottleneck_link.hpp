@@ -1,0 +1,118 @@
+// BottleneckLink: a rate server draining a drop-tail queue.
+//
+// Packets offered via send() enter the queue (or are dropped). A single
+// serialization "server" drains the queue at the link rate; each packet is
+// handed to the sink when its last byte has been serialized. Propagation
+// delay to the receiver is the next hop's concern (see DelayLine), so this
+// class models exactly the paper's bottleneck: capacity C plus buffer B.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "net/aqm.hpp"
+#include "net/drop_tail_queue.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace bbrnash {
+
+class BottleneckLink {
+ public:
+  using Sink = std::function<void(const Packet&)>;
+  /// Invoked when a packet is dropped at the tail (for loss diagnostics).
+  using DropHook = std::function<void(const Packet&)>;
+
+  BottleneckLink(Simulator& sim, BytesPerSec rate, Bytes buffer_capacity,
+                 std::uint32_t num_flows)
+      : sim_(sim), rate_(rate), queue_(buffer_capacity, num_flows) {}
+
+  BottleneckLink(const BottleneckLink&) = delete;
+  BottleneckLink& operator=(const BottleneckLink&) = delete;
+
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+  void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
+
+  /// Installs an AQM policy (RED/CoDel/...). Null restores pure drop-tail.
+  void set_aqm(std::unique_ptr<AqmPolicy> aqm) { aqm_ = std::move(aqm); }
+  [[nodiscard]] const AqmPolicy* aqm() const { return aqm_.get(); }
+
+  /// Offers a packet to the bottleneck. Returns false when the AQM or the
+  /// drop-tail capacity check rejected it.
+  bool send(const Packet& pkt) {
+    if (aqm_ != nullptr &&
+        aqm_->drop_on_enqueue(sim_.now(), queue_.occupied_bytes(),
+                              queue_.capacity(), pkt.wire_bytes)) {
+      queue_.note_policy_drop(pkt.flow);
+      if (drop_hook_) drop_hook_(pkt);
+      return false;
+    }
+    if (!queue_.enqueue(pkt, sim_.now())) {
+      if (drop_hook_) drop_hook_(pkt);
+      return false;
+    }
+    if (!busy_) start_service();
+    return true;
+  }
+
+  [[nodiscard]] DropTailQueue& queue() noexcept { return queue_; }
+  [[nodiscard]] const DropTailQueue& queue() const noexcept { return queue_; }
+  [[nodiscard]] BytesPerSec rate() const noexcept { return rate_; }
+
+  /// Total bytes fully serialized since construction (link utilization).
+  [[nodiscard]] Bytes bytes_served() const noexcept { return bytes_served_; }
+  /// Busy time accumulated by the server (for utilization = busy/elapsed).
+  [[nodiscard]] TimeNs busy_time() const noexcept { return busy_time_; }
+
+ private:
+  void start_service() {
+    // CoDel-style head drops happen as packets reach the server.
+    while (aqm_ != nullptr && !queue_.empty()) {
+      const Packet& head = peek_head();
+      const TimeNs sojourn =
+          head.enqueued_at == kTimeNone ? 0 : sim_.now() - head.enqueued_at;
+      if (!aqm_->drop_on_dequeue(sim_.now(), sojourn)) break;
+      Packet dropped = queue_.dequeue(sim_.now());
+      queue_.note_policy_drop(dropped.flow);
+      if (drop_hook_) drop_hook_(dropped);
+    }
+    if (queue_.empty()) {
+      busy_ = false;
+      return;
+    }
+    busy_ = true;
+    // Peek the head: it is dequeued at *completion* so that queued bytes
+    // include the in-service packet, matching how a NIC ring + tc qdisc
+    // accounts buffer occupancy.
+    const Packet& head = peek_head();
+    const TimeNs tx = serialization_time(head.wire_bytes, rate_);
+    busy_time_ += tx;
+    sim_.schedule_in(tx, [this] { complete_service(); });
+  }
+
+  void complete_service() {
+    Packet pkt = queue_.dequeue(sim_.now());
+    bytes_served_ += pkt.wire_bytes;
+    if (sink_) sink_(pkt);
+    if (!queue_.empty()) {
+      start_service();
+    } else {
+      busy_ = false;
+    }
+  }
+
+  [[nodiscard]] const Packet& peek_head() const { return queue_.front(); }
+
+  Simulator& sim_;
+  BytesPerSec rate_;
+  DropTailQueue queue_;
+  Sink sink_;
+  DropHook drop_hook_;
+  std::unique_ptr<AqmPolicy> aqm_;
+  bool busy_ = false;
+  Bytes bytes_served_ = 0;
+  TimeNs busy_time_ = 0;
+};
+
+}  // namespace bbrnash

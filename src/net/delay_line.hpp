@@ -1,0 +1,38 @@
+// DelayLine: a fixed-latency, infinite-capacity pipe.
+//
+// Models propagation delay on an uncongested path segment: everything put
+// in comes out `delay` later, in order. Used for the forward path from the
+// bottleneck to each receiver and for the entire reverse (ACK) path.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "sim/simulator.hpp"
+#include "util/units.hpp"
+
+namespace bbrnash {
+
+template <typename T>
+class DelayLine {
+ public:
+  using Sink = std::function<void(const T&)>;
+
+  DelayLine(Simulator& sim, TimeNs delay) : sim_(sim), delay_(delay) {}
+
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+  [[nodiscard]] TimeNs delay() const noexcept { return delay_; }
+
+  void send(T item) {
+    sim_.schedule_in(delay_, [this, item = std::move(item)] {
+      if (sink_) sink_(item);
+    });
+  }
+
+ private:
+  Simulator& sim_;
+  TimeNs delay_;
+  Sink sink_;
+};
+
+}  // namespace bbrnash

@@ -1,0 +1,99 @@
+// Discrete-event core: a time-ordered queue of callbacks.
+//
+// Ordering guarantee: events fire in non-decreasing time; events scheduled
+// for the same instant fire in the order they were scheduled (FIFO via a
+// monotone sequence number). This makes simulations fully deterministic.
+//
+// Cancellation is lazy: cancelled entries stay in the heap and are skipped
+// at pop time. Only events scheduled via schedule_cancellable() pay the
+// hash-set bookkeeping; the hot path (packet arrivals/departures, which are
+// never cancelled) stays allocation-light.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace bbrnash {
+
+using EventFn = std::function<void()>;
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  /// Schedules a non-cancellable event at absolute time `when`.
+  void schedule(TimeNs when, EventFn fn) {
+    heap_.push(Entry{when, next_seq_++, /*cancellable=*/false, std::move(fn)});
+  }
+
+  /// Schedules a cancellable event; returns a handle for cancel().
+  EventId schedule_cancellable(TimeNs when, EventFn fn) {
+    const EventId seq = next_seq_++;
+    heap_.push(Entry{when, seq, /*cancellable=*/true, std::move(fn)});
+    pending_.insert(seq);
+    return seq;
+  }
+
+  /// Cancels a pending cancellable event. Cancelling an already-fired or
+  /// unknown id is a harmless no-op.
+  void cancel(EventId id) { pending_.erase(id); }
+
+  [[nodiscard]] bool empty() {
+    prune();
+    return heap_.empty();
+  }
+
+  /// Number of entries still in the heap (includes not-yet-pruned dead
+  /// cancellable entries below the top; exact enough for diagnostics).
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Time of the next live event; kTimeInf when empty.
+  [[nodiscard]] TimeNs next_time() {
+    prune();
+    return heap_.empty() ? kTimeInf : heap_.top().when;
+  }
+
+  struct Popped {
+    TimeNs when;
+    EventFn fn;
+  };
+
+  /// Pops and returns the next live event. Pre: !empty().
+  Popped pop() {
+    prune();
+    Entry top = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    if (top.cancellable) pending_.erase(top.seq);
+    return Popped{top.when, std::move(top.fn)};
+  }
+
+ private:
+  struct Entry {
+    TimeNs when;
+    EventId seq;
+    bool cancellable;
+    EventFn fn;
+    bool operator>(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  // Drops cancelled entries sitting at the top of the heap.
+  void prune() {
+    while (!heap_.empty() && heap_.top().cancellable &&
+           pending_.find(heap_.top().seq) == pending_.end()) {
+      heap_.pop();
+    }
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_set<EventId> pending_;
+  EventId next_seq_ = 1;
+};
+
+}  // namespace bbrnash

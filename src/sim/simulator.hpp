@@ -1,0 +1,82 @@
+// Simulator: the simulation clock plus the event queue.
+//
+// Usage:
+//   Simulator sim;
+//   sim.schedule_in(from_ms(10), [&] { ... });
+//   sim.run_until(from_sec(120));
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+
+#include "sim/event_queue.hpp"
+#include "util/units.hpp"
+
+namespace bbrnash {
+
+class Simulator {
+ public:
+  [[nodiscard]] TimeNs now() const noexcept { return now_; }
+
+  /// Schedules `fn` at absolute simulated time `when` (>= now()).
+  void schedule_at(TimeNs when, EventFn fn) {
+    assert(when >= now_ && "cannot schedule into the past");
+    queue_.schedule(when, std::move(fn));
+  }
+
+  /// Schedules `fn` after a relative delay (>= 0).
+  void schedule_in(TimeNs delay, EventFn fn) {
+    assert(delay >= 0);
+    queue_.schedule(now_ + delay, std::move(fn));
+  }
+
+  /// Cancellable variants, for timers (e.g., RTO) that are usually rearmed.
+  EventId schedule_cancellable_at(TimeNs when, EventFn fn) {
+    assert(when >= now_);
+    return queue_.schedule_cancellable(when, std::move(fn));
+  }
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Runs events until the queue drains or the clock would pass `deadline`.
+  /// The clock is left at min(deadline, time of last event). Events at
+  /// exactly `deadline` are executed.
+  void run_until(TimeNs deadline) {
+    while (!queue_.empty() && queue_.next_time() <= deadline && !stopped_) {
+      auto ev = queue_.pop();
+      now_ = ev.when;
+      ev.fn();
+      ++events_executed_;
+    }
+    if (!stopped_ && now_ < deadline) now_ = deadline;
+  }
+
+  /// Runs until the event queue is empty (or stop() is called).
+  void run() {
+    while (!queue_.empty() && !stopped_) {
+      auto ev = queue_.pop();
+      now_ = ev.when;
+      ev.fn();
+      ++events_executed_;
+    }
+  }
+
+  /// Stops the run loop after the current event returns.
+  void stop() noexcept { stopped_ = true; }
+  [[nodiscard]] bool stopped() const noexcept { return stopped_; }
+
+  [[nodiscard]] std::uint64_t events_executed() const noexcept {
+    return events_executed_;
+  }
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return queue_.size();
+  }
+
+ private:
+  EventQueue queue_;
+  TimeNs now_ = 0;
+  bool stopped_ = false;
+  std::uint64_t events_executed_ = 0;
+};
+
+}  // namespace bbrnash

@@ -1,0 +1,154 @@
+// Windowed extremum filters used by BBR-family congestion controls.
+//
+// Two implementations are provided:
+//   * WindowedFilter     — exact, deque-based; O(1) amortized.
+//   * KernelMinmaxFilter — the Linux kernel's 3-slot approximation
+//                          (lib/minmax.c), kept for fidelity experiments.
+// BBR in this repo uses WindowedFilter; a test cross-checks the two.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "util/units.hpp"
+
+namespace bbrnash {
+
+enum class FilterKind { kMax, kMin };
+
+/// Exact moving max/min over a sliding time window.
+///
+/// Samples must be inserted with non-decreasing timestamps. `best()` returns
+/// the extremum among samples within `window` of the most recent update
+/// time. When empty, returns the supplied default value.
+template <typename T>
+class WindowedFilter {
+ public:
+  WindowedFilter(FilterKind kind, TimeNs window, T default_value)
+      : kind_(kind), window_(window), default_(default_value) {}
+
+  void update(TimeNs now, T value) {
+    now_ = now;
+    // Pop samples that this one dominates: they can never be the extremum
+    // again while `value` is in the window.
+    while (!samples_.empty() && !beats(samples_.back().value, value)) {
+      samples_.pop_back();
+    }
+    samples_.push_back({now, value});
+    expire(now);
+  }
+
+  /// Advances the clock without adding a sample (expires stale entries).
+  void advance(TimeNs now) {
+    now_ = now;
+    expire(now);
+  }
+
+  [[nodiscard]] T best() const {
+    return samples_.empty() ? default_ : samples_.front().value;
+  }
+
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  /// Timestamp of the current extremum sample (kTimeNone when empty).
+  [[nodiscard]] TimeNs best_time() const {
+    return samples_.empty() ? kTimeNone : samples_.front().time;
+  }
+
+  void reset() { samples_.clear(); }
+
+  void set_window(TimeNs window) {
+    window_ = window;
+    expire(now_);
+  }
+  [[nodiscard]] TimeNs window() const { return window_; }
+
+ private:
+  struct Sample {
+    TimeNs time;
+    T value;
+  };
+
+  // True when `a` strictly dominates `b` for this filter's direction.
+  [[nodiscard]] bool beats(T a, T b) const {
+    return kind_ == FilterKind::kMax ? a > b : a < b;
+  }
+
+  void expire(TimeNs now) {
+    while (!samples_.empty() && samples_.front().time + window_ < now) {
+      samples_.pop_front();
+    }
+  }
+
+  FilterKind kind_;
+  TimeNs window_;
+  T default_;
+  TimeNs now_ = 0;
+  std::deque<Sample> samples_;
+};
+
+/// The Linux kernel's 3-slot windowed max estimator (lib/minmax.c),
+/// specialized to max (what tcp_bbr uses for bandwidth).
+///
+/// It is an approximation: it keeps the best, second-best and third-best
+/// samples by recency and ages them out as the window slides.
+template <typename T>
+class KernelMinmaxFilter {
+ public:
+  KernelMinmaxFilter(TimeNs window, T default_value)
+      : window_(window), default_(default_value) {}
+
+  void update_max(TimeNs now, T value) {
+    if (empty_ || value >= slots_[0].value ||
+        now - slots_[2].time > window_) {
+      reset_to(now, value);
+      return;
+    }
+    if (value >= slots_[1].value) {
+      slots_[2] = {now, value};
+      slots_[1] = slots_[2];
+    } else if (value >= slots_[2].value) {
+      slots_[2] = {now, value};
+    }
+    subwin_update(now, value);
+  }
+
+  [[nodiscard]] T best() const { return empty_ ? default_ : slots_[0].value; }
+
+ private:
+  struct Slot {
+    TimeNs time = 0;
+    T value{};
+  };
+
+  void reset_to(TimeNs now, T value) {
+    slots_[0] = slots_[1] = slots_[2] = {now, value};
+    empty_ = false;
+  }
+
+  // Port of minmax_subwin_update: rotate slots as the window slides.
+  void subwin_update(TimeNs now, T value) {
+    const TimeNs dt = now - slots_[0].time;
+    if (dt > window_) {
+      // Best sample expired: promote and record the new sample last.
+      slots_[0] = slots_[1];
+      slots_[1] = slots_[2];
+      slots_[2] = {now, value};
+      if (now - slots_[0].time > window_) {
+        slots_[0] = slots_[1];
+        slots_[1] = slots_[2];
+      }
+    } else if (slots_[1].time == slots_[0].time && dt > window_ / 4) {
+      slots_[2] = slots_[1] = {now, value};
+    } else if (slots_[2].time == slots_[1].time && dt > window_ / 2) {
+      slots_[2] = {now, value};
+    }
+  }
+
+  TimeNs window_;
+  T default_;
+  Slot slots_[3];
+  bool empty_ = true;
+};
+
+}  // namespace bbrnash

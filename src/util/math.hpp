@@ -1,0 +1,31 @@
+// Scalar root finding and small numeric helpers for the analytical models.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+namespace bbrnash {
+
+struct RootOptions {
+  double tolerance = 1e-9;  ///< absolute tolerance on the bracket width
+  int max_iterations = 200;
+};
+
+/// Finds x in [lo, hi] with f(x) ~ 0 by safeguarded bisection.
+///
+/// Requires f(lo) and f(hi) to have opposite signs (or one of them to be
+/// zero); returns std::nullopt when the bracket does not straddle a root.
+/// Bisection is chosen over Newton because the model equations are cheap and
+/// we value unconditional convergence over iteration count.
+std::optional<double> find_root_bisect(const std::function<double(double)>& f,
+                                       double lo, double hi,
+                                       const RootOptions& opts = {});
+
+/// Linear interpolation parameter: returns t such that
+/// lo + t*(hi-lo) == x, clamped to [0,1].
+double inverse_lerp(double lo, double hi, double x);
+
+/// True when |a-b| <= tol * max(1, |a|, |b|) (mixed abs/rel comparison).
+bool nearly_equal(double a, double b, double tol = 1e-9);
+
+}  // namespace bbrnash

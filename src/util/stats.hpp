@@ -1,0 +1,83 @@
+// Streaming and batch summary statistics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace bbrnash {
+
+/// Welford online accumulator: mean/variance without storing samples.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+  void reset() noexcept { *this = RunningStats{}; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A time-weighted average: integrates a piecewise-constant signal.
+/// Used for average queue occupancy / queuing delay, which the paper's
+/// model reasons about (b_b, b_c are *time-averaged* buffer shares).
+class TimeWeightedAverage {
+ public:
+  /// Records that the signal had `value` from the last update until `now`.
+  void update(double now, double value) noexcept {
+    if (has_last_) {
+      const double dt = now - last_time_;
+      if (dt > 0) {
+        integral_ += last_value_ * dt;
+        span_ += dt;
+      }
+    }
+    last_time_ = now;
+    last_value_ = value;
+    has_last_ = true;
+  }
+
+  [[nodiscard]] double average() const noexcept {
+    return span_ > 0 ? integral_ / span_ : 0.0;
+  }
+  [[nodiscard]] double observed_span() const noexcept { return span_; }
+  [[nodiscard]] double last_value() const noexcept { return last_value_; }
+
+ private:
+  double integral_ = 0.0;
+  double span_ = 0.0;
+  double last_time_ = 0.0;
+  double last_value_ = 0.0;
+  bool has_last_ = false;
+};
+
+/// Batch percentile (linear interpolation, like numpy's default).
+/// `q` in [0,1]. Sorts a copy; fine for end-of-run reporting.
+double percentile(std::vector<double> samples, double q);
+
+/// Mean of a sample vector (0 for empty input).
+double mean_of(const std::vector<double>& samples);
+
+/// Jain's fairness index: (Σx)² / (n·Σx²); 1 = perfectly fair.
+double jain_fairness(const std::vector<double>& shares);
+
+}  // namespace bbrnash

@@ -1,0 +1,37 @@
+// Plain-text table and CSV emitters used by the benchmark harness to print
+// the paper's figure series in gnuplot-compatible form.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bbrnash {
+
+/// Accumulates rows of stringified cells and renders them either as an
+/// aligned text table (for terminals) or as CSV (for plotting scripts).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; pads/truncates to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with fixed precision.
+  void add_row(const std::vector<double>& cells, int precision = 3);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const { return headers_.size(); }
+
+  void print_aligned(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `precision` digits after the point.
+std::string format_double(double v, int precision = 3);
+
+}  // namespace bbrnash

@@ -1,0 +1,77 @@
+// Units and conversions used throughout bbrnash.
+//
+// Conventions (documented once here, relied on everywhere):
+//   * Simulated time is int64_t nanoseconds (`TimeNs`). 2^63 ns ~ 292 years,
+//     so overflow is not a practical concern for multi-minute simulations.
+//   * Data volumes are int64_t bytes (`Bytes`).
+//   * Rates are double bytes/second (`BytesPerSec`). Rates enter the
+//     simulator only to compute integer serialization times, so the double
+//     representation never accumulates error inside the event loop.
+#pragma once
+
+#include <cstdint>
+
+namespace bbrnash {
+
+using TimeNs = std::int64_t;
+using Bytes = std::int64_t;
+using BytesPerSec = double;
+
+inline constexpr TimeNs kNsPerUs = 1'000;
+inline constexpr TimeNs kNsPerMs = 1'000'000;
+inline constexpr TimeNs kNsPerSec = 1'000'000'000;
+
+/// Sentinel for "no time" / unset timestamps.
+inline constexpr TimeNs kTimeNone = -1;
+
+/// Largest representable time; used as "infinitely far in the future".
+inline constexpr TimeNs kTimeInf = INT64_MAX;
+
+constexpr TimeNs from_us(double us) noexcept {
+  return static_cast<TimeNs>(us * static_cast<double>(kNsPerUs));
+}
+constexpr TimeNs from_ms(double ms) noexcept {
+  return static_cast<TimeNs>(ms * static_cast<double>(kNsPerMs));
+}
+constexpr TimeNs from_sec(double sec) noexcept {
+  return static_cast<TimeNs>(sec * static_cast<double>(kNsPerSec));
+}
+
+constexpr double to_us(TimeNs t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kNsPerUs);
+}
+constexpr double to_ms(TimeNs t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kNsPerMs);
+}
+constexpr double to_sec(TimeNs t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kNsPerSec);
+}
+
+/// Megabits/second -> bytes/second. The paper quotes link speeds in Mbps.
+constexpr BytesPerSec mbps(double mbits_per_sec) noexcept {
+  return mbits_per_sec * 1e6 / 8.0;
+}
+
+/// Bytes/second -> megabits/second (for reporting in the paper's units).
+constexpr double to_mbps(BytesPerSec rate) noexcept {
+  return rate * 8.0 / 1e6;
+}
+
+/// Bandwidth-delay product in bytes for a link of `rate` and base RTT `rtt`.
+constexpr Bytes bdp_bytes(BytesPerSec rate, TimeNs rtt) noexcept {
+  return static_cast<Bytes>(rate * to_sec(rtt));
+}
+
+/// Time to serialize `n` bytes at `rate`, rounded up to whole ns so that a
+/// busy server never finishes "early" and the queue drains conservatively.
+/// A non-positive rate reads as "infinitely slow" (a far-future finite time,
+/// never the UB of casting inf to an integer).
+constexpr TimeNs serialization_time(Bytes n, BytesPerSec rate) noexcept {
+  if (rate <= 0.0) return kTimeInf / 4;
+  const double t = static_cast<double>(n) / rate * static_cast<double>(kNsPerSec);
+  if (t >= static_cast<double>(kTimeInf / 4)) return kTimeInf / 4;
+  const auto whole = static_cast<TimeNs>(t);
+  return (static_cast<double>(whole) < t) ? whole + 1 : whole;
+}
+
+}  // namespace bbrnash

@@ -1,0 +1,230 @@
+#include "cc/cubic.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace bbrnash {
+namespace {
+
+AckEvent ack_at(TimeNs now, Bytes acked = kDefaultMss,
+                TimeNs rtt = from_ms(40)) {
+  AckEvent ev;
+  ev.now = now;
+  ev.rtt = rtt;
+  ev.acked_bytes = acked;
+  return ev;
+}
+
+TEST(Cubic, StartsAtInitialWindowInSlowStart) {
+  Cubic c;
+  c.on_start(0);
+  EXPECT_EQ(c.cwnd(), 10 * kDefaultMss);
+  EXPECT_TRUE(c.in_slow_start());
+}
+
+TEST(Cubic, SlowStartDoublesPerRtt) {
+  Cubic c;
+  c.on_start(0);
+  const Bytes before = c.cwnd();
+  // One cwnd's worth of acks == one round trip in slow start.
+  for (Bytes acked = 0; acked < before; acked += kDefaultMss) {
+    c.on_ack(ack_at(from_ms(40)));
+  }
+  EXPECT_EQ(c.cwnd(), 2 * before);
+}
+
+TEST(Cubic, BacksOffToBetaTimesCwnd) {
+  Cubic c;
+  c.on_start(0);
+  // Grow a little first.
+  for (int i = 0; i < 100; ++i) c.on_ack(ack_at(from_ms(40)));
+  const Bytes before = c.cwnd();
+  LossEvent loss;
+  loss.now = from_ms(100);
+  c.on_congestion_event(loss);
+  EXPECT_NEAR(static_cast<double>(c.cwnd()),
+              0.7 * static_cast<double>(before),
+              static_cast<double>(kDefaultMss));
+  EXPECT_FALSE(c.in_slow_start());
+}
+
+TEST(Cubic, WMaxRecordsPreLossWindow) {
+  Cubic c;
+  c.on_start(0);
+  for (int i = 0; i < 50; ++i) c.on_ack(ack_at(from_ms(40)));
+  const double cwnd_seg =
+      static_cast<double>(c.cwnd()) / static_cast<double>(kDefaultMss);
+  c.on_congestion_event({});
+  // First loss: no fast-convergence shrink (cwnd was above old w_max).
+  c.on_ack(ack_at(from_ms(50)));  // establishes the epoch
+  EXPECT_NEAR(c.w_max_segments(), cwnd_seg, 1.0);
+}
+
+TEST(Cubic, FastConvergenceShrinksWmaxOnBackToBackLosses) {
+  Cubic c;
+  c.on_start(0);
+  for (int i = 0; i < 50; ++i) c.on_ack(ack_at(from_ms(40)));
+  c.on_congestion_event({});
+  const double w_max_1 = c.w_max_segments();
+  // Immediate second loss at the reduced window.
+  c.on_congestion_event({});
+  c.on_ack(ack_at(from_ms(50)));
+  EXPECT_LT(c.w_max_segments(), w_max_1);
+}
+
+TEST(Cubic, RecoveresTowardWmaxOverKSeconds) {
+  Cubic c;
+  CubicConfig cfg;
+  c = Cubic{cfg};
+  c.on_start(0);
+  // Build a large window, then lose.
+  for (int i = 0; i < 500; ++i) c.on_ack(ack_at(from_ms(40)));
+  const Bytes w_max_bytes = c.cwnd();
+  c.on_congestion_event({});
+
+  const double w_max_seg =
+      static_cast<double>(w_max_bytes) / static_cast<double>(kDefaultMss);
+  const double k =
+      std::cbrt(w_max_seg * (1.0 - cfg.beta) / cfg.c);  // seconds
+
+  // Feed an ack clock past K: the window must be back near W_max.
+  const TimeNs start = from_ms(100);
+  const TimeNs step = from_ms(10);
+  for (TimeNs t = start; t < start + from_sec(k) + from_sec(1); t += step) {
+    c.on_ack(ack_at(t));
+  }
+  EXPECT_GT(c.cwnd(), static_cast<Bytes>(0.90 * w_max_bytes));
+}
+
+TEST(Cubic, ConcaveRegionIsSlowNearWmax) {
+  Cubic c;
+  c.on_start(0);
+  for (int i = 0; i < 300; ++i) c.on_ack(ack_at(from_ms(40)));
+  c.on_congestion_event({});
+  // Right after backoff the growth per ack is modest (no jump to target).
+  const Bytes just_after = c.cwnd();
+  c.on_ack(ack_at(from_ms(100)));
+  c.on_ack(ack_at(from_ms(101)));
+  EXPECT_LT(c.cwnd() - just_after, 2 * kDefaultMss);
+}
+
+TEST(Cubic, FrozenDuringRecovery) {
+  Cubic c;
+  c.on_start(0);
+  for (int i = 0; i < 20; ++i) c.on_ack(ack_at(from_ms(40)));
+  c.on_congestion_event({});
+  const Bytes during = c.cwnd();
+  AckEvent ev = ack_at(from_ms(60));
+  ev.in_recovery = true;
+  for (int i = 0; i < 50; ++i) c.on_ack(ev);
+  EXPECT_EQ(c.cwnd(), during);
+}
+
+TEST(Cubic, RtoCollapsesToOneMss) {
+  Cubic c;
+  c.on_start(0);
+  for (int i = 0; i < 20; ++i) c.on_ack(ack_at(from_ms(40)));
+  c.on_rto(from_ms(100));
+  EXPECT_EQ(c.cwnd(), kDefaultMss);
+  EXPECT_TRUE(c.in_slow_start());  // restart below the new ssthresh
+}
+
+TEST(Cubic, TcpFriendlyRegionLiftsWindow) {
+  // With a tiny cubic constant, the Reno-emulation window dominates.
+  CubicConfig cfg;
+  cfg.c = 1e-6;
+  cfg.tcp_friendly = true;
+  Cubic c{cfg};
+  c.on_start(0);
+  for (int i = 0; i < 50; ++i) c.on_ack(ack_at(from_ms(40)));
+  c.on_congestion_event({});
+  const Bytes after_loss = c.cwnd();
+  for (int i = 0; i < 2000; ++i) {
+    c.on_ack(ack_at(from_ms(100) + from_ms(1) * i));
+  }
+  EXPECT_GT(c.cwnd(), after_loss + 2 * kDefaultMss);
+}
+
+TEST(Cubic, NeverBelowMinCwnd) {
+  Cubic c;
+  c.on_start(0);
+  for (int i = 0; i < 10; ++i) c.on_congestion_event({});
+  EXPECT_GE(c.cwnd(), CubicConfig{}.min_cwnd);
+}
+
+TEST(CubicHystart, ExitsSlowStartOnRisingRtt) {
+  CubicConfig cfg;
+  cfg.hystart = true;
+  Cubic c{cfg};
+  c.on_start(0);
+  // Feed rounds whose min RTT climbs by 10 ms each (queue building).
+  Bytes delivered = 0;
+  Bytes round_start_delivered = 0;
+  TimeNs now = 0;
+  for (int round = 0; round < 12 && c.in_slow_start(); ++round) {
+    const TimeNs rtt = from_ms(40) + from_ms(10) * round;
+    const Bytes cwnd = c.cwnd();
+    for (Bytes sent = 0; sent < cwnd; sent += kDefaultMss) {
+      AckEvent ev;
+      now += from_ms(1);
+      ev.now = now;
+      ev.rtt = rtt;
+      ev.acked_bytes = kDefaultMss;
+      ev.prior_delivered = round_start_delivered;
+      delivered += kDefaultMss;
+      ev.delivered = delivered;
+      c.on_ack(ev);
+    }
+    round_start_delivered = delivered;
+  }
+  EXPECT_FALSE(c.in_slow_start());
+}
+
+TEST(CubicHystart, StaysInSlowStartOnFlatRtt) {
+  CubicConfig cfg;
+  cfg.hystart = true;
+  Cubic c{cfg};
+  c.on_start(0);
+  Bytes delivered = 0;
+  Bytes round_start_delivered = 0;
+  TimeNs now = 0;
+  for (int round = 0; round < 6; ++round) {
+    const Bytes cwnd = c.cwnd();
+    for (Bytes sent = 0; sent < cwnd; sent += kDefaultMss) {
+      AckEvent ev;
+      now += from_ms(1);
+      ev.now = now;
+      ev.rtt = from_ms(40);  // no queue building
+      ev.acked_bytes = kDefaultMss;
+      ev.prior_delivered = round_start_delivered;
+      delivered += kDefaultMss;
+      ev.delivered = delivered;
+      c.on_ack(ev);
+    }
+    round_start_delivered = delivered;
+  }
+  EXPECT_TRUE(c.in_slow_start());
+}
+
+TEST(CubicHystart, DisabledByDefault) {
+  EXPECT_FALSE(CubicConfig{}.hystart);
+}
+
+// Property sweep: beta backoff holds for a range of window sizes.
+class CubicBackoffSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CubicBackoffSweep, BackoffFactorIsBeta) {
+  Cubic c;
+  c.on_start(0);
+  for (int i = 0; i < GetParam(); ++i) c.on_ack(ack_at(from_ms(40)));
+  const auto before = static_cast<double>(c.cwnd());
+  c.on_congestion_event({});
+  EXPECT_NEAR(static_cast<double>(c.cwnd()) / before, 0.7, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(WindowSizes, CubicBackoffSweep,
+                         ::testing::Values(10, 50, 100, 400, 1000));
+
+}  // namespace
+}  // namespace bbrnash

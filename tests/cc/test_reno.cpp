@@ -1,0 +1,82 @@
+#include "cc/reno.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bbrnash {
+namespace {
+
+AckEvent ack(Bytes acked = kDefaultMss) {
+  AckEvent ev;
+  ev.acked_bytes = acked;
+  ev.rtt = from_ms(40);
+  return ev;
+}
+
+TEST(Reno, SlowStartGrowsByAckedBytes) {
+  Reno r;
+  r.on_start(0);
+  const Bytes before = r.cwnd();
+  r.on_ack(ack());
+  EXPECT_EQ(r.cwnd(), before + kDefaultMss);
+}
+
+TEST(Reno, HalvesOnCongestion) {
+  Reno r;
+  r.on_start(0);
+  for (int i = 0; i < 30; ++i) r.on_ack(ack());
+  const Bytes before = r.cwnd();
+  r.on_congestion_event({});
+  EXPECT_EQ(r.cwnd(), before / 2);
+  EXPECT_FALSE(r.in_slow_start());
+}
+
+TEST(Reno, CongestionAvoidanceAddsOneMssPerRtt) {
+  Reno r;
+  r.on_start(0);
+  for (int i = 0; i < 30; ++i) r.on_ack(ack());
+  r.on_congestion_event({});
+  const Bytes w = r.cwnd();
+  // One window's worth of acked bytes -> exactly +1 MSS.
+  Bytes acked = 0;
+  while (acked < w) {
+    r.on_ack(ack());
+    acked += kDefaultMss;
+  }
+  EXPECT_GE(r.cwnd(), w + kDefaultMss);
+  EXPECT_LE(r.cwnd(), w + 2 * kDefaultMss);
+}
+
+TEST(Reno, RecoveryFreezesWindow) {
+  Reno r;
+  r.on_start(0);
+  r.on_congestion_event({});
+  const Bytes w = r.cwnd();
+  AckEvent ev = ack();
+  ev.in_recovery = true;
+  for (int i = 0; i < 10; ++i) r.on_ack(ev);
+  EXPECT_EQ(r.cwnd(), w);
+}
+
+TEST(Reno, RtoCollapsesToOneMss) {
+  Reno r;
+  r.on_start(0);
+  for (int i = 0; i < 30; ++i) r.on_ack(ack());
+  r.on_rto(0);
+  EXPECT_EQ(r.cwnd(), kDefaultMss);
+  EXPECT_TRUE(r.in_slow_start());
+}
+
+TEST(Reno, MinCwndFloor) {
+  Reno r;
+  r.on_start(0);
+  for (int i = 0; i < 20; ++i) r.on_congestion_event({});
+  EXPECT_GE(r.cwnd(), RenoConfig{}.min_cwnd);
+}
+
+TEST(Reno, UnpacedByDesign) {
+  Reno r;
+  EXPECT_GE(r.pacing_rate(), kNoPacing);
+}
+
+}  // namespace
+}  // namespace bbrnash

@@ -1,0 +1,68 @@
+#include "exp/fidelity.hpp"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace bbrnash {
+namespace {
+
+struct EnvGuard {
+  explicit EnvGuard(const char* value) {
+    if (value == nullptr) {
+      unsetenv("BBRNASH_FIDELITY");
+    } else {
+      setenv("BBRNASH_FIDELITY", value, 1);
+    }
+  }
+  ~EnvGuard() { unsetenv("BBRNASH_FIDELITY"); }
+};
+
+TEST(Fidelity, DefaultsWhenUnset) {
+  EnvGuard g{nullptr};
+  EXPECT_EQ(fidelity_from_env(), Fidelity::kDefault);
+}
+
+TEST(Fidelity, ParsesQuickAndFull) {
+  {
+    EnvGuard g{"quick"};
+    EXPECT_EQ(fidelity_from_env(), Fidelity::kQuick);
+  }
+  {
+    EnvGuard g{"full"};
+    EXPECT_EQ(fidelity_from_env(), Fidelity::kFull);
+  }
+  {
+    EnvGuard g{"garbage"};
+    EXPECT_EQ(fidelity_from_env(), Fidelity::kDefault);
+  }
+}
+
+TEST(Fidelity, DurationsOrdered) {
+  EXPECT_LT(experiment_duration(Fidelity::kQuick),
+            experiment_duration(Fidelity::kDefault));
+  EXPECT_LT(experiment_duration(Fidelity::kDefault),
+            experiment_duration(Fidelity::kFull));
+  EXPECT_EQ(experiment_duration(Fidelity::kFull), from_sec(120));
+}
+
+TEST(Fidelity, WarmupShorterThanDuration) {
+  for (const auto f :
+       {Fidelity::kQuick, Fidelity::kDefault, Fidelity::kFull}) {
+    EXPECT_LT(experiment_warmup(f), experiment_duration(f));
+  }
+}
+
+TEST(Fidelity, TrialsMatchPaperAtFull) {
+  EXPECT_EQ(experiment_trials(Fidelity::kFull), 10);
+  EXPECT_GE(experiment_trials(Fidelity::kQuick), 1);
+}
+
+TEST(Fidelity, Names) {
+  EXPECT_STREQ(to_string(Fidelity::kQuick), "quick");
+  EXPECT_STREQ(to_string(Fidelity::kDefault), "default");
+  EXPECT_STREQ(to_string(Fidelity::kFull), "full");
+}
+
+}  // namespace
+}  // namespace bbrnash

@@ -1,0 +1,71 @@
+#include "exp/sweeps.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bbrnash {
+namespace {
+
+TrialConfig quick_trials(int n = 1) {
+  TrialConfig cfg;
+  cfg.duration = from_sec(12);
+  cfg.warmup = from_sec(4);
+  cfg.trials = n;
+  return cfg;
+}
+
+TEST(Sweeps, SingleTrialMatchesDirectRun) {
+  const NetworkParams net = make_params(20, 20, 3);
+  const MixOutcome m = run_mix_trials(net, 1, 1, CcKind::kBbr, quick_trials());
+  EXPECT_GT(m.per_flow_cubic_mbps, 0.0);
+  EXPECT_GT(m.per_flow_other_mbps, 0.0);
+  EXPECT_GT(m.link_utilization, 0.85);
+}
+
+TEST(Sweeps, DeterministicForSameConfig) {
+  const NetworkParams net = make_params(20, 20, 3);
+  const MixOutcome a = run_mix_trials(net, 1, 1, CcKind::kBbr, quick_trials(2));
+  const MixOutcome b = run_mix_trials(net, 1, 1, CcKind::kBbr, quick_trials(2));
+  EXPECT_DOUBLE_EQ(a.per_flow_cubic_mbps, b.per_flow_cubic_mbps);
+  EXPECT_DOUBLE_EQ(a.per_flow_other_mbps, b.per_flow_other_mbps);
+}
+
+TEST(Sweeps, TotalsAreCountTimesPerFlow) {
+  const NetworkParams net = make_params(20, 20, 3);
+  const MixOutcome m = run_mix_trials(net, 2, 2, CcKind::kBbr, quick_trials());
+  EXPECT_NEAR(m.total_cubic_mbps, 2 * m.per_flow_cubic_mbps, 1e-9);
+  EXPECT_NEAR(m.total_other_mbps, 2 * m.per_flow_other_mbps, 1e-9);
+}
+
+TEST(Sweeps, ZeroCountSidesReportZero) {
+  const NetworkParams net = make_params(20, 20, 3);
+  const MixOutcome all_bbr =
+      run_mix_trials(net, 0, 2, CcKind::kBbr, quick_trials());
+  EXPECT_DOUBLE_EQ(all_bbr.per_flow_cubic_mbps, 0.0);
+  EXPECT_GT(all_bbr.per_flow_other_mbps, 0.0);
+  const MixOutcome all_cubic =
+      run_mix_trials(net, 2, 0, CcKind::kBbr, quick_trials());
+  EXPECT_DOUBLE_EQ(all_cubic.per_flow_other_mbps, 0.0);
+}
+
+TEST(Sweeps, OtherKindRouting) {
+  const NetworkParams net = make_params(20, 20, 3);
+  const MixOutcome m =
+      run_mix_trials(net, 1, 1, CcKind::kBbrV2, quick_trials());
+  EXPECT_GT(m.per_flow_other_mbps, 0.0);  // measured under the right kind
+}
+
+TEST(Sweeps, TrialsAreAveraged) {
+  const NetworkParams net = make_params(20, 20, 3);
+  // The 3-trial average must lie within the min/max of individual trials;
+  // cheap sanity: it is finite and positive, and differs from trial 1 when
+  // seeds differ.
+  const MixOutcome one = run_mix_trials(net, 1, 1, CcKind::kBbr, quick_trials(1));
+  const MixOutcome three =
+      run_mix_trials(net, 1, 1, CcKind::kBbr, quick_trials(3));
+  EXPECT_GT(three.per_flow_other_mbps, 0.0);
+  // Not bit-identical to a single trial (unless degenerate).
+  EXPECT_NE(one.per_flow_other_mbps, three.per_flow_other_mbps);
+}
+
+}  // namespace
+}  // namespace bbrnash

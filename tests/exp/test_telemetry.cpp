@@ -1,0 +1,103 @@
+#include "exp/telemetry.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "exp/scenario_runner.hpp"
+
+namespace bbrnash {
+namespace {
+
+Scenario sampled_scenario(TimeNs period) {
+  const NetworkParams net = make_params(20, 20, 3);
+  Scenario s = make_mix_scenario(net, 1, 1);
+  s.duration = from_sec(10);
+  s.warmup = from_sec(3);
+  s.sample_period = period;
+  return s;
+}
+
+TEST(Telemetry, SamplesAtRequestedCadence) {
+  Scenario s = sampled_scenario(from_sec(1));
+  SnapshotLog log;
+  s.on_sample = log.sink();
+  run_scenario(s);
+  ASSERT_EQ(log.snapshots().size(), 10u);
+  for (std::size_t i = 0; i < log.snapshots().size(); ++i) {
+    EXPECT_EQ(log.snapshots()[i].t, from_sec(1) * static_cast<TimeNs>(i + 1));
+    EXPECT_EQ(log.snapshots()[i].flows.size(), 2u);
+  }
+}
+
+TEST(Telemetry, NoSamplerMeansNoOverhead) {
+  Scenario s = sampled_scenario(0);
+  EXPECT_NO_THROW(run_scenario(s));
+}
+
+TEST(Telemetry, SnapshotsAreMonotoneWhereExpected) {
+  Scenario s = sampled_scenario(from_ms(500));
+  SnapshotLog log;
+  s.on_sample = log.sink();
+  run_scenario(s);
+  const auto& snaps = log.snapshots();
+  ASSERT_GE(snaps.size(), 4u);
+  for (std::size_t i = 1; i < snaps.size(); ++i) {
+    EXPECT_GE(snaps[i].bytes_served, snaps[i - 1].bytes_served);
+    EXPECT_GE(snaps[i].total_drops, snaps[i - 1].total_drops);
+    for (std::size_t f = 0; f < snaps[i].flows.size(); ++f) {
+      EXPECT_GE(snaps[i].flows[f].delivered, snaps[i - 1].flows[f].delivered);
+      EXPECT_GE(snaps[i].flows[f].retransmits,
+                snaps[i - 1].flows[f].retransmits);
+    }
+  }
+}
+
+TEST(Telemetry, GoodputBetweenMatchesDeliveredDelta) {
+  Scenario s = sampled_scenario(from_sec(1));
+  SnapshotLog log;
+  s.on_sample = log.sink();
+  run_scenario(s);
+  const auto& snaps = log.snapshots();
+  const double g = log.goodput_between(3, 0);
+  const double expect =
+      static_cast<double>(snaps[3].flows[0].delivered -
+                          snaps[2].flows[0].delivered) /
+      to_sec(snaps[3].t - snaps[2].t);
+  EXPECT_DOUBLE_EQ(g, expect);
+}
+
+TEST(Telemetry, GoodputBetweenValidatesIndex) {
+  SnapshotLog log;
+  EXPECT_THROW((void)log.goodput_between(0, 0), std::out_of_range);
+  EXPECT_THROW((void)log.goodput_between(1, 0), std::out_of_range);
+}
+
+TEST(Telemetry, CsvHasHeaderAndRows) {
+  Scenario s = sampled_scenario(from_sec(2));
+  SnapshotLog log;
+  s.on_sample = log.sink();
+  run_scenario(s);
+  std::ostringstream os;
+  log.write_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("t_sec,flow,cc"), std::string::npos);
+  // 5 snapshots x 2 flows + header = 11 lines.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 11);
+}
+
+TEST(Telemetry, SnapshotsSeeBothCcKinds) {
+  Scenario s = sampled_scenario(from_sec(5));
+  SnapshotLog log;
+  s.on_sample = log.sink();
+  run_scenario(s);
+  ASSERT_FALSE(log.empty());
+  EXPECT_EQ(log.snapshots()[0].flows[0].cc, CcKind::kCubic);
+  EXPECT_EQ(log.snapshots()[0].flows[1].cc, CcKind::kBbr);
+  // The unpaced CUBIC flow reports kNoPacing; BBR reports a finite rate.
+  EXPECT_GE(log.snapshots().back().flows[0].pacing_rate, kNoPacing);
+  EXPECT_LT(log.snapshots().back().flows[1].pacing_rate, kNoPacing);
+}
+
+}  // namespace
+}  // namespace bbrnash

@@ -1,0 +1,119 @@
+#include "exp/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/scenario_runner.hpp"
+
+namespace bbrnash {
+namespace {
+
+TEST(Workload, ParetoSizesBounded) {
+  Rng rng{1};
+  for (int i = 0; i < 5000; ++i) {
+    const Bytes s = pareto_size(rng, 1.2, 1000, 100000);
+    ASSERT_GE(s, 1000);
+    ASSERT_LE(s, 100000);
+  }
+}
+
+TEST(Workload, ParetoIsHeavyTailed) {
+  Rng rng{2};
+  int small = 0;
+  int large = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const Bytes s = pareto_size(rng, 1.2, 1000, 1000000);
+    if (s < 5000) ++small;
+    if (s > 100000) ++large;
+  }
+  // Most mass near the minimum, but a real tail exists.
+  EXPECT_GT(small, n / 2);
+  // P(X > 100 kB) ~ (L/x)^alpha ~ 0.4%: expect ~80 of 20000.
+  EXPECT_GT(large, n / 500);
+}
+
+TEST(Workload, ParetoValidatesParameters) {
+  Rng rng{3};
+  EXPECT_THROW((void)pareto_size(rng, 0.0, 1000, 2000), std::invalid_argument);
+  EXPECT_THROW((void)pareto_size(rng, 1.2, 0, 2000), std::invalid_argument);
+  EXPECT_THROW((void)pareto_size(rng, 1.2, 3000, 2000), std::invalid_argument);
+}
+
+TEST(Workload, ArrivalsWithinWindowAndOrdered) {
+  WorkloadConfig cfg;
+  cfg.arrivals_per_sec = 5.0;
+  cfg.start = from_sec(10);
+  cfg.end = from_sec(40);
+  const auto flows = generate_workload(cfg);
+  ASSERT_FALSE(flows.empty());
+  TimeNs prev = 0;
+  for (const auto& f : flows) {
+    EXPECT_GE(f.start_at, cfg.start);
+    EXPECT_LT(f.start_at, cfg.end);
+    EXPECT_GE(f.start_at, prev);
+    prev = f.start_at;
+    EXPECT_GT(f.transfer_bytes, 0);
+  }
+}
+
+TEST(Workload, ArrivalCountNearExpectation) {
+  WorkloadConfig cfg;
+  cfg.arrivals_per_sec = 10.0;
+  cfg.start = 0;
+  cfg.end = from_sec(100);
+  const auto flows = generate_workload(cfg);
+  // Poisson(1000): 5 sigma ~ 160.
+  EXPECT_NEAR(static_cast<double>(flows.size()), 1000.0, 160.0);
+}
+
+TEST(Workload, DeterministicPerSeed) {
+  WorkloadConfig cfg;
+  cfg.seed = 42;
+  const auto a = generate_workload(cfg);
+  const auto b = generate_workload(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].start_at, b[i].start_at);
+    EXPECT_EQ(a[i].transfer_bytes, b[i].transfer_bytes);
+  }
+  cfg.seed = 43;
+  const auto c = generate_workload(cfg);
+  EXPECT_TRUE(a.size() != c.size() ||
+              a.front().start_at != c.front().start_at);
+}
+
+TEST(Workload, OfferedLoadScalesWithArrivalRate) {
+  WorkloadConfig cfg;
+  cfg.arrivals_per_sec = 1.0;
+  const double one = offered_load(cfg, mbps(100));
+  cfg.arrivals_per_sec = 4.0;
+  EXPECT_NEAR(offered_load(cfg, mbps(100)), 4.0 * one, 1e-9);
+  EXPECT_GT(one, 0.0);
+}
+
+TEST(Workload, RunsEndToEndOnScenario) {
+  const NetworkParams net = make_params(20, 20, 3);
+  Scenario s = make_mix_scenario(net, 1, 1);  // two elephants
+  s.duration = from_sec(20);
+  s.warmup = from_sec(4);
+  WorkloadConfig cfg;
+  cfg.arrivals_per_sec = 1.0;
+  cfg.min_size = 20 * 1024;
+  cfg.max_size = 200 * 1024;
+  cfg.base_rtt = net.base_rtt;
+  cfg.start = from_sec(4);
+  cfg.end = from_sec(15);
+  add_workload(s, cfg);
+  ASSERT_GT(s.flows.size(), 2u);
+
+  const RunResult r = run_scenario(s);
+  int completed = 0;
+  for (std::size_t i = 2; i < r.flows.size(); ++i) {
+    if (r.flows[i].stats.completed_at != kTimeNone) ++completed;
+  }
+  // Light load on a 20 Mbps link: the majority of mice finish in-run.
+  EXPECT_GT(completed, static_cast<int>(s.flows.size() - 2) / 2);
+}
+
+}  // namespace
+}  // namespace bbrnash

@@ -1,0 +1,122 @@
+// Integration: the qualitative competition phenomena the paper's analysis
+// rests on.
+#include <gtest/gtest.h>
+
+#include "exp/scenario_runner.hpp"
+#include "exp/sweeps.hpp"
+#include "util/stats.hpp"
+
+namespace bbrnash {
+namespace {
+
+TrialConfig cfg(double dur_s = 40, int trials = 1) {
+  TrialConfig c;
+  c.duration = from_sec(dur_s);
+  c.warmup = from_sec(dur_s / 4);
+  c.trials = trials;
+  return c;
+}
+
+TEST(Competition, HomogeneousCubicIsFair) {
+  const NetworkParams net = make_params(20, 40, 3);
+  Scenario s = make_mix_scenario(net, 4, 0);
+  s.duration = from_sec(30);
+  s.warmup = from_sec(8);
+  const RunResult r = run_scenario(s);
+  std::vector<double> shares;
+  for (const auto& f : r.flows) shares.push_back(f.stats.goodput_bps);
+  EXPECT_GT(jain_fairness(shares), 0.85);
+}
+
+TEST(Competition, HomogeneousBbrIsFair) {
+  const NetworkParams net = make_params(20, 40, 3);
+  Scenario s = make_mix_scenario(net, 0, 4);
+  s.duration = from_sec(30);
+  s.warmup = from_sec(8);
+  const RunResult r = run_scenario(s);
+  std::vector<double> shares;
+  for (const auto& f : r.flows) shares.push_back(f.stats.goodput_bps);
+  EXPECT_GT(jain_fairness(shares), 0.8);
+}
+
+TEST(Competition, BbrBeatsFairShareWhenRare) {
+  // The disproportionate-share property (paper §4.1's point A): one BBR
+  // flow among many CUBIC flows gets far more than 1/n of the link.
+  const NetworkParams net = make_params(50, 40, 3);
+  const MixOutcome m = run_mix_trials(net, 7, 1, CcKind::kBbr, cfg(60));
+  const double fair = 50.0 / 8.0;
+  EXPECT_GT(m.per_flow_other_mbps, 1.5 * fair);
+}
+
+TEST(Competition, BbrAdvantageShrinksAsBbrGrows) {
+  // Diminishing returns (paper Fig. 5): per-flow BBR throughput at k=1
+  // exceeds per-flow BBR throughput at k = n-1.
+  const NetworkParams net = make_params(50, 40, 3);
+  const MixOutcome few = run_mix_trials(net, 7, 1, CcKind::kBbr, cfg(60));
+  const MixOutcome many = run_mix_trials(net, 1, 7, CcKind::kBbr, cfg(60));
+  EXPECT_GT(few.per_flow_other_mbps, many.per_flow_other_mbps);
+}
+
+TEST(Competition, AllBbrConvergesToFairShareAndLowDelay) {
+  const NetworkParams net = make_params(50, 40, 3);
+  const MixOutcome m = run_mix_trials(net, 0, 8, CcKind::kBbr, cfg(40));
+  EXPECT_NEAR(m.per_flow_other_mbps, 50.0 / 8.0, 1.2);
+  // Queue stays around the BBR aggregate's extra in-flight: far below the
+  // CUBIC-driven near-full level (120 ms for 3 BDP at 40 ms).
+  EXPECT_LT(m.avg_queue_delay_ms, 90.0);
+}
+
+TEST(Competition, MixedQueueDelayNearBufferFull) {
+  // With any CUBIC present the buffer runs near-full (the model's
+  // assumption 1 and Fig. 8b's flat-delay observation).
+  const NetworkParams net = make_params(50, 40, 3);
+  const MixOutcome m = run_mix_trials(net, 4, 4, CcKind::kBbr, cfg(40));
+  EXPECT_GT(m.avg_queue_delay_ms, 0.45 * 120.0);
+}
+
+TEST(Competition, UtilizationStaysHighAcrossMixes) {
+  const NetworkParams net = make_params(20, 40, 3);
+  for (const int k : {0, 2, 4}) {
+    const MixOutcome m = run_mix_trials(net, 4 - k, k, CcKind::kBbr, cfg(30));
+    EXPECT_GT(m.link_utilization, 0.85) << "k=" << k;
+  }
+}
+
+TEST(Competition, LongRttBbrBeatsShortRttBbr) {
+  // BBR's RTT "unfairness": larger-RTT flows hold more in-flight
+  // (cwnd ~ 2*bw*rtt) and win — the paper's §4.5 mechanism.
+  Scenario s;
+  const NetworkParams net = make_params(20, 20, 5);
+  s.capacity = net.capacity;
+  s.buffer_bytes = net.buffer_bytes;
+  s.flows.push_back({CcKind::kBbr, from_ms(10)});
+  s.flows.push_back({CcKind::kBbr, from_ms(50)});
+  s.duration = from_sec(40);
+  s.warmup = from_sec(10);
+  const RunResult r = run_scenario(s);
+  EXPECT_GT(r.flows[1].stats.goodput_bps, r.flows[0].stats.goodput_bps);
+}
+
+TEST(Competition, ShortRttCubicBeatsLongRttCubic) {
+  // CUBIC's RTT bias is the opposite: quicker feedback wins.
+  Scenario s;
+  const NetworkParams net = make_params(20, 20, 3);
+  s.capacity = net.capacity;
+  s.buffer_bytes = net.buffer_bytes;
+  s.flows.push_back({CcKind::kCubic, from_ms(10)});
+  s.flows.push_back({CcKind::kCubic, from_ms(50)});
+  s.duration = from_sec(40);
+  s.warmup = from_sec(10);
+  const RunResult r = run_scenario(s);
+  EXPECT_GT(r.flows[0].stats.goodput_bps, r.flows[1].stats.goodput_bps);
+}
+
+TEST(Competition, BbrV2GentlerThanBbrTowardCubic) {
+  const NetworkParams net = make_params(50, 40, 3);
+  const MixOutcome vs_v1 = run_mix_trials(net, 4, 4, CcKind::kBbr, cfg(60));
+  const MixOutcome vs_v2 = run_mix_trials(net, 4, 4, CcKind::kBbrV2, cfg(60));
+  EXPECT_GT(vs_v2.per_flow_cubic_mbps, 0.85 * vs_v1.per_flow_cubic_mbps);
+}
+
+}  // namespace
+}  // namespace bbrnash

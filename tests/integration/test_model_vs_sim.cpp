@@ -1,0 +1,107 @@
+// Integration: the analytical model against the packet-level simulator.
+// Tolerances here are deliberately loose — the simulator substitutes for
+// the paper's Linux testbed, and EXPERIMENTS.md records the tighter
+// bench-level comparisons; these tests guard against gross regressions
+// (sign flips, wrong asymptotes, broken bounds).
+#include <gtest/gtest.h>
+
+#include "exp/sweeps.hpp"
+#include "model/mishra_model.hpp"
+#include "model/nash.hpp"
+#include "model/ware_model.hpp"
+
+namespace bbrnash {
+namespace {
+
+TrialConfig cfg(double dur_s = 60) {
+  TrialConfig c;
+  c.duration = from_sec(dur_s);
+  c.warmup = from_sec(15);
+  c.trials = 1;
+  return c;
+}
+
+TEST(ModelVsSim, TwoFlowPredictionTracksSimAtModerateBuffers) {
+  for (const double bdp : {5.0, 8.0}) {
+    const NetworkParams net = make_params(50, 40, bdp);
+    const auto model = two_flow_prediction(net);
+    ASSERT_TRUE(model.has_value());
+    const MixOutcome sim = run_mix_trials(net, 1, 1, CcKind::kBbr, cfg());
+    const double model_mbps = to_mbps(model->lambda_bbr);
+    EXPECT_NEAR(sim.per_flow_other_mbps, model_mbps, 0.5 * model_mbps)
+        << "at " << bdp << " BDP";
+  }
+}
+
+TEST(ModelVsSim, BothAgreeCubicWinsInDeepBuffers) {
+  const NetworkParams net = make_params(50, 40, 20);
+  const auto model = two_flow_prediction(net);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_GT(model->lambda_cubic, model->lambda_bbr);
+  const MixOutcome sim = run_mix_trials(net, 1, 1, CcKind::kBbr, cfg());
+  EXPECT_GT(sim.per_flow_cubic_mbps, sim.per_flow_other_mbps);
+}
+
+TEST(ModelVsSim, BothAgreeBbrWinsInShallowBuffers) {
+  const NetworkParams net = make_params(50, 40, 1.2);
+  const auto model = two_flow_prediction(net);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_GT(model->lambda_bbr, model->lambda_cubic);
+  const MixOutcome sim = run_mix_trials(net, 1, 1, CcKind::kBbr, cfg());
+  EXPECT_GT(sim.per_flow_other_mbps, sim.per_flow_cubic_mbps);
+}
+
+TEST(ModelVsSim, OurModelBeatsWareInModerateBuffers) {
+  // The paper's headline comparison (Fig. 3): in 5-15 BDP buffers the Ware
+  // model grossly over-predicts BBR while ours lands close.
+  double our_err = 0;
+  double ware_err = 0;
+  int n = 0;
+  for (const double bdp : {5.0, 10.0, 15.0}) {
+    const NetworkParams net = make_params(50, 40, bdp);
+    const auto model = two_flow_prediction(net);
+    const WarePrediction ware = ware_prediction(net, WareInputs{1, 60.0, 1500});
+    const MixOutcome sim = run_mix_trials(net, 1, 1, CcKind::kBbr, cfg());
+    ASSERT_TRUE(model.has_value());
+    our_err += std::abs(to_mbps(model->lambda_bbr) - sim.per_flow_other_mbps);
+    ware_err += std::abs(to_mbps(ware.lambda_bbr) - sim.per_flow_other_mbps);
+    ++n;
+  }
+  EXPECT_LT(our_err / n, ware_err / n);
+}
+
+TEST(ModelVsSim, MultiFlowSimNearPredictedRegion) {
+  const NetworkParams net = make_params(50, 40, 5);
+  const auto region = prediction_interval(net, 3, 3);
+  ASSERT_TRUE(region.has_value());
+  const MixOutcome sim = run_mix_trials(net, 3, 3, CcKind::kBbr, cfg());
+  const double lo = to_mbps(region->sync.per_flow_bbr);
+  const double hi = to_mbps(region->desync.per_flow_bbr);
+  // Within the region widened by 50% on both sides.
+  EXPECT_GT(sim.per_flow_other_mbps, lo * 0.5);
+  EXPECT_LT(sim.per_flow_other_mbps, hi * 1.5);
+}
+
+TEST(ModelVsSim, MeasuredCubicFloorScalesWithModelBcmin) {
+  // The model's b_cmin grows linearly with B; the measured aggregate CUBIC
+  // occupancy floor must grow with it (not stay pinned at zero) once
+  // buffers are deep enough for CUBIC to be the resident majority.
+  const NetworkParams shallow = make_params(50, 40, 6);
+  const NetworkParams deep = make_params(50, 40, 16);
+  const MixOutcome a = run_mix_trials(shallow, 1, 1, CcKind::kBbr, cfg());
+  const MixOutcome b = run_mix_trials(deep, 1, 1, CcKind::kBbr, cfg());
+  EXPECT_GT(b.cubic_buffer_min, a.cubic_buffer_min);
+}
+
+TEST(ModelVsSim, UltraDeepBufferModelOverestimates) {
+  // Fig. 12's regime: at 150+ BDP BBR is no longer cwnd-limited and the
+  // model must over-predict its throughput.
+  const NetworkParams net = make_params(50, 40, 150);
+  const auto model = two_flow_prediction(net);
+  ASSERT_TRUE(model.has_value());
+  const MixOutcome sim = run_mix_trials(net, 1, 1, CcKind::kBbr, cfg(90));
+  EXPECT_GT(to_mbps(model->lambda_bbr), sim.per_flow_other_mbps);
+}
+
+}  // namespace
+}  // namespace bbrnash

@@ -1,0 +1,138 @@
+// Property-based integration sweeps: invariants that must hold for every
+// scenario the harness can produce.
+#include <gtest/gtest.h>
+
+#include "exp/scenario_runner.hpp"
+#include "util/stats.hpp"
+
+namespace bbrnash {
+namespace {
+
+struct PropertyParam {
+  double cap_mbps;
+  double rtt_ms;
+  double buffer_bdp;
+  int num_cubic;
+  int num_bbr;
+  std::uint64_t seed;
+};
+
+class ScenarioProperties : public ::testing::TestWithParam<PropertyParam> {
+ protected:
+  RunResult run() {
+    const auto p = GetParam();
+    const NetworkParams net = make_params(p.cap_mbps, p.rtt_ms, p.buffer_bdp);
+    Scenario s = make_mix_scenario(net, p.num_cubic, p.num_bbr);
+    s.duration = from_sec(15);
+    s.warmup = from_sec(5);
+    s.seed = p.seed;
+    return run_scenario(s);
+  }
+};
+
+TEST_P(ScenarioProperties, ConservationAndSanity) {
+  const auto p = GetParam();
+  const RunResult r = run();
+
+  // (1) Goodput conservation: the flows cannot deliver more than the link.
+  EXPECT_LE(r.total_goodput_all_mbps(), p.cap_mbps * 1.02);
+
+  // (2) Utilization is a fraction.
+  EXPECT_GE(r.link_utilization, 0.0);
+  EXPECT_LE(r.link_utilization, 1.02);
+
+  // (3) Queue delay bounded by full-buffer drain time.
+  const double full_ms = p.buffer_bdp * p.rtt_ms;
+  EXPECT_GE(r.avg_queue_delay_ms, 0.0);
+  EXPECT_LE(r.avg_queue_delay_ms, full_ms * 1.001);
+
+  // (4) RTT samples at least the propagation delay.
+  for (const auto& f : r.flows) {
+    if (f.stats.goodput_bps > 0) {
+      EXPECT_GE(f.stats.min_rtt_ms, p.rtt_ms * 0.99);
+      EXPECT_GE(f.stats.max_rtt_ms, f.stats.min_rtt_ms);
+      EXPECT_GE(f.stats.avg_rtt_ms, f.stats.min_rtt_ms * 0.99);
+      EXPECT_LE(f.stats.avg_rtt_ms, f.stats.max_rtt_ms * 1.01);
+    }
+  }
+
+  // (5) Per-flow queue occupancies are consistent.
+  double occupancy_sum = 0.0;
+  for (const auto& f : r.flows) {
+    EXPECT_GE(f.stats.min_queue_occupancy_bytes, 0);
+    EXPECT_LE(f.stats.min_queue_occupancy_bytes,
+              f.stats.max_queue_occupancy_bytes);
+    occupancy_sum += f.stats.avg_queue_occupancy_bytes;
+  }
+  EXPECT_NEAR(occupancy_sum, r.avg_queue_bytes,
+              0.05 * r.avg_queue_bytes + 1500.0);
+
+  // (6) Aggregate CUBIC occupancy bounds.
+  if (p.num_cubic > 0) {
+    EXPECT_GE(r.cubic_buffer_min, 0);
+    EXPECT_LE(r.cubic_buffer_avg,
+              static_cast<double>(r.cubic_buffer_max) + 1.0);
+    EXPECT_GE(r.cubic_buffer_avg,
+              static_cast<double>(r.cubic_buffer_min) - 1.0);
+  }
+
+  // (7) Every active flow made progress.
+  for (const auto& f : r.flows) {
+    EXPECT_GT(f.stats.goodput_bps, 0.0);
+  }
+}
+
+TEST_P(ScenarioProperties, DeterministicReplay) {
+  const RunResult a = run();
+  const RunResult b = run();
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    ASSERT_DOUBLE_EQ(a.flows[i].stats.goodput_bps,
+                     b.flows[i].stats.goodput_bps);
+  }
+  ASSERT_EQ(a.total_drops, b.total_drops);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ScenarioProperties,
+    ::testing::Values(PropertyParam{20, 40, 2, 1, 1, 1},
+                      PropertyParam{20, 40, 2, 1, 1, 99},
+                      PropertyParam{20, 20, 5, 2, 2, 2},
+                      PropertyParam{20, 80, 3, 2, 1, 3},
+                      PropertyParam{50, 40, 1.5, 3, 3, 4},
+                      PropertyParam{50, 40, 10, 1, 3, 5},
+                      PropertyParam{20, 40, 4, 4, 0, 6},
+                      PropertyParam{20, 40, 4, 0, 4, 7},
+                      PropertyParam{10, 40, 3, 1, 2, 8},
+                      PropertyParam{50, 10, 3, 2, 2, 9}),
+    [](const ::testing::TestParamInfo<PropertyParam>& info) {
+      const auto& p = info.param;
+      return std::to_string(static_cast<int>(p.cap_mbps)) + "mbps_" +
+             std::to_string(static_cast<int>(p.rtt_ms)) + "ms_" +
+             std::to_string(static_cast<int>(p.buffer_bdp * 10)) + "dbdp_" +
+             std::to_string(p.num_cubic) + "c" + std::to_string(p.num_bbr) +
+             "b_seed" + std::to_string(p.seed);
+    });
+
+TEST(ScenarioPropertiesExtra, DropsOnlyWhenBufferStressed) {
+  // A huge buffer with one paced BBR flow: no drops at all.
+  const NetworkParams net = make_params(20, 40, 50);
+  Scenario s = make_mix_scenario(net, 0, 1);
+  s.duration = from_sec(10);
+  s.warmup = from_sec(3);
+  const RunResult r = run_scenario(s);
+  EXPECT_EQ(r.total_drops, 0u);
+}
+
+TEST(ScenarioPropertiesExtra, CubicAlwaysEventuallyDrops) {
+  // Loss-based probing must hit the ceiling of any finite buffer.
+  const NetworkParams net = make_params(20, 40, 2);
+  Scenario s = make_mix_scenario(net, 1, 0);
+  s.duration = from_sec(20);
+  s.warmup = from_sec(2);
+  const RunResult r = run_scenario(s);
+  EXPECT_GT(r.total_drops, 0u);
+}
+
+}  // namespace
+}  // namespace bbrnash

@@ -1,0 +1,158 @@
+#include "model/mishra_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bbrnash {
+namespace {
+
+TEST(MishraModel, RejectsBufferBelowOneBdp) {
+  const NetworkParams net = make_params(50, 40, 0.5);
+  EXPECT_FALSE(two_flow_prediction(net).has_value());
+}
+
+TEST(MishraModel, RejectsBadKappa) {
+  const NetworkParams net = make_params(50, 40, 5);
+  EXPECT_FALSE(solve_mishra(net, 0.4).has_value());
+  EXPECT_FALSE(solve_mishra(net, 1.2).has_value());
+}
+
+TEST(MishraModel, ConservesCapacity) {
+  for (const double bdp : {1.5, 3.0, 10.0, 30.0}) {
+    const NetworkParams net = make_params(100, 40, bdp);
+    const auto p = two_flow_prediction(net);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_NEAR(p->lambda_bbr + p->lambda_cubic, net.capacity, 1.0);
+    EXPECT_GE(p->lambda_bbr, 0.0);
+    EXPECT_GE(p->lambda_cubic, 0.0);
+  }
+}
+
+TEST(MishraModel, OneBdpBufferGivesBbrEverything) {
+  // Degenerate boundary: b_cmin = 0 -> root at b_b = B -> lambda_c = 0.
+  const NetworkParams net = make_params(50, 40, 1.0);
+  const auto p = two_flow_prediction(net);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(p->lambda_bbr, net.capacity, net.capacity * 0.01);
+}
+
+TEST(MishraModel, BbrShareDecreasesWithBufferDepth) {
+  double prev = 1e18;
+  for (const double bdp : {1.5, 2.0, 3.0, 5.0, 10.0, 20.0, 30.0}) {
+    const NetworkParams net = make_params(50, 40, bdp);
+    const auto p = two_flow_prediction(net);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_LT(p->lambda_bbr, prev);
+    prev = p->lambda_bbr;
+  }
+}
+
+TEST(MishraModel, DeepBufferAsymptoteNearTwoSevenths) {
+  // For B >> BDP the fixed point tends to lambda_b/C -> ~0.286 (see the
+  // derivation: b_b -> B(1 - 1/(2*0.7))).
+  const NetworkParams net = make_params(50, 40, 500);
+  const auto p = two_flow_prediction(net);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(p->lambda_bbr / net.capacity, 2.0 / 7.0, 0.02);
+}
+
+TEST(MishraModel, ScaleInvariantInBdpUnits) {
+  // Normalized by BDP, the predicted *fractions* depend only on B/BDP —
+  // the paper's Fig. 9 observation.
+  const auto a = two_flow_prediction(make_params(50, 40, 7));
+  const auto b = two_flow_prediction(make_params(100, 80, 7));
+  const auto c = two_flow_prediction(make_params(200, 10, 7));
+  ASSERT_TRUE(a && b && c);
+  EXPECT_NEAR(a->lambda_bbr / mbps(50), b->lambda_bbr / mbps(100), 1e-6);
+  EXPECT_NEAR(a->lambda_bbr / mbps(50), c->lambda_bbr / mbps(200), 1e-6);
+}
+
+TEST(MishraModel, BufferOccupancySolutionInRange) {
+  const NetworkParams net = make_params(100, 40, 8);
+  const auto p = two_flow_prediction(net);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_GT(p->bbr_buffer_bytes, 0.0);
+  EXPECT_LT(p->bbr_buffer_bytes, static_cast<double>(net.buffer_bytes));
+  EXPECT_NEAR(p->cubic_min_buffer,
+              (static_cast<double>(net.buffer_bytes) - net.bdp()) / 2.0, 1.0);
+}
+
+TEST(MishraModel, KappaMonotonicity) {
+  // Larger kappa (less synchronized CUBIC) -> CUBIC holds more buffer at
+  // backoff -> BBR gets a larger share.
+  const NetworkParams net = make_params(100, 40, 8);
+  const auto sync = solve_mishra(net, 0.7);
+  const auto desync = solve_mishra(net, 0.97);
+  ASSERT_TRUE(sync && desync);
+  EXPECT_GT(desync->lambda_bbr, sync->lambda_bbr);
+}
+
+TEST(MishraModel, BackoffKappaValues) {
+  EXPECT_DOUBLE_EQ(backoff_kappa(CubicSyncBound::kSynchronized, 5), 0.7);
+  EXPECT_DOUBLE_EQ(backoff_kappa(CubicSyncBound::kDesynchronized, 1), 0.7);
+  EXPECT_DOUBLE_EQ(backoff_kappa(CubicSyncBound::kDesynchronized, 10),
+                   9.7 / 10.0);
+  // More CUBIC flows -> closer to 1.
+  EXPECT_GT(backoff_kappa(CubicSyncBound::kDesynchronized, 100),
+            backoff_kappa(CubicSyncBound::kDesynchronized, 2));
+}
+
+TEST(MishraModel, MultiFlowPerFlowDivision) {
+  const NetworkParams net = make_params(100, 40, 8);
+  const auto p =
+      multi_flow_prediction(net, 4, 2, CubicSyncBound::kSynchronized);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(p->per_flow_cubic * 4, p->aggregate.lambda_cubic, 1e-6);
+  EXPECT_NEAR(p->per_flow_bbr * 2, p->aggregate.lambda_bbr, 1e-6);
+}
+
+TEST(MishraModel, MultiFlowRequiresBothSides) {
+  const NetworkParams net = make_params(100, 40, 8);
+  EXPECT_FALSE(multi_flow_prediction(net, 0, 5, CubicSyncBound::kSynchronized)
+                   .has_value());
+  EXPECT_FALSE(multi_flow_prediction(net, 5, 0, CubicSyncBound::kSynchronized)
+                   .has_value());
+}
+
+TEST(MishraModel, PredictionIntervalOrdering) {
+  for (const double bdp : {2.0, 5.0, 15.0, 30.0}) {
+    const NetworkParams net = make_params(100, 40, bdp);
+    const auto iv = prediction_interval(net, 5, 5);
+    ASSERT_TRUE(iv.has_value());
+    EXPECT_LE(iv->sync.per_flow_bbr, iv->desync.per_flow_bbr)
+        << "sync must be the lower BBR bound at " << bdp << " BDP";
+  }
+}
+
+TEST(MishraModel, SyncBoundIndependentOfFlowCounts) {
+  // Under the synchronized bound kappa = 0.7 regardless of N_c, so the
+  // aggregate split matches the 2-flow model.
+  const NetworkParams net = make_params(100, 40, 8);
+  const auto two = two_flow_prediction(net);
+  const auto multi =
+      multi_flow_prediction(net, 9, 1, CubicSyncBound::kSynchronized);
+  ASSERT_TRUE(two && multi);
+  EXPECT_NEAR(two->lambda_bbr, multi->aggregate.lambda_bbr, 1.0);
+}
+
+// Property sweep across the full validity domain.
+class MishraDomainSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MishraDomainSweep, SolutionWellFormed) {
+  const double bdp = GetParam();
+  for (const double kappa : {0.7, 0.8, 0.9, 0.97}) {
+    const NetworkParams net = make_params(100, 40, bdp);
+    const auto p = solve_mishra(net, kappa);
+    ASSERT_TRUE(p.has_value()) << bdp << " " << kappa;
+    EXPECT_GE(p->bbr_buffer_bytes, 0.0);
+    EXPECT_LE(p->bbr_buffer_bytes,
+              static_cast<double>(net.buffer_bytes) + 1.0);
+    EXPECT_NEAR(p->lambda_bbr + p->lambda_cubic, net.capacity, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BufferDepths, MishraDomainSweep,
+                         ::testing::Values(1.0, 1.5, 2.0, 3.0, 5.0, 8.0, 12.0,
+                                           20.0, 30.0, 50.0, 100.0));
+
+}  // namespace
+}  // namespace bbrnash

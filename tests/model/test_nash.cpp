@@ -1,0 +1,147 @@
+#include "model/nash.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bbrnash {
+namespace {
+
+// --- SymmetricGame -------------------------------------------------------
+
+SymmetricGame make_crossing_game() {
+  // 4 players. BBR payoff decays with k, CUBIC payoff rises with k; the
+  // crossing sits between k = 2 and k = 3.
+  //              k:        0    1    2    3    4
+  std::vector<double> a = {10, 12, 15, 20, 0};   // CUBIC per-flow
+  std::vector<double> b = {0, 40, 22, 14, 10};   // BBR per-flow
+  return SymmetricGame{4, a, b};
+}
+
+TEST(SymmetricGame, ValidatesTableSizes) {
+  EXPECT_THROW(SymmetricGame(3, {1, 2}, {1, 2, 3, 4}), std::invalid_argument);
+  EXPECT_THROW(SymmetricGame(0, {1}, {1}), std::invalid_argument);
+}
+
+TEST(SymmetricGame, DetectsInteriorEquilibrium) {
+  const SymmetricGame g = make_crossing_game();
+  // k=2: CUBIC at 15 would get payoff_b[3]=14 by switching (no), BBR at 22
+  // would get payoff_a[1]=12 by switching (no) -> NE.
+  EXPECT_TRUE(g.is_equilibrium(2));
+  // k=1: a CUBIC flow switching gets payoff_b[2]=22 > payoff_a[1]=12 -> not NE.
+  EXPECT_FALSE(g.is_equilibrium(1));
+  // k=3: a BBR flow switching gets payoff_a[2]=15 > payoff_b[3]=14 -> not NE.
+  EXPECT_FALSE(g.is_equilibrium(3));
+}
+
+TEST(SymmetricGame, EnumerationFindsExactlyTheNe) {
+  const SymmetricGame g = make_crossing_game();
+  EXPECT_EQ(g.equilibria(), (std::vector<int>{2}));
+}
+
+TEST(SymmetricGame, ToleranceWidensTheNeSet) {
+  const SymmetricGame g = make_crossing_game();
+  const auto ne = g.equilibria(1.5);  // absorbs the 14-vs-15 margin at k=3
+  EXPECT_NE(std::find(ne.begin(), ne.end(), 3), ne.end());
+}
+
+TEST(SymmetricGame, AllBDominantGame) {
+  // Strategy B always pays more: the only NE is everyone-plays-B.
+  std::vector<double> a = {1, 1, 1, 1};
+  std::vector<double> b = {0, 5, 5, 5};
+  const SymmetricGame g{3, a, b};
+  EXPECT_EQ(g.equilibria(), (std::vector<int>{3}));
+}
+
+TEST(SymmetricGame, AllADominantGame) {
+  std::vector<double> a = {9, 9, 9, 0};
+  std::vector<double> b = {0, 2, 2, 2};
+  const SymmetricGame g{3, a, b};
+  EXPECT_EQ(g.equilibria(), (std::vector<int>{0}));
+}
+
+TEST(SymmetricGame, BestResponseWalksToEquilibrium) {
+  const SymmetricGame g = make_crossing_game();
+  EXPECT_EQ(g.best_response_path(0), 2);
+  EXPECT_EQ(g.best_response_path(4), 2);
+  EXPECT_EQ(g.best_response_path(2), 2);
+}
+
+TEST(SymmetricGame, BoundsChecking) {
+  const SymmetricGame g = make_crossing_game();
+  EXPECT_THROW((void)g.is_equilibrium(-1), std::out_of_range);
+  EXPECT_THROW((void)g.is_equilibrium(5), std::out_of_range);
+}
+
+// --- Model-driven NE prediction ------------------------------------------
+
+TEST(NashPredictor, RejectsTrivialPopulations) {
+  const NetworkParams net = make_params(100, 40, 5);
+  EXPECT_FALSE(
+      predict_nash(net, 1, CubicSyncBound::kSynchronized).has_value());
+}
+
+TEST(NashPredictor, RejectsInvalidDomain) {
+  const NetworkParams net = make_params(100, 40, 0.5);
+  EXPECT_FALSE(
+      predict_nash(net, 10, CubicSyncBound::kSynchronized).has_value());
+}
+
+TEST(NashPredictor, OneBdpBufferIsAllBbr) {
+  // BBR takes the whole link at 1 BDP: the fair-share line is never
+  // crossed; NE at N_b = N (paper's Case 1).
+  const NetworkParams net = make_params(100, 40, 1.0);
+  const auto ne = predict_nash(net, 10, CubicSyncBound::kSynchronized);
+  ASSERT_TRUE(ne.has_value());
+  EXPECT_NEAR(ne->num_bbr, 10.0, 1e-6);
+  EXPECT_NEAR(ne->num_cubic, 0.0, 1e-6);
+}
+
+TEST(NashPredictor, MixedEquilibriumInModerateBuffers) {
+  const NetworkParams net = make_params(100, 40, 5.0);
+  const auto ne = predict_nash(net, 10, CubicSyncBound::kSynchronized);
+  ASSERT_TRUE(ne.has_value());
+  EXPECT_GT(ne->num_cubic, 1.0);
+  EXPECT_LT(ne->num_cubic, 9.0);
+}
+
+TEST(NashPredictor, SyncCrossingMatchesClosedForm) {
+  // Under the sync bound lambda_b is independent of the split, so Eq. 25
+  // yields N_b* = N * lambda_b / C exactly.
+  const NetworkParams net = make_params(100, 40, 5.0);
+  const auto agg = solve_mishra(net, 0.7);
+  const auto ne = predict_nash(net, 20, CubicSyncBound::kSynchronized);
+  ASSERT_TRUE(agg && ne);
+  EXPECT_NEAR(ne->num_bbr, 20.0 * agg->lambda_bbr / net.capacity, 0.05);
+}
+
+TEST(NashPredictor, DeeperBuffersHaveMoreCubicAtNe) {
+  double prev = -1.0;
+  for (const double bdp : {2.0, 5.0, 10.0, 20.0, 40.0}) {
+    const NetworkParams net = make_params(100, 40, bdp);
+    const auto ne = predict_nash(net, 50, CubicSyncBound::kSynchronized);
+    ASSERT_TRUE(ne.has_value());
+    EXPECT_GE(ne->num_cubic, prev) << "at " << bdp << " BDP";
+    prev = ne->num_cubic;
+  }
+}
+
+TEST(NashPredictor, RegionScaleInvariantAcrossLinks) {
+  // The paper's Fig. 9 observation: with buffers in BDP units the region
+  // is identical across capacities and RTTs.
+  const auto a = predict_nash_region(make_params(50, 20, 10), 50);
+  const auto b = predict_nash_region(make_params(100, 80, 10), 50);
+  ASSERT_TRUE(a && b);
+  EXPECT_NEAR(a->sync.num_cubic, b->sync.num_cubic, 0.01);
+  EXPECT_NEAR(a->desync.num_cubic, b->desync.num_cubic, 0.2);
+}
+
+TEST(NashPredictor, RegionBoundsAreOrderedConsistently) {
+  const auto region = predict_nash_region(make_params(100, 40, 10), 50);
+  ASSERT_TRUE(region.has_value());
+  EXPECT_LE(region->cubic_low(), region->cubic_high());
+  // Desync gives BBR more throughput -> the fair-share crossing happens at
+  // a larger N_b -> fewer CUBIC flows at NE than the sync bound.
+  EXPECT_LE(region->desync.num_cubic, region->sync.num_cubic + 1e-9);
+}
+
+}  // namespace
+}  // namespace bbrnash

@@ -1,0 +1,53 @@
+#include "model/network_params.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bbrnash {
+namespace {
+
+TEST(NetworkParams, MakeParamsComputesBufferFromBdp) {
+  // 100 Mbps * 40 ms = 500 kB BDP; 4 BDP = 2 MB.
+  const NetworkParams net = make_params(100, 40, 4);
+  EXPECT_DOUBLE_EQ(net.capacity, mbps(100));
+  EXPECT_EQ(net.base_rtt, from_ms(40));
+  EXPECT_EQ(net.buffer_bytes, 2'000'000);
+}
+
+TEST(NetworkParams, BdpHelper) {
+  const NetworkParams net = make_params(100, 40, 4);
+  EXPECT_DOUBLE_EQ(net.bdp(), 500'000.0);
+  EXPECT_DOUBLE_EQ(net.buffer_in_bdp(), 4.0);
+}
+
+TEST(NetworkParams, ValidateRejectsNonPositive) {
+  NetworkParams p;
+  p.capacity = mbps(10);
+  p.base_rtt = from_ms(10);
+  p.buffer_bytes = 1000;
+  EXPECT_NO_THROW(p.validate());
+
+  NetworkParams bad = p;
+  bad.capacity = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = p;
+  bad.buffer_bytes = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = p;
+  bad.base_rtt = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(NetworkParams, MakeParamsValidates) {
+  EXPECT_THROW(make_params(0, 40, 4), std::invalid_argument);
+  EXPECT_THROW(make_params(100, 0, 4), std::invalid_argument);
+  EXPECT_THROW(make_params(100, 40, 0), std::invalid_argument);
+}
+
+TEST(NetworkParams, FractionalBdpBuffers) {
+  const NetworkParams net = make_params(50, 40, 0.5);
+  EXPECT_EQ(net.buffer_bytes, 125'000);
+  EXPECT_DOUBLE_EQ(net.buffer_in_bdp(), 0.5);
+}
+
+}  // namespace
+}  // namespace bbrnash

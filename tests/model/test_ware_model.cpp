@@ -1,0 +1,74 @@
+#include "model/ware_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bbrnash {
+namespace {
+
+TEST(WareModel, FractionsBounded) {
+  for (const double bdp : {1.0, 2.0, 10.0, 50.0}) {
+    const WarePrediction p = ware_prediction(make_params(50, 40, bdp));
+    EXPECT_GE(p.bbr_fraction, 0.0);
+    EXPECT_LE(p.bbr_fraction, 1.0);
+    EXPECT_GE(p.cubic_fraction, 0.0);
+    EXPECT_LE(p.cubic_fraction, 1.0);
+  }
+}
+
+TEST(WareModel, ConservesCapacity) {
+  const NetworkParams net = make_params(50, 40, 10);
+  const WarePrediction p = ware_prediction(net);
+  EXPECT_NEAR(p.lambda_bbr + p.lambda_cubic, net.capacity, 1e-6);
+}
+
+TEST(WareModel, ShallowBufferGivesBbrAlmostEverything) {
+  // X = 1 BDP: p = 1/2 - 1/2 - eps <= 0, clamped to 0.
+  const WarePrediction p = ware_prediction(make_params(50, 40, 1));
+  EXPECT_DOUBLE_EQ(p.cubic_fraction, 0.0);
+  EXPECT_GT(p.bbr_fraction, 0.9);
+}
+
+TEST(WareModel, MatchesPaperFigure1Endpoints) {
+  // Fig. 1: 50 Mbps / 40 ms, 2-minute flows. At 1 BDP Ware predicts
+  // ~48.6 Mbps for BBR; around 50 BDP it has fallen to ~20 Mbps.
+  const WareInputs in{1, 120.0, 1500};
+  const WarePrediction shallow = ware_prediction(make_params(50, 40, 1), in);
+  EXPECT_NEAR(to_mbps(shallow.lambda_bbr), 48.6, 1.0);
+  const WarePrediction deep = ware_prediction(make_params(50, 40, 50), in);
+  EXPECT_NEAR(to_mbps(deep.lambda_bbr), 20.0, 2.0);
+}
+
+TEST(WareModel, ProbeTimeGrowsWithBuffer) {
+  const WareInputs in{1, 120.0, 1500};
+  const WarePrediction a = ware_prediction(make_params(50, 40, 5), in);
+  const WarePrediction b = ware_prediction(make_params(50, 40, 50), in);
+  EXPECT_GT(b.probe_time_sec, a.probe_time_sec);
+}
+
+TEST(WareModel, MoreBbrFlowsShiftShareTowardBbr) {
+  // The 4N/q term: each BBR flow's 4-packet ProbeRTT residue reduces
+  // CUBIC's predicted fraction.
+  const NetworkParams net = make_params(50, 40, 3);
+  const WarePrediction one = ware_prediction(net, WareInputs{1, 120.0, 1500});
+  const WarePrediction ten = ware_prediction(net, WareInputs{10, 120.0, 1500});
+  EXPECT_LT(ten.cubic_fraction, one.cubic_fraction);
+}
+
+TEST(WareModel, FixedShareRegardlessOfCubicCount) {
+  // The paper's criticism: Ware's BBR share does not depend on the number
+  // of CUBIC flows at all (no such parameter exists in Eqs. 2-4).
+  const NetworkParams net = make_params(50, 40, 10);
+  const WarePrediction p = ware_prediction(net, WareInputs{2, 120.0, 1500});
+  // Nothing to vary: this test documents the model's structure.
+  EXPECT_GT(p.lambda_bbr, 0.0);
+}
+
+TEST(WareModel, ExtremeDurationDominatedByProbeTime) {
+  // If Probe_time exceeds the duration, the active fraction clamps at 0.
+  const WarePrediction p =
+      ware_prediction(make_params(50, 40, 300), WareInputs{1, 10.0, 1500});
+  EXPECT_DOUBLE_EQ(p.bbr_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace bbrnash

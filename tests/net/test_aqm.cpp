@@ -1,0 +1,140 @@
+#include "net/aqm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/bottleneck_link.hpp"
+
+namespace bbrnash {
+namespace {
+
+TEST(RedPolicy, NeverDropsBelowMinThreshold) {
+  RedPolicy red;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(red.drop_on_enqueue(0, 1000, 100000, 1500));
+  }
+}
+
+TEST(RedPolicy, AlwaysDropsAboveMaxThresholdOnceAverageCatchesUp) {
+  RedConfig cfg;
+  cfg.ewma_weight = 1.0;  // instant average for the test
+  RedPolicy red{cfg};
+  EXPECT_TRUE(red.drop_on_enqueue(0, 70000, 100000, 1500));
+}
+
+TEST(RedPolicy, ProbabilisticInGentleRegion) {
+  RedConfig cfg;
+  cfg.ewma_weight = 1.0;
+  cfg.max_p = 0.5;
+  RedPolicy red{cfg};
+  int drops = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    drops += red.drop_on_enqueue(0, 40000, 100000, 1500) ? 1 : 0;
+  }
+  EXPECT_GT(drops, n / 20);  // clearly above zero
+  EXPECT_LT(drops, n);       // clearly below certainty
+}
+
+TEST(RedPolicy, EwmaSmoothsBursts) {
+  RedPolicy red;  // default weight 0.002
+  // One instant of a full queue must not flip the average.
+  red.drop_on_enqueue(0, 100000, 100000, 1500);
+  EXPECT_LT(red.avg_queue_bytes(), 1000.0);
+}
+
+TEST(CoDelPolicy, NoDropsWhileSojournBelowTarget) {
+  CoDelPolicy codel;
+  for (TimeNs t = 0; t < from_sec(2); t += from_ms(10)) {
+    EXPECT_FALSE(codel.drop_on_dequeue(t, from_ms(2)));
+  }
+  EXPECT_EQ(codel.drops(), 0u);
+}
+
+TEST(CoDelPolicy, DropsAfterSustainedHighSojourn) {
+  CoDelPolicy codel;
+  bool dropped = false;
+  for (TimeNs t = 0; t < from_ms(300); t += from_ms(5)) {
+    dropped = codel.drop_on_dequeue(t, from_ms(20)) || dropped;
+  }
+  EXPECT_TRUE(dropped);  // target 5 ms exceeded for > 100 ms interval
+}
+
+TEST(CoDelPolicy, StopsDroppingWhenQueueDrains) {
+  CoDelPolicy codel;
+  for (TimeNs t = 0; t < from_ms(300); t += from_ms(5)) {
+    codel.drop_on_dequeue(t, from_ms(20));
+  }
+  const auto drops_before = codel.drops();
+  for (TimeNs t = from_ms(300); t < from_ms(600); t += from_ms(5)) {
+    EXPECT_FALSE(codel.drop_on_dequeue(t, from_ms(1)));
+  }
+  EXPECT_EQ(codel.drops(), drops_before);
+}
+
+TEST(CoDelPolicy, DropRateAcceleratesWhileAbove) {
+  CoDelPolicy codel;
+  std::vector<TimeNs> drop_times;
+  for (TimeNs t = 0; t < from_sec(3); t += from_ms(2)) {
+    if (codel.drop_on_dequeue(t, from_ms(30))) drop_times.push_back(t);
+  }
+  ASSERT_GE(drop_times.size(), 4u);
+  // Successive gaps shrink (the 1/sqrt(count) control law).
+  const TimeNs gap1 = drop_times[1] - drop_times[0];
+  const TimeNs gap_late = drop_times.back() - drop_times[drop_times.size() - 2];
+  EXPECT_LT(gap_late, gap1);
+}
+
+TEST(BottleneckAqm, RedPolicyDropsAreAccounted) {
+  Simulator sim;
+  BottleneckLink link{sim, 1.5e6, 150000, 1};
+  RedConfig cfg;
+  cfg.ewma_weight = 1.0;
+  cfg.min_thresh_frac = 0.0;
+  cfg.max_thresh_frac = 0.0001;  // force-drop region almost immediately
+  link.set_aqm(std::make_unique<RedPolicy>(cfg));
+  Packet p;
+  p.flow = 0;
+  p.wire_bytes = 1500;
+  EXPECT_TRUE(link.send(p));   // queue empty, avg 0 -> min region... first
+  link.send(p);
+  link.send(p);
+  EXPECT_GT(link.queue().total_drops(), 0u);
+}
+
+TEST(BottleneckAqm, CoDelHeadDropStillServesQueue) {
+  Simulator sim;
+  BottleneckLink link{sim, 1.5e6, 1000000, 1};
+  CoDelConfig cfg;
+  cfg.target = from_us(100);
+  cfg.interval = from_ms(1);
+  link.set_aqm(std::make_unique<CoDelPolicy>(cfg));
+  int delivered = 0;
+  link.set_sink([&](const Packet&) { ++delivered; });
+  for (int i = 0; i < 200; ++i) {
+    Packet p;
+    p.flow = 0;
+    p.seq = static_cast<SeqNo>(i);
+    p.wire_bytes = 1500;
+    link.send(p);
+  }
+  sim.run();
+  EXPECT_GT(delivered, 0);
+  EXPECT_GT(link.queue().total_drops(), 0u);
+  EXPECT_EQ(static_cast<std::uint64_t>(delivered) + link.queue().total_drops(),
+            200u);
+}
+
+TEST(BottleneckAqm, NullPolicyIsPureDropTail) {
+  Simulator sim;
+  BottleneckLink link{sim, 1.5e6, 3000, 1};
+  Packet p;
+  p.flow = 0;
+  p.wire_bytes = 1500;
+  EXPECT_TRUE(link.send(p));
+  EXPECT_TRUE(link.send(p));
+  EXPECT_FALSE(link.send(p));
+  EXPECT_EQ(link.queue().total_drops(), 1u);
+}
+
+}  // namespace
+}  // namespace bbrnash

@@ -1,0 +1,80 @@
+#include "net/delay_line.hpp"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/packet.hpp"
+
+namespace bbrnash {
+namespace {
+
+TEST(DelayLine, DeliversAfterExactDelay) {
+  Simulator sim;
+  DelayLine<int> line{sim, from_ms(25)};
+  TimeNs delivered_at = kTimeNone;
+  line.set_sink([&](const int&) { delivered_at = sim.now(); });
+  sim.schedule_at(from_ms(10), [&] { line.send(7); });
+  sim.run();
+  EXPECT_EQ(delivered_at, from_ms(35));
+}
+
+TEST(DelayLine, PreservesOrder) {
+  Simulator sim;
+  DelayLine<int> line{sim, from_ms(5)};
+  std::vector<int> got;
+  line.set_sink([&](const int& v) { got.push_back(v); });
+  line.send(1);
+  line.send(2);
+  sim.schedule_at(from_ms(1), [&] { line.send(3); });
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(DelayLine, ZeroDelayStillAsynchronous) {
+  Simulator sim;
+  DelayLine<int> line{sim, 0};
+  bool delivered = false;
+  line.set_sink([&](const int&) { delivered = true; });
+  line.send(1);
+  EXPECT_FALSE(delivered);  // delivery happens via the event loop
+  sim.run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST(DelayLine, CarriesPayloadByValue) {
+  Simulator sim;
+  DelayLine<Packet> line{sim, from_ms(1)};
+  Packet got;
+  line.set_sink([&](const Packet& p) { got = p; });
+  Packet p;
+  p.flow = 3;
+  p.seq = 42;
+  line.send(p);
+  p.seq = 999;  // mutating the original must not affect the in-flight copy
+  sim.run();
+  EXPECT_EQ(got.flow, 3u);
+  EXPECT_EQ(got.seq, 42u);
+}
+
+TEST(DelayLine, NoSinkIsSafe) {
+  Simulator sim;
+  DelayLine<int> line{sim, from_ms(1)};
+  line.send(5);
+  EXPECT_NO_THROW(sim.run());
+}
+
+TEST(DelayLine, ManyItemsInFlight) {
+  Simulator sim;
+  DelayLine<int> line{sim, from_ms(10)};
+  int count = 0;
+  line.set_sink([&](const int&) { ++count; });
+  for (int i = 0; i < 1000; ++i) line.send(i);
+  sim.run();
+  EXPECT_EQ(count, 1000);
+  EXPECT_EQ(sim.now(), from_ms(10));
+}
+
+}  // namespace
+}  // namespace bbrnash

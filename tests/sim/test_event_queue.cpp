@@ -1,0 +1,127 @@
+#include "sim/event_queue.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace bbrnash {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.next_time(), kTimeInf);
+}
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(42, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, MixedTimesAndTies) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(5, [&] { order.push_back(1); });
+  q.schedule(5, [&] { order.push_back(2); });
+  q.schedule(1, [&] { order.push_back(0); });
+  q.schedule(9, [&] { order.push_back(3); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, PopReturnsScheduledTime) {
+  EventQueue q;
+  q.schedule(77, [] {});
+  EXPECT_EQ(q.next_time(), 77);
+  auto ev = q.pop();
+  EXPECT_EQ(ev.when, 77);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.schedule_cancellable(10, [&] { ++fired; });
+  q.schedule(20, [&] { fired += 100; });
+  q.cancel(id);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, 100);
+}
+
+TEST(EventQueue, CancelledHeadDoesNotBlockNextTime) {
+  EventQueue q;
+  const EventId id = q.schedule_cancellable(10, [] {});
+  q.schedule(20, [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.next_time(), 20);
+}
+
+TEST(EventQueue, CancelUnknownIdIsNoop) {
+  EventQueue q;
+  q.schedule(5, [] {});
+  q.cancel(9999);
+  EXPECT_FALSE(q.empty());
+  q.pop();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelAfterFireIsNoop) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.schedule_cancellable(1, [&] { ++fired; });
+  q.pop().fn();
+  q.cancel(id);  // already fired
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, AllCancelledMeansEmpty) {
+  EventQueue q;
+  const EventId a = q.schedule_cancellable(1, [] {});
+  const EventId b = q.schedule_cancellable(2, [] {});
+  q.cancel(a);
+  q.cancel(b);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, InterleavedScheduleAndPop) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(10, [&] {
+    order.push_back(1);
+    q.schedule(15, [&] { order.push_back(2); });
+  });
+  q.schedule(20, [&] { order.push_back(3); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, LargeVolumeStaysOrdered) {
+  EventQueue q;
+  TimeNs last = -1;
+  for (int i = 0; i < 10000; ++i) {
+    q.schedule((i * 7919) % 1000, [] {});
+  }
+  while (!q.empty()) {
+    auto ev = q.pop();
+    EXPECT_GE(ev.when, last);
+    last = ev.when;
+  }
+}
+
+}  // namespace
+}  // namespace bbrnash

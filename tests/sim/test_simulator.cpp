@@ -1,0 +1,105 @@
+#include "sim/simulator.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace bbrnash {
+namespace {
+
+TEST(Simulator, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(Simulator, ClockAdvancesToEventTimes) {
+  Simulator sim;
+  std::vector<TimeNs> seen;
+  sim.schedule_at(from_ms(5), [&] { seen.push_back(sim.now()); });
+  sim.schedule_at(from_ms(9), [&] { seen.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ(seen, (std::vector<TimeNs>{from_ms(5), from_ms(9)}));
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  TimeNs inner = kTimeNone;
+  sim.schedule_in(from_ms(10), [&] {
+    sim.schedule_in(from_ms(5), [&] { inner = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(inner, from_ms(15));
+}
+
+TEST(Simulator, RunUntilExecutesEventsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(from_ms(10), [&] { ++fired; });
+  sim.run_until(from_ms(10));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, RunUntilLeavesFutureEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(from_ms(10), [&] { ++fired; });
+  sim.schedule_at(from_ms(20), [&] { ++fired; });
+  sim.run_until(from_ms(15));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), from_ms(15));
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.run_until(from_sec(3));
+  EXPECT_EQ(sim.now(), from_sec(3));
+}
+
+TEST(Simulator, StopHaltsImmediately) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_at(2, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.stopped());
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+TEST(Simulator, CancellableTimerCanBeRearmed) {
+  Simulator sim;
+  int fired = 0;
+  EventId timer = sim.schedule_cancellable_at(from_ms(10), [&] { fired = 1; });
+  sim.schedule_at(from_ms(5), [&] {
+    sim.cancel(timer);
+    sim.schedule_cancellable_at(from_ms(20), [&] { fired = 2; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventChainSimulatesPeriodicProcess) {
+  Simulator sim;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    if (ticks < 10) sim.schedule_in(from_ms(1), tick);
+  };
+  sim.schedule_in(from_ms(1), tick);
+  sim.run();
+  EXPECT_EQ(ticks, 10);
+  EXPECT_EQ(sim.now(), from_ms(10));
+}
+
+}  // namespace
+}  // namespace bbrnash

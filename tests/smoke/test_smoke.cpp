@@ -1,0 +1,39 @@
+// Build-pipeline smoke tests: one touch per library.
+#include <gtest/gtest.h>
+
+#include "exp/scenario_runner.hpp"
+#include "model/mishra_model.hpp"
+#include "model/ware_model.hpp"
+
+namespace bbrnash {
+namespace {
+
+TEST(Smoke, ModelSolves) {
+  const NetworkParams net = make_params(50.0, 40.0, 5.0);
+  const auto pred = two_flow_prediction(net);
+  ASSERT_TRUE(pred.has_value());
+  EXPECT_GT(pred->lambda_bbr, 0.0);
+  EXPECT_GT(pred->lambda_cubic, 0.0);
+  EXPECT_NEAR(pred->lambda_bbr + pred->lambda_cubic, net.capacity, 1.0);
+}
+
+TEST(Smoke, WareSolves) {
+  const NetworkParams net = make_params(50.0, 40.0, 5.0);
+  const WarePrediction w = ware_prediction(net);
+  EXPECT_GE(w.bbr_fraction, 0.0);
+  EXPECT_LE(w.bbr_fraction, 1.0);
+}
+
+TEST(Smoke, SimulatorRunsOneCubicVsOneBbr) {
+  const NetworkParams net = make_params(20.0, 20.0, 3.0);
+  Scenario s = make_mix_scenario(net, 1, 1);
+  s.duration = from_sec(10);
+  s.warmup = from_sec(3);
+  const RunResult r = run_scenario(s);
+  ASSERT_EQ(r.flows.size(), 2u);
+  // The link should be essentially saturated by two bulk flows.
+  EXPECT_GT(r.link_utilization, 0.8);
+}
+
+}  // namespace
+}  // namespace bbrnash

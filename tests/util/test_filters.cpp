@@ -1,0 +1,168 @@
+#include "util/filters.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace bbrnash {
+namespace {
+
+TEST(WindowedFilter, EmptyReturnsDefault) {
+  WindowedFilter<double> f{FilterKind::kMax, 100, -1.0};
+  EXPECT_TRUE(f.empty());
+  EXPECT_DOUBLE_EQ(f.best(), -1.0);
+  EXPECT_EQ(f.best_time(), kTimeNone);
+}
+
+TEST(WindowedFilter, TracksMaxWithinWindow) {
+  WindowedFilter<double> f{FilterKind::kMax, 100, 0.0};
+  f.update(0, 5);
+  f.update(10, 3);
+  f.update(20, 8);
+  f.update(30, 1);
+  EXPECT_DOUBLE_EQ(f.best(), 8.0);
+  EXPECT_EQ(f.best_time(), 20);
+}
+
+TEST(WindowedFilter, ExpiresOldMaximum) {
+  WindowedFilter<double> f{FilterKind::kMax, 100, 0.0};
+  f.update(0, 9);
+  f.update(50, 4);
+  f.update(101, 2);  // t=0 sample now out of window
+  EXPECT_DOUBLE_EQ(f.best(), 4.0);
+  f.update(151, 1);  // t=50 out too
+  EXPECT_DOUBLE_EQ(f.best(), 2.0);
+}
+
+TEST(WindowedFilter, AdvanceExpiresWithoutSample) {
+  WindowedFilter<double> f{FilterKind::kMax, 100, -1.0};
+  f.update(0, 9);
+  f.advance(200);
+  EXPECT_TRUE(f.empty());
+  EXPECT_DOUBLE_EQ(f.best(), -1.0);
+}
+
+TEST(WindowedFilter, MinVariantTracksMinimum) {
+  WindowedFilter<TimeNs> f{FilterKind::kMin, from_sec(10), kTimeInf};
+  f.update(from_sec(1), from_ms(50));
+  f.update(from_sec(2), from_ms(40));
+  f.update(from_sec(3), from_ms(60));
+  EXPECT_EQ(f.best(), from_ms(40));
+  // Minimum expires after its window passes.
+  f.update(from_sec(12) + 1, from_ms(55));
+  EXPECT_EQ(f.best(), from_ms(55));
+}
+
+TEST(WindowedFilter, EqualValuesKeepNewest) {
+  // A new equal sample replaces the old so the window extends.
+  WindowedFilter<double> f{FilterKind::kMax, 100, 0.0};
+  f.update(0, 5);
+  f.update(90, 5);
+  f.update(150, 1);  // t=0 expired, but the t=90 five remains
+  EXPECT_DOUBLE_EQ(f.best(), 5.0);
+}
+
+TEST(WindowedFilter, SetWindowShrinksRetroactively) {
+  WindowedFilter<double> f{FilterKind::kMax, 1000, 0.0};
+  f.update(0, 9);
+  f.update(500, 5);
+  f.advance(600);
+  f.set_window(100);
+  EXPECT_DOUBLE_EQ(f.best(), 5.0);
+}
+
+TEST(WindowedFilter, ResetEmpties) {
+  WindowedFilter<double> f{FilterKind::kMax, 100, 0.0};
+  f.update(0, 9);
+  f.reset();
+  EXPECT_TRUE(f.empty());
+}
+
+// Property sweep: the exact filter agrees with a brute-force recomputation
+// over random sample streams.
+struct FilterSweepParam {
+  FilterKind kind;
+  TimeNs window;
+  std::uint64_t seed;
+};
+
+class WindowedFilterProperty
+    : public ::testing::TestWithParam<FilterSweepParam> {};
+
+TEST_P(WindowedFilterProperty, MatchesBruteForce) {
+  const auto p = GetParam();
+  WindowedFilter<double> f{p.kind, p.window, -1e18};
+  Rng rng{p.seed};
+
+  std::vector<std::pair<TimeNs, double>> samples;
+  TimeNs now = 0;
+  for (int i = 0; i < 500; ++i) {
+    now += static_cast<TimeNs>(rng.next_below(40));
+    const double v = rng.uniform(0, 1000);
+    samples.emplace_back(now, v);
+    f.update(now, v);
+
+    double best = -1e18;
+    bool any = false;
+    for (const auto& [t, x] : samples) {
+      if (t + p.window < now) continue;
+      if (!any) {
+        best = x;
+        any = true;
+      } else if (p.kind == FilterKind::kMax ? x > best : x < best) {
+        best = x;
+      }
+    }
+    ASSERT_TRUE(any);
+    ASSERT_DOUBLE_EQ(f.best(), best) << "at step " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WindowedFilterProperty,
+    ::testing::Values(FilterSweepParam{FilterKind::kMax, 100, 1},
+                      FilterSweepParam{FilterKind::kMax, 37, 2},
+                      FilterSweepParam{FilterKind::kMin, 100, 3},
+                      FilterSweepParam{FilterKind::kMin, 5, 4},
+                      FilterSweepParam{FilterKind::kMax, 1000, 5},
+                      FilterSweepParam{FilterKind::kMin, 1, 6}));
+
+TEST(KernelMinmaxFilter, TracksRisingMax) {
+  KernelMinmaxFilter<double> f{100, 0.0};
+  f.update_max(0, 1);
+  f.update_max(10, 5);
+  f.update_max(20, 3);
+  EXPECT_DOUBLE_EQ(f.best(), 5.0);
+}
+
+TEST(KernelMinmaxFilter, ForgetsStaleMax) {
+  KernelMinmaxFilter<double> f{100, 0.0};
+  f.update_max(0, 100);
+  for (TimeNs t = 10; t <= 300; t += 10) f.update_max(t, 10);
+  // After several windows the 100 must be gone.
+  EXPECT_DOUBLE_EQ(f.best(), 10.0);
+}
+
+TEST(KernelMinmaxFilter, RisingSampleAlwaysAdopted) {
+  // Whatever the slot state, a sample >= the current best replaces it.
+  KernelMinmaxFilter<double> kernel{50, 0.0};
+  Rng rng{7};
+  TimeNs now = 0;
+  double top = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    now += static_cast<TimeNs>(rng.next_below(9));
+    const double v = rng.uniform(0, 100);
+    kernel.update_max(now, v);
+    top = std::max(top, v);
+    if (v >= top) {
+      EXPECT_DOUBLE_EQ(kernel.best(), v);
+    }
+    // The reported best is never above the all-time max and never below
+    // the newest sample (which is always inside the window).
+    EXPECT_LE(kernel.best(), top + 1e-9);
+    EXPECT_GE(kernel.best() + 1e-9, v);
+  }
+}
+
+}  // namespace
+}  // namespace bbrnash

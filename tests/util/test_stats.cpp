@@ -1,0 +1,128 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace bbrnash {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, KnownSample) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance (n-1 denominator) of this classic sample is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleValueHasZeroVariance) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(2.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffsets) {
+  RunningStats s;
+  const double offset = 1e9;
+  for (const double x : {offset + 1, offset + 2, offset + 3}) s.add(x);
+  EXPECT_NEAR(s.mean(), offset + 2, 1e-3);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(TimeWeightedAverage, ConstantSignal) {
+  TimeWeightedAverage a;
+  a.update(0.0, 5.0);
+  a.update(10.0, 5.0);
+  EXPECT_DOUBLE_EQ(a.average(), 5.0);
+  EXPECT_DOUBLE_EQ(a.observed_span(), 10.0);
+}
+
+TEST(TimeWeightedAverage, PiecewiseConstantSignal) {
+  TimeWeightedAverage a;
+  a.update(0.0, 10.0);  // 10 for t in [0, 2)
+  a.update(2.0, 0.0);   // 0 for t in [2, 6)
+  a.update(6.0, 5.0);   // 5 for t in [6, 10)
+  a.update(10.0, 0.0);
+  // (10*2 + 0*4 + 5*4) / 10 = 4.
+  EXPECT_DOUBLE_EQ(a.average(), 4.0);
+}
+
+TEST(TimeWeightedAverage, FirstUpdateOnlyAnchors) {
+  TimeWeightedAverage a;
+  a.update(5.0, 100.0);
+  EXPECT_DOUBLE_EQ(a.average(), 0.0);  // no span observed yet
+  a.update(6.0, 0.0);
+  EXPECT_DOUBLE_EQ(a.average(), 100.0);
+}
+
+TEST(TimeWeightedAverage, IgnoresNonPositiveDt) {
+  TimeWeightedAverage a;
+  a.update(1.0, 10.0);
+  a.update(1.0, 20.0);  // same instant: value replaced, no integration
+  a.update(2.0, 0.0);
+  EXPECT_DOUBLE_EQ(a.average(), 20.0);
+}
+
+TEST(Percentile, EmptyIsZero) { EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0); }
+
+TEST(Percentile, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(percentile({3, 1, 2}, 0.5), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  // Quartile of {1,2,3,4}: numpy-style linear interpolation gives 1.75.
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4}, 0.25), 1.75);
+}
+
+TEST(Percentile, ExtremesAreMinAndMax) {
+  EXPECT_DOUBLE_EQ(percentile({5, 1, 9}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({5, 1, 9}, 1.0), 9.0);
+}
+
+TEST(Percentile, ClampsQuantile) {
+  EXPECT_DOUBLE_EQ(percentile({1, 2}, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2}, 2.0), 2.0);
+}
+
+TEST(MeanOf, BasicAndEmpty) {
+  EXPECT_DOUBLE_EQ(mean_of({1, 2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+}
+
+TEST(JainFairness, PerfectlyFair) {
+  EXPECT_DOUBLE_EQ(jain_fairness({5, 5, 5, 5}), 1.0);
+}
+
+TEST(JainFairness, TotallyUnfair) {
+  // One flow hogs everything: index -> 1/n.
+  EXPECT_NEAR(jain_fairness({10, 0, 0, 0}), 0.25, 1e-12);
+}
+
+TEST(JainFairness, EmptyAndZeroAreFairByConvention) {
+  EXPECT_DOUBLE_EQ(jain_fairness({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({0, 0}), 1.0);
+}
+
+}  // namespace
+}  // namespace bbrnash

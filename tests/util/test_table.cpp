@@ -1,0 +1,69 @@
+#include "util/table.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace bbrnash {
+namespace {
+
+TEST(Table, CsvRoundTrip) {
+  Table t({"a", "b"});
+  t.add_row({std::string{"1"}, std::string{"x"}});
+  t.add_row({std::string{"2"}, std::string{"y"}});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,x\n2,y\n");
+}
+
+TEST(Table, DoubleRowsAreFormatted) {
+  Table t({"v"});
+  t.add_row(std::vector<double>{1.23456}, 2);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "v\n1.23\n");
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({std::string{"1"}});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b,c\n1,,\n");
+}
+
+TEST(Table, LongRowsAreTruncatedToHeaderWidth) {
+  Table t({"a"});
+  t.add_row({std::string{"1"}, std::string{"extra"}});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a\n1\n");
+}
+
+TEST(Table, AlignedOutputHasRuleAndColumns) {
+  Table t({"col", "x"});
+  t.add_row({std::string{"value"}, std::string{"1"}});
+  std::ostringstream os;
+  t.print_aligned(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("col"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);  // widest cell is "value"
+  EXPECT_NE(out.find("value"), std::string::npos);
+}
+
+TEST(Table, CountsRowsAndColumns) {
+  Table t({"a", "b"});
+  EXPECT_EQ(t.column_count(), 2u);
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({std::string{"1"}, std::string{"2"}});
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(3.0, 0), "3");
+  EXPECT_EQ(format_double(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace bbrnash

@@ -1,0 +1,62 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bbrnash {
+namespace {
+
+TEST(Units, TimeConversionsRoundTrip) {
+  EXPECT_EQ(from_ms(40), 40'000'000);
+  EXPECT_EQ(from_sec(2), 2'000'000'000);
+  EXPECT_EQ(from_us(3), 3'000);
+  EXPECT_DOUBLE_EQ(to_ms(from_ms(40)), 40.0);
+  EXPECT_DOUBLE_EQ(to_sec(from_sec(120)), 120.0);
+  EXPECT_DOUBLE_EQ(to_us(from_us(7)), 7.0);
+}
+
+TEST(Units, FractionalInputs) {
+  EXPECT_EQ(from_ms(0.5), 500'000);
+  EXPECT_EQ(from_sec(0.001), 1'000'000);
+}
+
+TEST(Units, MbpsConversion) {
+  // 50 Mbps = 6.25 MB/s.
+  EXPECT_DOUBLE_EQ(mbps(50.0), 6.25e6);
+  EXPECT_DOUBLE_EQ(to_mbps(mbps(123.0)), 123.0);
+}
+
+TEST(Units, BdpBytesMatchesHandComputation) {
+  // 100 Mbps * 40 ms = 12.5 MB/s * 0.04 s = 500 kB.
+  EXPECT_EQ(bdp_bytes(mbps(100.0), from_ms(40)), 500'000);
+}
+
+TEST(Units, SerializationTimeExactWhenDivisible) {
+  // 1250 bytes at 1.25 MB/s = exactly 1 ms.
+  EXPECT_EQ(serialization_time(1250, 1.25e6), from_ms(1));
+}
+
+TEST(Units, SerializationTimeRoundsUp) {
+  // 1 byte at 3 bytes/sec = 333333333.33.. ns -> must round UP.
+  EXPECT_EQ(serialization_time(1, 3.0), 333'333'334);
+}
+
+TEST(Units, SerializationTimeZeroBytes) {
+  EXPECT_EQ(serialization_time(0, 1e6), 0);
+}
+
+TEST(Units, SerializationTimeMonotoneInSize) {
+  TimeNs prev = 0;
+  for (Bytes n = 1; n <= 3000; n += 123) {
+    const TimeNs t = serialization_time(n, mbps(50));
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Units, SentinelsAreDistinct) {
+  EXPECT_LT(kTimeNone, 0);
+  EXPECT_GT(kTimeInf, from_sec(1e9));
+}
+
+}  // namespace
+}  // namespace bbrnash

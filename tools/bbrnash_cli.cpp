@@ -1,0 +1,216 @@
+// bbrnash — command-line front end to the simulator and the model.
+//
+//   bbrnash run   --capacity 100 --rtt 40 --buffer-bdp 5
+//                 --flows cubic:4,bbr:2 [--duration 60] [--warmup 15]
+//                 [--seed 1] [--aqm droptail|red|codel] [--csv]
+//   bbrnash model --capacity 100 --rtt 40 --buffer-bdp 5
+//                 [--cubic 5 --bbr 5]
+//   bbrnash nash  --capacity 100 --rtt 40 --buffer-bdp 5 --flows-total 50
+//
+// `run` simulates a scenario and prints per-flow results; `model` prints
+// the analytical prediction; `nash` prints the predicted Nash region.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/scenario_runner.hpp"
+#include "model/mishra_model.hpp"
+#include "model/nash.hpp"
+#include "model/ware_model.hpp"
+#include "util/table.hpp"
+
+using namespace bbrnash;
+
+namespace {
+
+struct Args {
+  std::map<std::string, std::string> kv;
+  bool csv = false;
+
+  double num(const std::string& key, double fallback) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : std::atof(it->second.c_str());
+  }
+  std::string str(const std::string& key, const std::string& fallback) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : it->second;
+  }
+};
+
+std::optional<CcKind> parse_cc(const std::string& name) {
+  for (const CcKind k : {CcKind::kCubic, CcKind::kReno, CcKind::kBbr,
+                         CcKind::kBbrV2, CcKind::kCopa, CcKind::kVivace,
+                         CcKind::kVegas}) {
+    if (name == to_string(k)) return k;
+  }
+  return std::nullopt;
+}
+
+std::optional<AqmKind> parse_aqm(const std::string& name) {
+  for (const AqmKind k :
+       {AqmKind::kDropTail, AqmKind::kRed, AqmKind::kCoDel}) {
+    if (name == to_string(k)) return k;
+  }
+  return std::nullopt;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bbrnash <run|model|nash> --capacity MBPS --rtt MS "
+               "--buffer-bdp N [options]\n"
+               "  run:   --flows cubic:4,bbr:2 [--duration S] [--warmup S] "
+               "[--seed N] [--aqm droptail|red|codel] [--csv]\n"
+               "  model: [--cubic N --bbr N] [--duration S]\n"
+               "  nash:  --flows-total N\n");
+  return 2;
+}
+
+int cmd_run(const Args& args) {
+  const NetworkParams net =
+      make_params(args.num("capacity", 100), args.num("rtt", 40),
+                  args.num("buffer-bdp", 5));
+  Scenario s;
+  s.capacity = net.capacity;
+  s.buffer_bytes = net.buffer_bytes;
+  s.duration = from_sec(args.num("duration", 60));
+  s.warmup = from_sec(args.num("warmup", args.num("duration", 60) / 4));
+  s.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+
+  const auto aqm = parse_aqm(args.str("aqm", "droptail"));
+  if (!aqm) {
+    std::fprintf(stderr, "unknown aqm\n");
+    return usage();
+  }
+  s.aqm = *aqm;
+
+  // --flows cubic:4,bbr:2,vegas:1
+  std::stringstream flows{args.str("flows", "cubic:1,bbr:1")};
+  std::string part;
+  while (std::getline(flows, part, ',')) {
+    const auto colon = part.find(':');
+    const std::string name = part.substr(0, colon);
+    const int count =
+        colon == std::string::npos ? 1 : std::atoi(part.c_str() + colon + 1);
+    const auto kind = parse_cc(name);
+    if (!kind || count < 0) {
+      std::fprintf(stderr, "bad --flows entry '%s'\n", part.c_str());
+      return usage();
+    }
+    for (int i = 0; i < count; ++i) s.flows.push_back({*kind, net.base_rtt});
+  }
+  if (s.flows.empty()) return usage();
+
+  const RunResult r = run_scenario(s);
+
+  Table table({"flow", "cc", "goodput_mbps", "avg_rtt_ms", "retransmits",
+               "avg_queue_kB"});
+  for (std::size_t i = 0; i < r.flows.size(); ++i) {
+    const auto& f = r.flows[i];
+    table.add_row({std::to_string(i), to_string(f.cc),
+                   format_double(to_mbps(f.stats.goodput_bps), 2),
+                   format_double(f.stats.avg_rtt_ms, 1),
+                   std::to_string(f.stats.retransmits),
+                   format_double(f.stats.avg_queue_occupancy_bytes / 1e3, 0)});
+  }
+  if (args.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print_aligned(std::cout);
+    std::printf(
+        "\nlink utilization %.1f%%, avg queue delay %.1f ms, drops %llu, "
+        "aqm %s\n",
+        100.0 * r.link_utilization, r.avg_queue_delay_ms,
+        static_cast<unsigned long long>(r.total_drops), to_string(s.aqm));
+  }
+  return 0;
+}
+
+int cmd_model(const Args& args) {
+  const NetworkParams net =
+      make_params(args.num("capacity", 100), args.num("rtt", 40),
+                  args.num("buffer-bdp", 5));
+  const int nc = static_cast<int>(args.num("cubic", 1));
+  const int nb = static_cast<int>(args.num("bbr", 1));
+
+  const WarePrediction ware = ware_prediction(
+      net, WareInputs{nb, args.num("duration", 120), 1500});
+  std::printf("network: %.0f Mbps, %.0f ms, %.1f BDP (%lld bytes buffer)\n",
+              to_mbps(net.capacity), to_ms(net.base_rtt), net.buffer_in_bdp(),
+              static_cast<long long>(net.buffer_bytes));
+  if (nc >= 1 && nb >= 1) {
+    const auto iv = prediction_interval(net, nc, nb);
+    if (!iv) {
+      std::printf("outside the model's validity domain (need B >= 1 BDP)\n");
+      return 1;
+    }
+    std::printf("%d CUBIC vs %d BBR (per-flow Mbps):\n", nc, nb);
+    std::printf("  BBR   : %.2f (sync) .. %.2f (desync)\n",
+                to_mbps(iv->sync.per_flow_bbr),
+                to_mbps(iv->desync.per_flow_bbr));
+    std::printf("  CUBIC : %.2f (desync) .. %.2f (sync)\n",
+                to_mbps(iv->desync.per_flow_cubic),
+                to_mbps(iv->sync.per_flow_cubic));
+  }
+  std::printf("Ware et al. baseline: BBR aggregate %.2f Mbps (%.0f%%)\n",
+              to_mbps(ware.lambda_bbr), 100.0 * ware.bbr_fraction);
+  return 0;
+}
+
+int cmd_nash(const Args& args) {
+  const NetworkParams net =
+      make_params(args.num("capacity", 100), args.num("rtt", 40),
+                  args.num("buffer-bdp", 5));
+  const int total = static_cast<int>(args.num("flows-total", 50));
+  const auto region = predict_nash_region(net, total);
+  if (!region) {
+    std::printf("outside the model's validity domain\n");
+    return 1;
+  }
+  std::printf(
+      "Nash region for %d same-RTT flows on %.0f Mbps / %.0f ms / %.1f BDP:\n"
+      "  CUBIC flows at NE: %.1f (desync bound) .. %.1f (sync bound)\n"
+      "  BBR flows at NE:   %.1f .. %.1f\n",
+      total, to_mbps(net.capacity), to_ms(net.base_rtt), net.buffer_in_bdp(),
+      region->cubic_low(), region->cubic_high(),
+      static_cast<double>(total) - region->cubic_high(),
+      static_cast<double>(total) - region->cubic_low());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) {
+      args.csv = true;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--", 2) == 0 && i + 1 < argc) {
+      args.kv[argv[i] + 2] = argv[i + 1];
+      ++i;
+    } else {
+      std::fprintf(stderr, "unexpected argument '%s'\n", argv[i]);
+      return usage();
+    }
+  }
+
+  try {
+    if (cmd == "run") return cmd_run(args);
+    if (cmd == "model") return cmd_model(args);
+    if (cmd == "nash") return cmd_nash(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
