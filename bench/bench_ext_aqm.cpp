@@ -54,8 +54,7 @@ int main(int argc, char** argv) {
 
   Table table({"aqm", "cubic_mbps", "bbr_mbps", "queue_delay_ms",
                "utilization"});
-  for (const AqmKind aqm :
-       {AqmKind::kDropTail, AqmKind::kRed, AqmKind::kCoDel}) {
+  for (const AqmKind aqm : kAllAqmKinds) {
     const MixOutcome m = run_with_aqm(net, 1, 1, aqm, trial);
     table.add_row({std::string{to_string(aqm)},
                    format_double(m.per_flow_cubic_mbps),

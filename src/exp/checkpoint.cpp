@@ -1,0 +1,116 @@
+#include "exp/checkpoint.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace bbrnash {
+
+namespace {
+
+/// Reserved field holding the cell key inside each record.
+constexpr const char* kKeyField = "key";
+
+}  // namespace
+
+CheckpointLog::CheckpointLog(std::string path) : path_(std::move(path)) {
+  for (auto& rec : read_jsonl(path_)) {
+    const std::string key = rec.get_string(kKeyField);
+    if (!key.empty()) entries_[key] = std::move(rec);
+  }
+}
+
+const JsonlRecord* CheckpointLog::lookup(const std::string& key) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void CheckpointLog::record(const std::string& key, JsonlRecord rec) {
+  rec.set(kKeyField, key);
+  append_jsonl_line(path_, rec.encode());
+  entries_[key] = std::move(rec);
+}
+
+std::string mix_checkpoint_key(const NetworkParams& net, int num_cubic,
+                               int num_other, CcKind other,
+                               const TrialConfig& cfg) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "mix c=%lld b=%lld r=%lld nc=%d no=%d cc=%s d=%lld w=%lld t=%d "
+      "s=%llu l=%.17g gl=%.17g al=%.17g agl=%.17g j=%lld sched=%zu "
+      "att=%d bump=%llu",
+      static_cast<long long>(net.capacity),
+      static_cast<long long>(net.buffer_bytes),
+      static_cast<long long>(net.base_rtt), num_cubic, num_other,
+      to_string(other), static_cast<long long>(cfg.duration),
+      static_cast<long long>(cfg.warmup), cfg.trials,
+      static_cast<unsigned long long>(cfg.seed), cfg.impairments.loss_rate,
+      cfg.impairments.gilbert.expected_loss_rate(),
+      cfg.ack_impairments.loss_rate,
+      cfg.ack_impairments.gilbert.expected_loss_rate(),
+      static_cast<long long>(cfg.impairments.jitter),
+      cfg.capacity_schedule.size(), cfg.guard.max_attempts,
+      static_cast<unsigned long long>(cfg.guard.seed_bump));
+  return buf;
+}
+
+JsonlRecord mix_to_record(const MixOutcome& m) {
+  JsonlRecord rec;
+  rec.set("per_flow_cubic_mbps", m.per_flow_cubic_mbps);
+  rec.set("per_flow_other_mbps", m.per_flow_other_mbps);
+  rec.set("total_cubic_mbps", m.total_cubic_mbps);
+  rec.set("total_other_mbps", m.total_other_mbps);
+  rec.set("avg_queue_delay_ms", m.avg_queue_delay_ms);
+  rec.set("link_utilization", m.link_utilization);
+  rec.set("cubic_buffer_avg", m.cubic_buffer_avg);
+  rec.set("cubic_buffer_min", m.cubic_buffer_min);
+  rec.set("noncubic_buffer_avg", m.noncubic_buffer_avg);
+  rec.set("trials_completed", m.trials_completed);
+  rec.set("trials_retried", m.trials_retried);
+  rec.set("trials_failed", m.trials_failed);
+  std::string log;
+  for (const std::string& f : m.failures) {
+    if (!log.empty()) log += " | ";
+    log += f;
+  }
+  if (!log.empty()) rec.set("failure_log", log);
+  return rec;
+}
+
+MixOutcome mix_from_record(const JsonlRecord& rec) {
+  MixOutcome m;
+  m.per_flow_cubic_mbps = rec.get_double("per_flow_cubic_mbps");
+  m.per_flow_other_mbps = rec.get_double("per_flow_other_mbps");
+  m.total_cubic_mbps = rec.get_double("total_cubic_mbps");
+  m.total_other_mbps = rec.get_double("total_other_mbps");
+  m.avg_queue_delay_ms = rec.get_double("avg_queue_delay_ms");
+  m.link_utilization = rec.get_double("link_utilization");
+  m.cubic_buffer_avg = rec.get_double("cubic_buffer_avg");
+  m.cubic_buffer_min = rec.get_double("cubic_buffer_min");
+  m.noncubic_buffer_avg = rec.get_double("noncubic_buffer_avg");
+  m.trials_completed = static_cast<int>(rec.get_u64("trials_completed"));
+  m.trials_retried = static_cast<int>(rec.get_u64("trials_retried"));
+  m.trials_failed = static_cast<int>(rec.get_u64("trials_failed"));
+  const std::string log = rec.get_string("failure_log");
+  if (!log.empty()) m.failures.push_back(log);
+  return m;
+}
+
+MixOutcome run_mix_trials_checkpointed(const NetworkParams& net,
+                                       int num_cubic, int num_other,
+                                       CcKind other, const TrialConfig& cfg,
+                                       CheckpointLog* log) {
+  if (log == nullptr) {
+    return run_mix_trials(net, num_cubic, num_other, other, cfg);
+  }
+  const std::string key =
+      mix_checkpoint_key(net, num_cubic, num_other, other, cfg);
+  if (const JsonlRecord* hit = log->lookup(key)) {
+    return mix_from_record(*hit);
+  }
+  const MixOutcome m = run_mix_trials(net, num_cubic, num_other, other, cfg);
+  log->record(key, mix_to_record(m));
+  return m;
+}
+
+}  // namespace bbrnash

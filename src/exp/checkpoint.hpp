@@ -1,0 +1,62 @@
+// Crash-safe sweep checkpoints.
+//
+// A CheckpointLog is an append-only JSONL file mapping a trial key (a
+// string encoding every input that determines the outcome) to its measured
+// numbers. Sweeps look a key up before simulating and append after; a
+// killed sweep restarted with the same log re-reads the finished cells and
+// resumes where it died. Because every double is written with full
+// round-trip precision and per-cell seeds are pure functions of the
+// configuration, a resumed sweep is numerically identical to an
+// uninterrupted one (asserted by tests/exp/test_checkpoint.cpp). A torn
+// trailing line from a crash mid-append parses as garbage and is skipped
+// on reload — that cell simply re-runs.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "cc/congestion_control.hpp"
+#include "exp/sweeps.hpp"
+#include "model/network_params.hpp"
+#include "util/jsonl.hpp"
+
+namespace bbrnash {
+
+class CheckpointLog {
+ public:
+  /// Opens (and replays) the log at `path`; the file need not exist yet.
+  /// On duplicate keys the last record wins, so re-recording a key is
+  /// harmless.
+  explicit CheckpointLog(std::string path);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  /// nullptr when the key has not been recorded.
+  [[nodiscard]] const JsonlRecord* lookup(const std::string& key) const;
+  /// Appends to the file (flushing) and updates the in-memory view.
+  void record(const std::string& key, JsonlRecord rec);
+
+ private:
+  std::string path_;
+  std::map<std::string, JsonlRecord> entries_;
+};
+
+/// Key for one run_mix_trials cell: network, mix, trial plan and path
+/// conditions. Everything that changes the measured numbers is in here, so
+/// one log file can serve a whole multi-dimension sweep.
+[[nodiscard]] std::string mix_checkpoint_key(const NetworkParams& net,
+                                             int num_cubic, int num_other,
+                                             CcKind other,
+                                             const TrialConfig& cfg);
+
+[[nodiscard]] JsonlRecord mix_to_record(const MixOutcome& m);
+[[nodiscard]] MixOutcome mix_from_record(const JsonlRecord& rec);
+
+/// run_mix_trials with lookup-before-run and record-after-run; a null log
+/// degenerates to a plain run_mix_trials call.
+MixOutcome run_mix_trials_checkpointed(const NetworkParams& net,
+                                       int num_cubic, int num_other,
+                                       CcKind other, const TrialConfig& cfg,
+                                       CheckpointLog* log);
+
+}  // namespace bbrnash

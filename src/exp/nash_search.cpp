@@ -2,20 +2,33 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <stdexcept>
 
+#include "exp/checkpoint.hpp"
 #include "exp/scenario_runner.hpp"
 
 namespace bbrnash {
+
+namespace {
+
+/// Checkpoint log for one search, when the config asks for one.
+std::unique_ptr<CheckpointLog> open_checkpoint(const NashSearchConfig& cfg) {
+  if (cfg.checkpoint_path.empty()) return nullptr;
+  return std::make_unique<CheckpointLog>(cfg.checkpoint_path);
+}
+
+}  // namespace
 
 EmpiricalPayoffs measure_payoffs(const NetworkParams& net, int total_flows,
                                  const NashSearchConfig& cfg) {
   EmpiricalPayoffs out;
   out.cubic_mbps.assign(static_cast<std::size_t>(total_flows) + 1, 0.0);
   out.other_mbps.assign(static_cast<std::size_t>(total_flows) + 1, 0.0);
+  const auto log = open_checkpoint(cfg);
   for (int k = 0; k <= total_flows; ++k) {
-    const MixOutcome m =
-        run_mix_trials(net, total_flows - k, k, cfg.challenger, cfg.trial);
+    const MixOutcome m = run_mix_trials_checkpointed(
+        net, total_flows - k, k, cfg.challenger, cfg.trial, log.get());
     out.cubic_mbps[static_cast<std::size_t>(k)] = m.per_flow_cubic_mbps;
     out.other_mbps[static_cast<std::size_t>(k)] = m.per_flow_other_mbps;
   }
@@ -37,12 +50,14 @@ int find_ne_crossing(const NetworkParams& net, int total_flows,
   const double tol = cfg.tolerance_frac * fair_mbps;
 
   std::map<int, MixOutcome> cache;
+  const auto log = open_checkpoint(cfg);
   const auto outcome_at = [&](int k) -> const MixOutcome& {
     auto it = cache.find(k);
     if (it == cache.end()) {
       it = cache
-               .emplace(k, run_mix_trials(net, total_flows - k, k,
-                                          cfg.challenger, cfg.trial))
+               .emplace(k, run_mix_trials_checkpointed(net, total_flows - k,
+                                                       k, cfg.challenger,
+                                                       cfg.trial, log.get()))
                .first;
     }
     return it->second;

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "cc/congestion_control.hpp"
@@ -30,6 +31,11 @@ struct NashSearchConfig {
   /// The paper observes multiple neighbouring NE because gains near the
   /// crossing are inside noise; this models that explicitly.
   double tolerance_frac = 0.05;
+  /// When non-empty, every simulated distribution is checkpointed to this
+  /// append-only JSONL file and a killed search restarted with the same
+  /// path resumes from the finished cells, reproducing the uninterrupted
+  /// numbers exactly (see exp/checkpoint.hpp).
+  std::string checkpoint_path;
 };
 
 /// Per-distribution payoff tables: index k = number of challenger flows.

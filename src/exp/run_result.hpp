@@ -5,6 +5,7 @@
 
 #include "cc/congestion_control.hpp"
 #include "flow/flow_stats.hpp"
+#include "net/impairment.hpp"
 #include "util/units.hpp"
 
 namespace bbrnash {
@@ -30,6 +31,12 @@ struct RunResult {
   Bytes cubic_buffer_max = 0;
   // And BBR-family aggregate occupancy (the model's b_b).
   double noncubic_buffer_avg = 0.0;
+
+  // Injected-impairment accounting, aggregated over all flows' stages
+  // (all-zero for a pristine scenario). Queue drops are NOT included here;
+  // those stay in total_drops.
+  ImpairmentCounters data_impairments;
+  ImpairmentCounters ack_impairments;
 
   /// Mean per-flow goodput (Mbps) across flows of `kind`; 0 if none.
   [[nodiscard]] double avg_goodput_mbps(CcKind kind) const {

@@ -1,8 +1,12 @@
 #include "exp/scenario_runner.hpp"
 
 #include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstdio>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -11,6 +15,7 @@
 #include "net/aqm.hpp"
 #include "net/bottleneck_link.hpp"
 #include "net/delay_line.hpp"
+#include "net/impairment.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -25,7 +30,104 @@ const char* to_string(AqmKind kind) {
     case AqmKind::kCoDel:
       return "codel";
   }
-  return "unknown";
+  assert(false && "unhandled AqmKind");
+  return "?";
+}
+
+std::optional<AqmKind> parse_aqm(std::string_view name) {
+  for (const AqmKind k : kAllAqmKinds) {
+    if (name == to_string(k)) return k;
+  }
+  return std::nullopt;
+}
+
+const char* to_string(RunStatus status) {
+  switch (status) {
+    case RunStatus::kOk:
+      return "ok";
+    case RunStatus::kAbortedEventBudget:
+      return "aborted-event-budget";
+    case RunStatus::kAbortedWallClock:
+      return "aborted-wall-clock";
+    case RunStatus::kInvariantViolation:
+      return "invariant-violation";
+    case RunStatus::kError:
+      return "error";
+  }
+  assert(false && "unhandled RunStatus");
+  return "?";
+}
+
+std::vector<RateChange> make_flap_schedule(TimeNs period, TimeNs down_for,
+                                           BytesPerSec up_rate,
+                                           BytesPerSec down_rate,
+                                           TimeNs until) {
+  if (period <= 0 || down_for <= 0 || down_for >= period) {
+    throw std::invalid_argument{
+        "flap schedule needs 0 < down_for < period"};
+  }
+  if (up_rate <= 0 || down_rate <= 0) {
+    throw std::invalid_argument{"flap rates must be > 0"};
+  }
+  std::vector<RateChange> out;
+  for (TimeNs t = period - down_for; t < until; t += period) {
+    out.push_back({t, down_rate});
+    out.push_back({t + down_for, up_rate});
+  }
+  return out;
+}
+
+void Scenario::validate() const {
+  if (capacity <= 0) {
+    throw std::invalid_argument{"scenario capacity must be > 0"};
+  }
+  if (buffer_bytes <= 0) {
+    throw std::invalid_argument{"scenario buffer_bytes must be > 0"};
+  }
+  if (mss <= 0) throw std::invalid_argument{"scenario mss must be > 0"};
+  if (duration <= 0) {
+    throw std::invalid_argument{"scenario duration must be > 0"};
+  }
+  if (warmup < 0) throw std::invalid_argument{"scenario warmup must be >= 0"};
+  if (warmup >= duration) {
+    throw std::invalid_argument{"warmup must end before the run does"};
+  }
+  if (start_jitter < 0) {
+    throw std::invalid_argument{"scenario start_jitter must be >= 0"};
+  }
+  if (sample_period < 0) {
+    throw std::invalid_argument{"scenario sample_period must be >= 0"};
+  }
+  if (bbr_cwnd_gain <= 0.0) {
+    throw std::invalid_argument{"scenario bbr_cwnd_gain must be > 0"};
+  }
+  if (flows.empty()) {
+    throw std::invalid_argument{"scenario needs at least one flow"};
+  }
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const FlowSpec& f = flows[i];
+    if (f.base_rtt <= 0) {
+      throw std::invalid_argument{"flow " + std::to_string(i) +
+                                  ": base_rtt must be > 0"};
+    }
+    if (f.transfer_bytes < 0) {
+      throw std::invalid_argument{"flow " + std::to_string(i) +
+                                  ": transfer_bytes must be >= 0"};
+    }
+    if (f.impairments) f.impairments->validate();
+  }
+  impairments.validate();
+  ack_impairments.validate();
+  for (const RateChange& c : capacity_schedule) {
+    if (c.at < 0) {
+      throw std::invalid_argument{"capacity_schedule times must be >= 0"};
+    }
+    if (c.rate <= 0) {
+      throw std::invalid_argument{
+          "capacity_schedule rates must be > 0 (model outages as a deep "
+          "rate reduction, not zero)"};
+    }
+  }
 }
 
 Scenario make_mix_scenario(const NetworkParams& net, int num_cubic,
@@ -51,16 +153,34 @@ struct Delivery {
   TimeNs sojourn;
 };
 
-}  // namespace
+/// Stateless seed mixer (SplitMix64 finalizer) for per-flow impairment
+/// streams. Deliberately NOT drawn from the scenario's root Rng: a pristine
+/// scenario must stay byte-identical to one where the impairment layer
+/// does not exist at all.
+std::uint64_t impairment_seed(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t z = seed + stream * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
 
-RunResult run_scenario(const Scenario& scenario) {
-  if (scenario.flows.empty()) {
-    throw std::invalid_argument{"scenario needs at least one flow"};
-  }
-  if (scenario.warmup >= scenario.duration) {
-    throw std::invalid_argument{"warmup must end before the run does"};
-  }
+std::string format_bytes_violation(const char* what, double got,
+                                   double bound) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%s (got %.3f, bound %.3f)", what, got,
+                bound);
+  return buf;
+}
 
+/// What one simulation attempt produced, before any retry policy.
+struct ExecOutcome {
+  RunStatus status = RunStatus::kOk;
+  RunResult result;
+  RunDiagnostics diagnostics;
+};
+
+ExecOutcome execute_scenario(const Scenario& scenario,
+                             const WatchdogConfig& watchdog) {
   const auto n = static_cast<std::uint32_t>(scenario.flows.size());
   Simulator sim;
   Rng rng{scenario.seed};
@@ -80,6 +200,11 @@ RunResult run_scenario(const Scenario& scenario) {
       break;
   }
 
+  // Bottleneck rate schedule (link flaps / capacity steps).
+  for (const RateChange& c : scenario.capacity_schedule) {
+    sim.schedule_at(c.at, [&link, rate = c.rate] { link.set_rate(rate); });
+  }
+
   std::vector<std::unique_ptr<Sender>> senders;
   std::vector<std::unique_ptr<Receiver>> receivers;
   std::vector<std::unique_ptr<DelayLine<Delivery>>> fwd_lines;
@@ -88,6 +213,26 @@ RunResult run_scenario(const Scenario& scenario) {
   receivers.reserve(n);
   fwd_lines.reserve(n);
   rev_lines.reserve(n);
+
+  // Impairment stages (created only for impaired paths so the pristine
+  // configuration is exactly the pre-impairment-layer simulation).
+  std::vector<std::unique_ptr<ImpairmentStage<Packet>>> data_stages(n);
+  std::vector<std::unique_ptr<ImpairmentStage<Ack>>> ack_stages(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const ImpairmentConfig& data_cfg =
+        scenario.flows[i].impairments ? *scenario.flows[i].impairments
+                                      : scenario.impairments;
+    if (data_cfg.any()) {
+      data_stages[i] = std::make_unique<ImpairmentStage<Packet>>(
+          sim, data_cfg, impairment_seed(scenario.seed, 2ULL * i + 1));
+      data_stages[i]->set_sink([&link](const Packet& pkt) { link.send(pkt); });
+    }
+    if (scenario.ack_impairments.any()) {
+      ack_stages[i] = std::make_unique<ImpairmentStage<Ack>>(
+          sim, scenario.ack_impairments,
+          impairment_seed(scenario.seed, 2ULL * i + 2));
+    }
+  }
 
   // Per-flow access-path state (see Scenario::access_jitter).
   struct AccessPath {
@@ -124,26 +269,41 @@ RunResult run_scenario(const Scenario& scenario) {
     SenderConfig snd_cfg;
     snd_cfg.mss = scenario.mss;
     snd_cfg.transfer_bytes = spec.transfer_bytes;
+    ImpairmentStage<Packet>* data_stage = data_stages[i].get();
     senders.push_back(std::make_unique<Sender>(
         sim, i, snd_cfg, std::move(cc),
-        [&sim, &link, &access, i](const Packet& pkt) {
+        [&sim, &link, &access, data_stage, i](const Packet& pkt) {
           // Access-path jitter with a monotonicity guard so a flow's own
-          // packets are never reordered.
+          // packets are never reordered (deliberate reordering is the
+          // impairment stage's job).
           access[i].last_arrival = std::max(
               access[i].last_arrival + 1,
               sim.now() + static_cast<TimeNs>(access[i].rng.next_below(
                               static_cast<std::uint64_t>(access[i].jitter))));
-          sim.schedule_at(access[i].last_arrival,
-                          [&link, pkt] { link.send(pkt); });
+          sim.schedule_at(access[i].last_arrival, [&link, data_stage, pkt] {
+            if (data_stage != nullptr) {
+              data_stage->send(pkt);
+            } else {
+              link.send(pkt);
+            }
+          });
         }));
 
     // Bottleneck exit -> forward propagation -> receiver.
     fwd_lines[i]->set_sink([&receivers, i](const Delivery& d) {
       receivers[i]->on_packet(d.pkt, d.sojourn);
     });
-    // Receiver -> reverse propagation -> sender.
-    receivers[i]->set_ack_sink(
-        [&rev_lines, i](const Ack& ack) { rev_lines[i]->send(ack); });
+    // Receiver -> (ACK impairments) -> reverse propagation -> sender.
+    if (ack_stages[i] != nullptr) {
+      ack_stages[i]->set_sink(
+          [&rev_lines, i](const Ack& ack) { rev_lines[i]->send(ack); });
+      ImpairmentStage<Ack>* ack_stage = ack_stages[i].get();
+      receivers[i]->set_ack_sink(
+          [ack_stage](const Ack& ack) { ack_stage->send(ack); });
+    } else {
+      receivers[i]->set_ack_sink(
+          [&rev_lines, i](const Ack& ack) { rev_lines[i]->send(ack); });
+    }
     rev_lines[i]->set_sink(
         [&senders, i](const Ack& ack) { senders[i]->on_ack(ack); });
   }
@@ -213,14 +373,46 @@ RunResult run_scenario(const Scenario& scenario) {
     served_at_warmup = link.bytes_served();
   });
 
-  sim.run_until(scenario.duration);
+  // Watchdog-sliced run loop. Slicing is observationally identical to one
+  // run_until(duration) call — no event is added or reordered — it only
+  // creates safe points to stop at.
+  ExecOutcome out;
+  sim.set_event_budget(watchdog.max_events);
+  const auto wall_start = std::chrono::steady_clock::now();
+  const TimeNs slice = from_ms(500);
+  for (TimeNs t = 0; t < scenario.duration;) {
+    t = std::min<TimeNs>(t + slice, scenario.duration);
+    sim.run_until(t);
+    if (sim.budget_exhausted()) {
+      out.status = RunStatus::kAbortedEventBudget;
+      out.diagnostics.message =
+          "watchdog: event budget of " + std::to_string(watchdog.max_events) +
+          " exhausted at simulated t=" + std::to_string(sim.now()) + " ns";
+      break;
+    }
+    if (watchdog.max_wall_seconds > 0.0) {
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        wall_start)
+              .count();
+      if (wall > watchdog.max_wall_seconds) {
+        out.status = RunStatus::kAbortedWallClock;
+        out.diagnostics.message =
+            "watchdog: wall-clock limit of " +
+            std::to_string(watchdog.max_wall_seconds) +
+            " s exceeded at simulated t=" + std::to_string(sim.now()) + " ns";
+        break;
+      }
+    }
+  }
 
-  // Collect.
+  // Collect. Aborted runs yield partial measurements (diagnostics only).
   link.queue().finalize(sim.now());
-  const double window_sec = to_sec(scenario.duration - scenario.warmup);
+  const double window_sec =
+      to_sec(std::max<TimeNs>(0, sim.now() - scenario.warmup));
 
-  RunResult out;
-  out.flows.reserve(n);
+  RunResult& res = out.result;
+  res.flows.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     FlowResult fr;
     fr.cc = scenario.flows[i].cc;
@@ -229,9 +421,11 @@ RunResult run_scenario(const Scenario& scenario) {
     const Sender& s = *senders[i];
     FlowStats st;
     st.goodput_bps =
-        static_cast<double>(s.delivered_bytes() -
-                            s.delivered_at_measurement_start()) /
-        window_sec;
+        window_sec > 0.0
+            ? static_cast<double>(s.delivered_bytes() -
+                                  s.delivered_at_measurement_start()) /
+                  window_sec
+            : 0.0;
     st.avg_rtt_ms = s.rtt_stats().mean();
     st.min_rtt_ms = s.rtt_stats().min();
     st.max_rtt_ms = s.rtt_stats().max();
@@ -243,21 +437,23 @@ RunResult run_scenario(const Scenario& scenario) {
     st.min_queue_occupancy_bytes = link.queue().min_flow_occupancy(i);
     st.max_queue_occupancy_bytes = link.queue().max_flow_occupancy(i);
     fr.stats = st;
-    out.flows.push_back(fr);
+    res.flows.push_back(fr);
   }
 
-  out.avg_queue_bytes = link.queue().avg_occupied_bytes();
-  out.avg_queue_delay_ms = to_ms(static_cast<TimeNs>(
-      out.avg_queue_bytes / scenario.capacity * kNsPerSec));
-  out.link_utilization =
-      static_cast<double>(link.bytes_served() - served_at_warmup) /
-      (scenario.capacity * window_sec);
-  out.total_drops = link.queue().total_drops();
+  res.avg_queue_bytes = link.queue().avg_occupied_bytes();
+  res.avg_queue_delay_ms = to_ms(static_cast<TimeNs>(
+      res.avg_queue_bytes / scenario.capacity * kNsPerSec));
+  res.link_utilization =
+      window_sec > 0.0
+          ? static_cast<double>(link.bytes_served() - served_at_warmup) /
+                (scenario.capacity * window_sec)
+          : 0.0;
+  res.total_drops = link.queue().total_drops();
 
   if (!cubic_ids.empty()) {
-    out.cubic_buffer_avg = link.queue().group_avg_occupancy();
-    out.cubic_buffer_min = link.queue().group_min_occupancy();
-    out.cubic_buffer_max = link.queue().group_max_occupancy();
+    res.cubic_buffer_avg = link.queue().group_avg_occupancy();
+    res.cubic_buffer_min = link.queue().group_min_occupancy();
+    res.cubic_buffer_max = link.queue().group_max_occupancy();
   }
   double noncubic_avg = 0.0;
   for (std::uint32_t i = 0; i < n; ++i) {
@@ -265,8 +461,124 @@ RunResult run_scenario(const Scenario& scenario) {
       noncubic_avg += link.queue().avg_flow_occupancy(i);
     }
   }
-  out.noncubic_buffer_avg = noncubic_avg;
+  res.noncubic_buffer_avg = noncubic_avg;
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (data_stages[i] != nullptr) {
+      const ImpairmentCounters& c = data_stages[i]->counters();
+      res.data_impairments.offered += c.offered;
+      res.data_impairments.dropped += c.dropped;
+      res.data_impairments.duplicated += c.duplicated;
+      res.data_impairments.reordered += c.reordered;
+    }
+    if (ack_stages[i] != nullptr) {
+      const ImpairmentCounters& c = ack_stages[i]->counters();
+      res.ack_impairments.offered += c.offered;
+      res.ack_impairments.dropped += c.dropped;
+      res.ack_impairments.duplicated += c.duplicated;
+      res.ack_impairments.reordered += c.reordered;
+    }
+  }
+
+  out.diagnostics.events_executed = sim.events_executed();
+  out.diagnostics.sim_time_reached = sim.now();
+
+  // Always-on invariant guards (promoted from test-only assertions).
+  // Checked only for runs that completed: an aborted run is legitimately
+  // partial and already carries its own diagnosis.
+  if (out.status == RunStatus::kOk) {
+    std::string violations;
+    const auto add = [&violations](const std::string& v) {
+      if (!violations.empty()) violations += "; ";
+      violations += v;
+    };
+    const double peak_mbps = to_mbps(scenario.peak_capacity());
+    const double total_mbps = res.total_goodput_all_mbps();
+    if (total_mbps > peak_mbps * 1.05 + 1e-9) {
+      add(format_bytes_violation(
+          "conservation: sum of goodputs exceeds peak capacity (Mbps)",
+          total_mbps, peak_mbps * 1.05));
+    }
+    if (link.queue().max_occupied_bytes() > scenario.buffer_bytes) {
+      add(format_bytes_violation(
+          "queue bound: occupancy exceeded the configured buffer (bytes)",
+          static_cast<double>(link.queue().max_occupied_bytes()),
+          static_cast<double>(scenario.buffer_bytes)));
+    }
+    if (sim.now() != scenario.duration) {
+      add(format_bytes_violation(
+          "clock: completed run did not reach the scenario duration (ns)",
+          static_cast<double>(sim.now()),
+          static_cast<double>(scenario.duration)));
+    }
+    if (!violations.empty()) {
+      out.status = RunStatus::kInvariantViolation;
+      out.diagnostics.message = violations;
+    }
+  }
   return out;
+}
+
+}  // namespace
+
+RunResult run_scenario(const Scenario& scenario) {
+  scenario.validate();
+  ExecOutcome out = execute_scenario(scenario, WatchdogConfig{});
+  if (out.status == RunStatus::kInvariantViolation) {
+    throw InvariantViolation{out.diagnostics.message};
+  }
+  return std::move(out.result);
+}
+
+RunOutcome run_scenario_guarded(const Scenario& scenario,
+                                const GuardConfig& guard) {
+  RunOutcome outcome;
+  outcome.seed_used = scenario.seed;
+  try {
+    scenario.validate();
+  } catch (const std::exception& e) {
+    // Config errors are not retryable; report them once.
+    outcome.status = RunStatus::kError;
+    outcome.diagnostics.message = e.what();
+    return outcome;
+  }
+
+  const int max_attempts = std::max(1, guard.max_attempts);
+  Scenario attempt = scenario;
+  for (int i = 0; i < max_attempts; ++i) {
+    attempt.seed = scenario.seed + static_cast<std::uint64_t>(i) *
+                                       guard.seed_bump;
+    outcome.attempts = i + 1;
+    outcome.seed_used = attempt.seed;
+    const bool injected =
+        std::find(guard.inject_failure_seeds.begin(),
+                  guard.inject_failure_seeds.end(),
+                  attempt.seed) != guard.inject_failure_seeds.end();
+    if (injected) {
+      outcome.status = RunStatus::kInvariantViolation;
+      outcome.diagnostics = RunDiagnostics{};
+      outcome.diagnostics.message =
+          "injected failure for seed " + std::to_string(attempt.seed);
+      continue;
+    }
+    try {
+      const auto wall_start = std::chrono::steady_clock::now();
+      ExecOutcome exec = execute_scenario(attempt, guard.watchdog);
+      outcome.status = exec.status;
+      outcome.result = std::move(exec.result);
+      outcome.diagnostics = std::move(exec.diagnostics);
+      outcome.diagnostics.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        wall_start)
+              .count();
+    } catch (const std::exception& e) {
+      outcome.status = RunStatus::kError;
+      outcome.diagnostics = RunDiagnostics{};
+      outcome.diagnostics.message = e.what();
+    }
+    if (outcome.ok()) break;
+  }
+  return outcome;
 }
 
 }  // namespace bbrnash

@@ -1,5 +1,7 @@
 #include "exp/sweeps.hpp"
 
+#include <string>
+
 #include "exp/scenario_runner.hpp"
 
 namespace bbrnash {
@@ -14,8 +16,24 @@ MixOutcome run_mix_trials(const NetworkParams& net, int num_cubic,
     s.duration = cfg.duration;
     s.warmup = cfg.warmup;
     s.seed = cfg.seed + static_cast<std::uint64_t>(t) * 1000003ULL;
+    s.impairments = cfg.impairments;
+    s.ack_impairments = cfg.ack_impairments;
+    s.capacity_schedule = cfg.capacity_schedule;
 
-    const RunResult r = run_scenario(s);
+    const RunOutcome o = run_scenario_guarded(s, cfg.guard);
+    if (!o.ok()) {
+      ++avg.trials_failed;
+      avg.failures.push_back("trial " + std::to_string(t) + " (seed " +
+                             std::to_string(o.seed_used) + ", " +
+                             std::to_string(o.attempts) + " attempts): " +
+                             to_string(o.status) + ": " +
+                             o.diagnostics.message);
+      continue;
+    }
+    ++avg.trials_completed;
+    if (o.attempts > 1) ++avg.trials_retried;
+
+    const RunResult& r = o.result;
     avg.per_flow_cubic_mbps += r.avg_goodput_mbps(CcKind::kCubic);
     avg.per_flow_other_mbps += r.avg_goodput_mbps(other);
     avg.total_cubic_mbps += r.total_goodput_mbps(CcKind::kCubic);
@@ -26,7 +44,8 @@ MixOutcome run_mix_trials(const NetworkParams& net, int num_cubic,
     avg.cubic_buffer_min += static_cast<double>(r.cubic_buffer_min);
     avg.noncubic_buffer_avg += r.noncubic_buffer_avg;
   }
-  const auto k = static_cast<double>(trials);
+  if (avg.trials_completed == 0) return avg;  // all diagnostics, no data
+  const auto k = static_cast<double>(avg.trials_completed);
   avg.per_flow_cubic_mbps /= k;
   avg.per_flow_other_mbps /= k;
   avg.total_cubic_mbps /= k;

@@ -2,9 +2,13 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "cc/congestion_control.hpp"
+#include "exp/run_outcome.hpp"
 #include "exp/run_result.hpp"
+#include "exp/scenario.hpp"
 #include "model/network_params.hpp"
 
 namespace bbrnash {
@@ -14,6 +18,16 @@ struct TrialConfig {
   TimeNs warmup = from_sec(8);
   int trials = 3;
   std::uint64_t seed = 1;
+
+  /// Path conditions applied to every trial's scenario (pristine by
+  /// default, matching the paper). See Scenario for the semantics.
+  ImpairmentConfig impairments;
+  ImpairmentConfig ack_impairments;
+  std::vector<RateChange> capacity_schedule;
+
+  /// Watchdog + retry policy per trial. The default (one attempt, no
+  /// limits) reproduces the unguarded behaviour exactly.
+  GuardConfig guard;
 };
 
 /// Averages over trials of a (num_cubic x CUBIC) vs (num_other x `other`)
@@ -28,6 +42,14 @@ struct MixOutcome {
   double cubic_buffer_avg = 0.0;      ///< model's aggregate b_c
   double cubic_buffer_min = 0.0;      ///< model's b_cmin
   double noncubic_buffer_avg = 0.0;   ///< model's b_b
+
+  // Sweep-hardening bookkeeping. Averages above cover completed trials
+  // only; a trial that still fails after its retries is excluded and
+  // reported here instead of taking the whole sweep down.
+  int trials_completed = 0;
+  int trials_retried = 0;   ///< completed trials that needed > 1 attempt
+  int trials_failed = 0;
+  std::vector<std::string> failures;  ///< one diagnosis per failed trial
 };
 
 MixOutcome run_mix_trials(const NetworkParams& net, int num_cubic,

@@ -60,6 +60,14 @@ class BottleneckLink {
   [[nodiscard]] const DropTailQueue& queue() const noexcept { return queue_; }
   [[nodiscard]] BytesPerSec rate() const noexcept { return rate_; }
 
+  /// Changes the service rate (link flaps, rate schedules). Takes effect at
+  /// the next service start: the packet currently being serialized finishes
+  /// at the old rate, like a NIC mid-frame. Rates must stay positive —
+  /// a packet that starts serializing at rate ~0 would pin the server until
+  /// its far-future completion even after the rate recovers, so outages are
+  /// modelled as a deep rate reduction (see Scenario::validate).
+  void set_rate(BytesPerSec rate) noexcept { rate_ = rate; }
+
   /// Total bytes fully serialized since construction (link utilization).
   [[nodiscard]] Bytes bytes_served() const noexcept { return bytes_served_; }
   /// Busy time accumulated by the server (for utilization = busy/elapsed).

@@ -29,6 +29,7 @@ bool DropTailQueue::enqueue(Packet pkt, TimeNs now) {
     return false;
   }
   occupied_ += pkt.wire_bytes;
+  max_occupied_ = std::max(max_occupied_, occupied_);
   per_flow_bytes_[pkt.flow] += pkt.wire_bytes;
   bump_extremes(pkt.flow);
   if (group_active_ && in_group_[pkt.flow]) {

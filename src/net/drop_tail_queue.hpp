@@ -33,6 +33,11 @@ class DropTailQueue {
   /// Head-of-line packet (the one in service). Pre: !empty().
   [[nodiscard]] const Packet& front() const { return packets_.front(); }
   [[nodiscard]] Bytes occupied_bytes() const noexcept { return occupied_; }
+  /// Largest total occupancy ever reached (drives the always-on
+  /// "queue never exceeds B" invariant guard in the experiment layer).
+  [[nodiscard]] Bytes max_occupied_bytes() const noexcept {
+    return max_occupied_;
+  }
   [[nodiscard]] Bytes capacity() const noexcept { return capacity_; }
   [[nodiscard]] std::size_t packet_count() const noexcept { return packets_.size(); }
 
@@ -95,6 +100,7 @@ class DropTailQueue {
 
   Bytes capacity_;
   Bytes occupied_ = 0;
+  Bytes max_occupied_ = 0;
   std::deque<Packet> packets_;
 
   std::vector<Bytes> per_flow_bytes_;

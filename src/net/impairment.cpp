@@ -1,0 +1,52 @@
+#include "net/impairment.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace bbrnash {
+
+namespace {
+
+void check_prob(double p, const char* name) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument{std::string{name} + " must be in [0, 1]"};
+  }
+}
+
+void check_nonneg(TimeNs t, const char* name) {
+  if (t < 0) {
+    throw std::invalid_argument{std::string{name} + " must be >= 0"};
+  }
+}
+
+}  // namespace
+
+void ImpairmentConfig::validate() const {
+  check_prob(loss_rate, "impairment loss_rate");
+  check_prob(gilbert.p_good_to_bad, "gilbert p_good_to_bad");
+  check_prob(gilbert.p_bad_to_good, "gilbert p_bad_to_good");
+  check_prob(gilbert.loss_good, "gilbert loss_good");
+  check_prob(gilbert.loss_bad, "gilbert loss_bad");
+  if (gilbert.enabled() && gilbert.p_bad_to_good <= 0.0) {
+    throw std::invalid_argument{
+        "gilbert p_bad_to_good must be > 0 when the chain is enabled "
+        "(otherwise the bad state is absorbing)"};
+  }
+  check_prob(reorder_rate, "impairment reorder_rate");
+  check_prob(duplicate_rate, "impairment duplicate_rate");
+  check_nonneg(reorder_delay, "impairment reorder_delay");
+  check_nonneg(jitter, "impairment jitter");
+  check_nonneg(spikes.period, "delay-spike period");
+  check_nonneg(spikes.width, "delay-spike width");
+  check_nonneg(spikes.magnitude, "delay-spike magnitude");
+  if (reorder_rate > 0.0 && reorder_delay <= 0) {
+    throw std::invalid_argument{
+        "impairment reorder_rate needs a positive reorder_delay"};
+  }
+  if (spikes.period > 0 && spikes.width > spikes.period) {
+    throw std::invalid_argument{
+        "delay-spike width must not exceed the period"};
+  }
+}
+
+}  // namespace bbrnash

@@ -1,0 +1,193 @@
+// Deterministic network-impairment injection.
+//
+// The paper's model (Eqs. 18-25) assumes a pristine drop-tail path: no
+// random loss, no reordering, a constant-rate bottleneck. Real paths are
+// not pristine, and BBR's sharing behaviour is known to shift under random
+// loss and non-ideal conditions (Sarpkaya et al.; Tang). ImpairmentStage is
+// a composable pipeline element that sits on the access path (data packets,
+// sender -> bottleneck) and/or on the ACK path and injects, fully
+// deterministically under a fixed seed:
+//   * i.i.d. random loss,
+//   * Gilbert-Elliott two-state burst loss,
+//   * packet reordering (a held-back packet overtaken by its successors),
+//   * packet duplication,
+//   * per-packet delay jitter and periodic delay spikes.
+// Time-varying bottleneck capacity (link flaps, rate schedules) is the
+// bottleneck's own concern — see BottleneckLink::set_rate and
+// Scenario::capacity_schedule — because serialization happens there.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace bbrnash {
+
+/// Two-state Markov loss (Gilbert-Elliott). Each packet first advances the
+/// chain, then is dropped with the current state's loss probability. The
+/// stationary bad-state share is p_good_to_bad / (p_good_to_bad +
+/// p_bad_to_good), so the long-run loss rate is
+///   pi_bad * loss_bad + (1 - pi_bad) * loss_good.
+struct GilbertElliottConfig {
+  double p_good_to_bad = 0.0;  ///< per-packet good->bad transition prob
+  double p_bad_to_good = 1.0;  ///< per-packet bad->good transition prob
+  double loss_good = 0.0;      ///< drop probability while in the good state
+  double loss_bad = 1.0;       ///< drop probability while in the bad state
+
+  [[nodiscard]] bool enabled() const noexcept { return p_good_to_bad > 0.0; }
+  /// Stationary long-run loss rate of the chain.
+  [[nodiscard]] double expected_loss_rate() const noexcept {
+    if (!enabled()) return 0.0;
+    const double pi_bad = p_good_to_bad / (p_good_to_bad + p_bad_to_good);
+    return pi_bad * loss_bad + (1.0 - pi_bad) * loss_good;
+  }
+};
+
+/// Periodic delay spikes: every `period` of simulated time the path's extra
+/// delay rises by `magnitude` for `width` (deterministic in sim time — a
+/// stand-in for bufferbloat episodes or WiFi retry storms on the access
+/// path).
+struct DelaySpikeConfig {
+  TimeNs period = 0;     ///< 0 disables spikes
+  TimeNs width = 0;      ///< spike duration per period
+  TimeNs magnitude = 0;  ///< extra delay while inside a spike
+};
+
+struct ImpairmentConfig {
+  double loss_rate = 0.0;        ///< i.i.d. drop probability
+  GilbertElliottConfig gilbert;  ///< burst loss (composes with loss_rate)
+  double reorder_rate = 0.0;     ///< probability a packet is held back
+  TimeNs reorder_delay = 0;      ///< hold-back time for reordered packets
+  double duplicate_rate = 0.0;   ///< probability a packet arrives twice
+  TimeNs jitter = 0;             ///< per-packet extra delay ~ U[0, jitter)
+  DelaySpikeConfig spikes;
+
+  /// True when any knob deviates from the pristine path.
+  [[nodiscard]] bool any() const noexcept {
+    return loss_rate > 0.0 || gilbert.enabled() || reorder_rate > 0.0 ||
+           duplicate_rate > 0.0 || jitter > 0 || spikes.period > 0;
+  }
+
+  /// Throws std::invalid_argument naming the offending knob.
+  void validate() const;
+};
+
+/// Counters every stage keeps (and RunResult aggregates across stages).
+struct ImpairmentCounters {
+  std::uint64_t offered = 0;     ///< packets entering the stage
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;  ///< extra copies injected
+  std::uint64_t reordered = 0;   ///< packets held back
+};
+
+/// Internal loss/markings decision engine, shared by all stage
+/// instantiations so the dice-roll order is fixed and testable on its own.
+class ImpairmentDice {
+ public:
+  ImpairmentDice(const ImpairmentConfig& cfg, std::uint64_t seed)
+      : cfg_(cfg), rng_(seed) {}
+
+  /// Advances the loss processes; true = drop this packet.
+  [[nodiscard]] bool roll_loss() {
+    bool drop = false;
+    if (cfg_.gilbert.enabled()) {
+      const double flip =
+          in_bad_ ? cfg_.gilbert.p_bad_to_good : cfg_.gilbert.p_good_to_bad;
+      if (rng_.chance(flip)) in_bad_ = !in_bad_;
+      const double p = in_bad_ ? cfg_.gilbert.loss_bad : cfg_.gilbert.loss_good;
+      drop = p > 0.0 && rng_.chance(p);
+    }
+    if (!drop && cfg_.loss_rate > 0.0) drop = rng_.chance(cfg_.loss_rate);
+    return drop;
+  }
+
+  /// Extra path delay for a surviving packet at simulated time `now`.
+  [[nodiscard]] TimeNs roll_delay(TimeNs now, bool* reordered) {
+    TimeNs extra = 0;
+    if (cfg_.jitter > 0) {
+      extra += static_cast<TimeNs>(
+          rng_.next_below(static_cast<std::uint64_t>(cfg_.jitter)));
+    }
+    const auto& sp = cfg_.spikes;
+    if (sp.period > 0 && sp.width > 0 && (now % sp.period) < sp.width) {
+      extra += sp.magnitude;
+    }
+    *reordered = cfg_.reorder_rate > 0.0 && rng_.chance(cfg_.reorder_rate);
+    if (*reordered) extra += cfg_.reorder_delay;
+    return extra;
+  }
+
+  [[nodiscard]] bool roll_duplicate() {
+    return cfg_.duplicate_rate > 0.0 && rng_.chance(cfg_.duplicate_rate);
+  }
+
+  [[nodiscard]] bool in_bad_state() const noexcept { return in_bad_; }
+
+ private:
+  ImpairmentConfig cfg_;
+  Rng rng_;
+  bool in_bad_ = false;  ///< Gilbert-Elliott chain starts in the good state
+};
+
+/// A seeded impairment pipeline element for one direction of one flow (T is
+/// Packet on the data path, Ack on the reverse path). Items that survive
+/// the loss roll are forwarded to the sink after the rolled extra delay;
+/// zero extra delay forwards synchronously so the pristine configuration
+/// adds no event-queue traffic.
+template <typename T>
+class ImpairmentStage {
+ public:
+  using Sink = std::function<void(const T&)>;
+
+  ImpairmentStage(Simulator& sim, const ImpairmentConfig& cfg,
+                  std::uint64_t seed)
+      : sim_(sim), dice_(cfg, seed) {
+    cfg.validate();
+  }
+
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  void send(const T& item) {
+    ++counters_.offered;
+    if (dice_.roll_loss()) {
+      ++counters_.dropped;
+      return;
+    }
+    bool reordered = false;
+    const TimeNs extra = dice_.roll_delay(sim_.now(), &reordered);
+    if (reordered) ++counters_.reordered;
+    forward(item, extra);
+    if (dice_.roll_duplicate()) {
+      ++counters_.duplicated;
+      // The copy trails the original by one ns so delivery order (and the
+      // same-time FIFO tie-break) is stable.
+      forward(item, extra + 1);
+    }
+  }
+
+  [[nodiscard]] const ImpairmentCounters& counters() const noexcept {
+    return counters_;
+  }
+
+ private:
+  void forward(const T& item, TimeNs extra) {
+    if (extra <= 0) {
+      if (sink_) sink_(item);
+      return;
+    }
+    sim_.schedule_in(extra, [this, item] {
+      if (sink_) sink_(item);
+    });
+  }
+
+  Simulator& sim_;
+  ImpairmentDice dice_;
+  Sink sink_;
+  ImpairmentCounters counters_;
+};
+
+}  // namespace bbrnash

@@ -40,20 +40,22 @@ class Simulator {
 
   /// Runs events until the queue drains or the clock would pass `deadline`.
   /// The clock is left at min(deadline, time of last event). Events at
-  /// exactly `deadline` are executed.
+  /// exactly `deadline` are executed. A run interrupted by stop() or an
+  /// exhausted event budget leaves the clock at the last executed event.
   void run_until(TimeNs deadline) {
-    while (!queue_.empty() && queue_.next_time() <= deadline && !stopped_) {
+    while (!queue_.empty() && queue_.next_time() <= deadline && !stopped_ &&
+           !budget_exhausted()) {
       auto ev = queue_.pop();
       now_ = ev.when;
       ev.fn();
       ++events_executed_;
     }
-    if (!stopped_ && now_ < deadline) now_ = deadline;
+    if (!stopped_ && !budget_exhausted() && now_ < deadline) now_ = deadline;
   }
 
-  /// Runs until the event queue is empty (or stop() is called).
+  /// Runs until the event queue is empty (or stop() / budget exhaustion).
   void run() {
-    while (!queue_.empty() && !stopped_) {
+    while (!queue_.empty() && !stopped_ && !budget_exhausted()) {
       auto ev = queue_.pop();
       now_ = ev.when;
       ev.fn();
@@ -64,6 +66,17 @@ class Simulator {
   /// Stops the run loop after the current event returns.
   void stop() noexcept { stopped_ = true; }
   [[nodiscard]] bool stopped() const noexcept { return stopped_; }
+
+  /// Watchdog: caps the total number of executed events. The run loops
+  /// return once the cap is reached — a deterministic abort for runaway
+  /// simulations (unlike a wall-clock limit, the same scenario + seed
+  /// always stops at the same event). 0 = unlimited.
+  void set_event_budget(std::uint64_t max_events) noexcept {
+    event_budget_ = max_events;
+  }
+  [[nodiscard]] bool budget_exhausted() const noexcept {
+    return event_budget_ != 0 && events_executed_ >= event_budget_;
+  }
 
   [[nodiscard]] std::uint64_t events_executed() const noexcept {
     return events_executed_;
@@ -77,6 +90,7 @@ class Simulator {
   TimeNs now_ = 0;
   bool stopped_ = false;
   std::uint64_t events_executed_ = 0;
+  std::uint64_t event_budget_ = 0;
 };
 
 }  // namespace bbrnash

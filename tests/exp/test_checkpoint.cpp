@@ -1,0 +1,190 @@
+// Crash-safe checkpointing: append/lookup/reload, torn-write tolerance,
+// and the acceptance property — a killed-then-resumed sweep or NE search
+// reproduces the uninterrupted numbers exactly.
+#include "exp/checkpoint.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/nash_search.hpp"
+
+namespace bbrnash {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+NashSearchConfig quick_cfg() {
+  NashSearchConfig cfg;
+  cfg.trial.duration = from_sec(8);
+  cfg.trial.warmup = from_sec(2);
+  cfg.trial.trials = 1;
+  cfg.tolerance_frac = 0.10;
+  return cfg;
+}
+
+TEST(CheckpointLog, RecordLookupAndReload) {
+  const std::string path = temp_path("ckpt_basic.jsonl");
+  std::remove(path.c_str());
+  {
+    CheckpointLog log{path};
+    EXPECT_EQ(log.size(), 0u);
+    EXPECT_EQ(log.lookup("a"), nullptr);
+    JsonlRecord rec;
+    rec.set("x", 0.1 + 0.2);  // not representable exactly in decimal
+    rec.set("n", std::uint64_t{42});
+    log.record("a", rec);
+    JsonlRecord rec2;
+    rec2.set("x", -1.5e-300);
+    log.record("b", rec2);
+    EXPECT_EQ(log.size(), 2u);
+  }
+  CheckpointLog reloaded{path};
+  EXPECT_EQ(reloaded.size(), 2u);
+  const JsonlRecord* a = reloaded.lookup("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->get_double("x"), 0.1 + 0.2);  // bit-exact round trip
+  EXPECT_EQ(a->get_u64("n"), 42u);
+  const JsonlRecord* b = reloaded.lookup("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->get_double("x"), -1.5e-300);
+}
+
+TEST(CheckpointLog, LastWriteWinsOnDuplicateKeys) {
+  const std::string path = temp_path("ckpt_dup.jsonl");
+  std::remove(path.c_str());
+  CheckpointLog log{path};
+  JsonlRecord r1;
+  r1.set("v", 1.0);
+  log.record("k", r1);
+  JsonlRecord r2;
+  r2.set("v", 2.0);
+  log.record("k", r2);
+  CheckpointLog reloaded{path};
+  EXPECT_EQ(reloaded.size(), 1u);
+  EXPECT_EQ(reloaded.lookup("k")->get_double("v"), 2.0);
+}
+
+TEST(CheckpointLog, TornTrailingWriteIsSkipped) {
+  const std::string path = temp_path("ckpt_torn.jsonl");
+  std::remove(path.c_str());
+  {
+    CheckpointLog log{path};
+    JsonlRecord rec;
+    rec.set("v", 7.0);
+    log.record("good", rec);
+  }
+  // Simulate a crash mid-append: an unterminated record at EOF.
+  std::ofstream out{path, std::ios::app};
+  out << R"({"key":"bad","v":3.1)";
+  out.close();
+
+  CheckpointLog reloaded{path};
+  EXPECT_EQ(reloaded.size(), 1u);
+  ASSERT_NE(reloaded.lookup("good"), nullptr);
+  EXPECT_EQ(reloaded.lookup("bad"), nullptr);
+}
+
+TEST(Checkpoint, MixOutcomeRoundTripsExactly) {
+  const NetworkParams net = make_params(20, 20, 3);
+  TrialConfig cfg;
+  cfg.duration = from_sec(8);
+  cfg.warmup = from_sec(2);
+  cfg.trials = 1;
+  const MixOutcome m = run_mix_trials(net, 1, 1, CcKind::kBbr, cfg);
+  const MixOutcome back = mix_from_record(mix_to_record(m));
+  EXPECT_EQ(back.per_flow_cubic_mbps, m.per_flow_cubic_mbps);
+  EXPECT_EQ(back.per_flow_other_mbps, m.per_flow_other_mbps);
+  EXPECT_EQ(back.total_cubic_mbps, m.total_cubic_mbps);
+  EXPECT_EQ(back.avg_queue_delay_ms, m.avg_queue_delay_ms);
+  EXPECT_EQ(back.link_utilization, m.link_utilization);
+  EXPECT_EQ(back.cubic_buffer_avg, m.cubic_buffer_avg);
+  EXPECT_EQ(back.trials_completed, m.trials_completed);
+}
+
+TEST(Checkpoint, ResumedPayoffMeasurementMatchesUninterrupted) {
+  const NetworkParams net = make_params(20, 20, 3);
+  const int total_flows = 3;
+  NashSearchConfig cfg = quick_cfg();
+
+  // Ground truth: uninterrupted, no checkpoint.
+  const EmpiricalPayoffs truth = measure_payoffs(net, total_flows, cfg);
+
+  // First pass fills the checkpoint; then "crash": drop the last finished
+  // cell AND leave a torn half-record behind.
+  const std::string path = temp_path("ckpt_payoffs.jsonl");
+  std::remove(path.c_str());
+  cfg.checkpoint_path = path;
+  (void)measure_payoffs(net, total_flows, cfg);
+
+  std::vector<std::string> lines;
+  {
+    std::ifstream in{path};
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(total_flows) + 1);
+  {
+    std::ofstream out{path, std::ios::trunc};
+    for (std::size_t i = 0; i + 1 < lines.size(); ++i) out << lines[i] << '\n';
+    out << lines.back().substr(0, lines.back().size() / 2);  // torn write
+  }
+
+  const EmpiricalPayoffs resumed = measure_payoffs(net, total_flows, cfg);
+  ASSERT_EQ(resumed.cubic_mbps.size(), truth.cubic_mbps.size());
+  for (std::size_t k = 0; k < truth.cubic_mbps.size(); ++k) {
+    EXPECT_EQ(resumed.cubic_mbps[k], truth.cubic_mbps[k]) << "k=" << k;
+    EXPECT_EQ(resumed.other_mbps[k], truth.other_mbps[k]) << "k=" << k;
+  }
+  // The re-run repaired the log: every cell is recorded again.
+  CheckpointLog repaired{path};
+  EXPECT_EQ(repaired.size(), static_cast<std::size_t>(total_flows) + 1);
+}
+
+TEST(Checkpoint, ResumedCrossingSearchFindsSameNe) {
+  const NetworkParams net = make_params(20, 20, 5);
+  const int total_flows = 4;
+  NashSearchConfig cfg = quick_cfg();
+
+  const int truth = find_ne_crossing(net, total_flows, cfg);
+
+  const std::string path = temp_path("ckpt_crossing.jsonl");
+  std::remove(path.c_str());
+  cfg.checkpoint_path = path;
+  EXPECT_EQ(find_ne_crossing(net, total_flows, cfg), truth);
+
+  // Kill after partial progress: keep only the first checkpointed cell.
+  std::vector<std::string> lines;
+  {
+    std::ifstream in{path};
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_GE(lines.size(), 2u);
+  {
+    std::ofstream out{path, std::ios::trunc};
+    out << lines.front() << '\n';
+  }
+  EXPECT_EQ(find_ne_crossing(net, total_flows, cfg), truth);
+}
+
+TEST(Checkpoint, NullLogFallsThroughToPlainRun) {
+  const NetworkParams net = make_params(20, 20, 3);
+  TrialConfig cfg;
+  cfg.duration = from_sec(8);
+  cfg.warmup = from_sec(2);
+  cfg.trials = 1;
+  const MixOutcome a = run_mix_trials(net, 1, 1, CcKind::kBbr, cfg);
+  const MixOutcome b =
+      run_mix_trials_checkpointed(net, 1, 1, CcKind::kBbr, cfg, nullptr);
+  EXPECT_EQ(a.per_flow_cubic_mbps, b.per_flow_cubic_mbps);
+  EXPECT_EQ(a.per_flow_other_mbps, b.per_flow_other_mbps);
+}
+
+}  // namespace
+}  // namespace bbrnash

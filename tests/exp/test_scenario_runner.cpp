@@ -128,6 +128,93 @@ TEST(ScenarioRunner, MultiRttFlowsSupported) {
   EXPECT_LT(r.flows[0].stats.min_rtt_ms, r.flows[1].stats.min_rtt_ms);
 }
 
+TEST(ScenarioValidate, RejectsNonPositiveCoreParameters) {
+  const Scenario good = small_scenario(1, 1);
+  EXPECT_NO_THROW(good.validate());
+
+  Scenario s = good;
+  s.capacity = 0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s = good;
+  s.buffer_bytes = 0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s = good;
+  s.mss = 0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s = good;
+  s.duration = 0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s = good;
+  s.warmup = -1;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s = good;
+  s.flows[0].base_rtt = 0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s = good;
+  s.bbr_cwnd_gain = 0.0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(ScenarioValidate, RejectsBadImpairmentsAndSchedules) {
+  Scenario s = small_scenario(1, 1);
+  s.impairments.loss_rate = -0.1;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+
+  s = small_scenario(1, 1);
+  s.flows[0].impairments = ImpairmentConfig{};
+  s.flows[0].impairments->duplicate_rate = 2.0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+
+  s = small_scenario(1, 1);
+  s.capacity_schedule = {{from_sec(1), 0}};  // zero rate pins the server
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+
+  s = small_scenario(1, 1);
+  s.capacity_schedule = {{-1, mbps(10)}};
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(ScenarioRunner, AqmNamesRoundTrip) {
+  for (const AqmKind k : kAllAqmKinds) {
+    const auto parsed = parse_aqm(to_string(k));
+    ASSERT_TRUE(parsed.has_value()) << to_string(k);
+    EXPECT_EQ(*parsed, k);
+  }
+  EXPECT_FALSE(parse_aqm("droptial").has_value());
+  EXPECT_FALSE(parse_aqm("").has_value());
+}
+
+TEST(ScenarioRunner, FlapScheduleShape) {
+  const auto sched = make_flap_schedule(from_sec(10), from_sec(2), mbps(100),
+                                        mbps(10), from_sec(25));
+  // Flaps at t = 8..10 and t = 18..20; t = 28 is beyond `until`.
+  ASSERT_EQ(sched.size(), 4u);
+  EXPECT_EQ(sched[0].at, from_sec(8));
+  EXPECT_EQ(sched[0].rate, mbps(10));
+  EXPECT_EQ(sched[1].at, from_sec(10));
+  EXPECT_EQ(sched[1].rate, mbps(100));
+  EXPECT_EQ(sched[2].at, from_sec(18));
+  EXPECT_EQ(sched[3].at, from_sec(20));
+
+  EXPECT_THROW(make_flap_schedule(0, 0, mbps(1), mbps(1), from_sec(1)),
+               std::invalid_argument);
+  EXPECT_THROW(
+      make_flap_schedule(from_sec(1), from_sec(2), mbps(1), mbps(1),
+                         from_sec(10)),
+      std::invalid_argument);
+  EXPECT_THROW(
+      make_flap_schedule(from_sec(10), from_sec(1), mbps(1), 0, from_sec(10)),
+      std::invalid_argument);
+}
+
+TEST(ScenarioRunner, PeakCapacityTracksSchedule) {
+  Scenario s = small_scenario(1, 1);
+  EXPECT_EQ(s.peak_capacity(), s.capacity);
+  s.capacity_schedule = {{from_sec(1), s.capacity / 2},
+                         {from_sec(2), s.capacity * 3}};
+  EXPECT_EQ(s.peak_capacity(), s.capacity * 3);
+}
+
 TEST(ScenarioRunner, RunResultAggregators) {
   RunResult r;
   FlowResult f1;

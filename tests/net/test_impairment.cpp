@@ -1,0 +1,199 @@
+#include "net/impairment.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace bbrnash {
+namespace {
+
+// Drives `n` integers through a stage and returns what came out.
+struct StageHarness {
+  Simulator sim;
+  ImpairmentStage<int> stage;
+  std::vector<int> received;
+  std::vector<TimeNs> arrival_times;
+
+  StageHarness(const ImpairmentConfig& cfg, std::uint64_t seed)
+      : stage(sim, cfg, seed) {
+    stage.set_sink([this](const int& v) {
+      received.push_back(v);
+      arrival_times.push_back(sim.now());
+    });
+  }
+
+  void drive(int n, TimeNs spacing = from_ms(1)) {
+    for (int i = 0; i < n; ++i) {
+      sim.schedule_at(static_cast<TimeNs>(i) * spacing,
+                      [this, i] { stage.send(i); });
+    }
+    sim.run();
+  }
+};
+
+TEST(ImpairmentConfig, PristineByDefault) {
+  const ImpairmentConfig cfg;
+  EXPECT_FALSE(cfg.any());
+  EXPECT_NO_THROW(cfg.validate());
+  EXPECT_DOUBLE_EQ(cfg.gilbert.expected_loss_rate(), 0.0);
+}
+
+TEST(ImpairmentConfig, ValidateRejectsBadKnobs) {
+  ImpairmentConfig cfg;
+  cfg.loss_rate = 1.5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = {};
+  cfg.reorder_rate = 0.1;  // no reorder_delay
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = {};
+  cfg.gilbert.p_good_to_bad = 0.1;
+  cfg.gilbert.p_bad_to_good = 0.0;  // absorbing bad state
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = {};
+  cfg.spikes.period = from_ms(10);
+  cfg.spikes.width = from_ms(20);  // width > period
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ImpairmentStage, PristineConfigPassesEverythingSynchronously) {
+  StageHarness h{{}, 42};
+  h.drive(100);
+  EXPECT_EQ(h.received.size(), 100u);
+  EXPECT_EQ(h.stage.counters().offered, 100u);
+  EXPECT_EQ(h.stage.counters().dropped, 0u);
+  // Zero extra delay forwards at the send time itself.
+  for (std::size_t i = 0; i < h.arrival_times.size(); ++i) {
+    EXPECT_EQ(h.arrival_times[i], static_cast<TimeNs>(i) * from_ms(1));
+  }
+}
+
+TEST(ImpairmentStage, IidLossRateWithinTolerance) {
+  ImpairmentConfig cfg;
+  cfg.loss_rate = 0.1;
+  StageHarness h{cfg, 7};
+  const int n = 20000;
+  h.drive(n);
+  const double observed =
+      static_cast<double>(h.stage.counters().dropped) / n;
+  // 3-sigma band for a Bernoulli(0.1) sample of 20k.
+  const double sigma = std::sqrt(0.1 * 0.9 / n);
+  EXPECT_NEAR(observed, 0.1, 3.0 * sigma);
+  EXPECT_EQ(h.received.size(), n - h.stage.counters().dropped);
+}
+
+TEST(ImpairmentStage, GilbertElliottLossMatchesStationaryRate) {
+  ImpairmentConfig cfg;
+  cfg.gilbert.p_good_to_bad = 0.02;
+  cfg.gilbert.p_bad_to_good = 0.18;
+  cfg.gilbert.loss_good = 0.0;
+  cfg.gilbert.loss_bad = 0.5;
+  // pi_bad = 0.02/0.20 = 0.1; expected loss = 0.1 * 0.5 = 0.05.
+  ASSERT_DOUBLE_EQ(cfg.gilbert.expected_loss_rate(), 0.05);
+
+  StageHarness h{cfg, 11};
+  const int n = 60000;
+  h.drive(n);
+  const double observed =
+      static_cast<double>(h.stage.counters().dropped) / n;
+  // Burst losses are correlated, so the sample variance is inflated by
+  // roughly the mean burst length; use a generous 5x Bernoulli sigma.
+  const double sigma = std::sqrt(0.05 * 0.95 / n);
+  EXPECT_NEAR(observed, 0.05, 5.0 * sigma);
+}
+
+TEST(ImpairmentStage, GilbertElliottLossIsBurstier) {
+  // Same long-run loss rate, i.i.d. vs bursty: the burst model must show
+  // longer runs of consecutive drops.
+  const auto max_drop_run = [](const ImpairmentConfig& cfg) {
+    ImpairmentDice dice{cfg, 99};
+    int run = 0;
+    int max_run = 0;
+    for (int i = 0; i < 50000; ++i) {
+      if (dice.roll_loss()) {
+        max_run = std::max(max_run, ++run);
+      } else {
+        run = 0;
+      }
+    }
+    return max_run;
+  };
+
+  ImpairmentConfig iid;
+  iid.loss_rate = 0.05;
+  ImpairmentConfig burst;
+  burst.gilbert.p_good_to_bad = 0.005;
+  burst.gilbert.p_bad_to_good = 0.095;
+  burst.gilbert.loss_bad = 1.0;  // pi_bad = 0.05 -> same long-run rate
+  EXPECT_GT(max_drop_run(burst), max_drop_run(iid));
+}
+
+TEST(ImpairmentStage, DeterministicUnderFixedSeed) {
+  ImpairmentConfig cfg;
+  cfg.loss_rate = 0.05;
+  cfg.jitter = from_ms(2);
+  cfg.duplicate_rate = 0.02;
+  cfg.reorder_rate = 0.03;
+  cfg.reorder_delay = from_ms(5);
+
+  StageHarness a{cfg, 123};
+  StageHarness b{cfg, 123};
+  a.drive(5000);
+  b.drive(5000);
+  EXPECT_EQ(a.received, b.received);
+  EXPECT_EQ(a.arrival_times, b.arrival_times);
+  EXPECT_EQ(a.stage.counters().dropped, b.stage.counters().dropped);
+  EXPECT_EQ(a.stage.counters().duplicated, b.stage.counters().duplicated);
+  EXPECT_EQ(a.stage.counters().reordered, b.stage.counters().reordered);
+
+  StageHarness c{cfg, 124};
+  c.drive(5000);
+  EXPECT_NE(a.arrival_times, c.arrival_times);
+}
+
+TEST(ImpairmentStage, DuplicationProducesExtraCopies) {
+  ImpairmentConfig cfg;
+  cfg.duplicate_rate = 0.25;
+  StageHarness h{cfg, 5};
+  h.drive(4000);
+  EXPECT_GT(h.stage.counters().duplicated, 0u);
+  EXPECT_EQ(h.received.size(), 4000u + h.stage.counters().duplicated);
+}
+
+TEST(ImpairmentStage, ReorderingActuallyReorders) {
+  ImpairmentConfig cfg;
+  cfg.reorder_rate = 0.1;
+  cfg.reorder_delay = from_ms(10);  // >> the 1 ms send spacing
+  StageHarness h{cfg, 3};
+  h.drive(2000);
+  ASSERT_GT(h.stage.counters().reordered, 0u);
+  bool out_of_order = false;
+  for (std::size_t i = 1; i < h.received.size(); ++i) {
+    if (h.received[i] < h.received[i - 1]) out_of_order = true;
+  }
+  EXPECT_TRUE(out_of_order);
+}
+
+TEST(ImpairmentStage, DelaySpikesHitInsideTheWindow) {
+  ImpairmentConfig cfg;
+  cfg.spikes.period = from_ms(100);
+  cfg.spikes.width = from_ms(10);
+  cfg.spikes.magnitude = from_ms(50);
+  StageHarness h{cfg, 1};
+  // One packet inside the spike window, one outside.
+  h.sim.schedule_at(from_ms(5), [&] { h.stage.send(0); });
+  h.sim.schedule_at(from_ms(50), [&] { h.stage.send(1); });
+  h.sim.run();
+  ASSERT_EQ(h.received.size(), 2u);
+  // Packet 1 (outside the spike) forwards synchronously at 50 ms and so
+  // arrives before packet 0, whose spike delay lands it at 5 + 50 ms.
+  EXPECT_EQ(h.received, (std::vector<int>{1, 0}));
+  EXPECT_EQ(h.arrival_times[0], from_ms(50));  // untouched
+  EXPECT_EQ(h.arrival_times[1], from_ms(55));  // 5 + 50 spike
+}
+
+}  // namespace
+}  // namespace bbrnash

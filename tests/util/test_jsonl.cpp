@@ -1,0 +1,94 @@
+#include "util/jsonl.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace bbrnash {
+namespace {
+
+TEST(JsonlRecord, TypedSetAndGet) {
+  JsonlRecord rec;
+  rec.set("s", "hello");
+  rec.set("d", 2.5);
+  rec.set("u", std::uint64_t{123});
+  EXPECT_TRUE(rec.has("s"));
+  EXPECT_FALSE(rec.has("missing"));
+  EXPECT_EQ(rec.get_string("s"), "hello");
+  EXPECT_EQ(rec.get_double("d"), 2.5);
+  EXPECT_EQ(rec.get_u64("u"), 123u);
+  // Integers coerce to double; strings do not.
+  EXPECT_EQ(rec.get_double("u"), 123.0);
+  EXPECT_EQ(rec.get_double("s", -1.0), -1.0);
+  EXPECT_EQ(rec.get_u64("missing", 9), 9u);
+}
+
+TEST(JsonlRecord, EncodeParseRoundTrip) {
+  JsonlRecord rec;
+  rec.set("name", R"(quote " backslash \ newline
+tab	done)");
+  rec.set("third", 1.0 / 3.0);
+  rec.set("tiny", 5e-324);  // smallest subnormal
+  rec.set("neg", -0.125);
+  rec.set("big", std::numeric_limits<std::uint64_t>::max());
+  rec.set("zero", std::uint64_t{0});
+
+  const auto back = JsonlRecord::parse(rec.encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(*back == rec);
+  EXPECT_EQ(back->get_double("third"), 1.0 / 3.0);
+  EXPECT_EQ(back->get_double("tiny"), 5e-324);
+  EXPECT_EQ(back->get_u64("big"), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(JsonlRecord, ParseRejectsMalformedLines) {
+  EXPECT_FALSE(JsonlRecord::parse("").has_value());
+  EXPECT_FALSE(JsonlRecord::parse("not json").has_value());
+  EXPECT_FALSE(JsonlRecord::parse(R"({"a":1)").has_value());       // torn
+  EXPECT_FALSE(JsonlRecord::parse(R"({"a":})").has_value());
+  EXPECT_FALSE(JsonlRecord::parse(R"({"a":"unterminated)").has_value());
+  EXPECT_FALSE(JsonlRecord::parse(R"({"a":1} trailing)").has_value());
+  EXPECT_FALSE(JsonlRecord::parse(R"({"a":1,,"b":2})").has_value());
+  EXPECT_TRUE(JsonlRecord::parse("{}").has_value());
+  EXPECT_TRUE(JsonlRecord::parse(R"(  {"a":1}  )").has_value());
+}
+
+TEST(Jsonl, AppendAndReadBack) {
+  const std::string path = testing::TempDir() + "jsonl_rw.jsonl";
+  std::remove(path.c_str());
+
+  EXPECT_TRUE(read_jsonl(path).empty());  // missing file is fine
+
+  JsonlRecord a;
+  a.set("i", std::uint64_t{1});
+  JsonlRecord b;
+  b.set("i", std::uint64_t{2});
+  append_jsonl_line(path, a.encode());
+  append_jsonl_line(path, b.encode());
+
+  const auto records = read_jsonl(path);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].get_u64("i"), 1u);
+  EXPECT_EQ(records[1].get_u64("i"), 2u);
+}
+
+TEST(Jsonl, ReadSkipsCorruptLines) {
+  const std::string path = testing::TempDir() + "jsonl_corrupt.jsonl";
+  std::remove(path.c_str());
+  {
+    std::ofstream out{path};
+    out << R"({"ok":1})" << '\n';
+    out << "garbage line\n";
+    out << R"({"ok":2})" << '\n';
+    out << R"({"torn":)";  // no newline, no close — crash mid-write
+  }
+  const auto records = read_jsonl(path);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].get_u64("ok"), 1u);
+  EXPECT_EQ(records[1].get_u64("ok"), 2u);
+}
+
+}  // namespace
+}  // namespace bbrnash

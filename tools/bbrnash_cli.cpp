@@ -3,12 +3,20 @@
 //   bbrnash run   --capacity 100 --rtt 40 --buffer-bdp 5
 //                 --flows cubic:4,bbr:2 [--duration 60] [--warmup 15]
 //                 [--seed 1] [--aqm droptail|red|codel] [--csv]
+//                 [--loss P] [--ack-loss P] [--ge-p-gb P --ge-p-bg P
+//                  --ge-loss-bad P] [--reorder P --reorder-delay-ms MS]
+//                 [--duplicate P] [--jitter-ms MS]
+//                 [--flap-period-s S --flap-down-s S --flap-down-mbps M]
+//                 [--max-events N] [--max-wall-s S] [--retries N]
 //   bbrnash model --capacity 100 --rtt 40 --buffer-bdp 5
 //                 [--cubic 5 --bbr 5]
 //   bbrnash nash  --capacity 100 --rtt 40 --buffer-bdp 5 --flows-total 50
 //
 // `run` simulates a scenario and prints per-flow results; `model` prints
 // the analytical prediction; `nash` prints the predicted Nash region.
+// Unknown flags are rejected with a non-zero exit so a typo'd knob can
+// never silently run the default experiment.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,6 +49,7 @@ struct Args {
     const auto it = kv.find(key);
     return it == kv.end() ? fallback : it->second;
   }
+  bool has(const std::string& key) const { return kv.count(key) != 0; }
 };
 
 std::optional<CcKind> parse_cc(const std::string& name) {
@@ -52,23 +61,45 @@ std::optional<CcKind> parse_cc(const std::string& name) {
   return std::nullopt;
 }
 
-std::optional<AqmKind> parse_aqm(const std::string& name) {
-  for (const AqmKind k :
-       {AqmKind::kDropTail, AqmKind::kRed, AqmKind::kCoDel}) {
-    if (name == to_string(k)) return k;
-  }
-  return std::nullopt;
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: bbrnash <run|model|nash> --capacity MBPS --rtt MS "
+      "--buffer-bdp N [options]\n"
+      "  run:   --flows cubic:4,bbr:2 [--duration S] [--warmup S] "
+      "[--seed N] [--aqm droptail|red|codel] [--csv]\n"
+      "         impairments: [--loss P] [--ack-loss P] [--ge-p-gb P "
+      "--ge-p-bg P --ge-loss-bad P]\n"
+      "                      [--reorder P --reorder-delay-ms MS] "
+      "[--duplicate P] [--jitter-ms MS]\n"
+      "         capacity:    [--flap-period-s S --flap-down-s S "
+      "--flap-down-mbps M]\n"
+      "         watchdog:    [--max-events N] [--max-wall-s S] "
+      "[--retries N]\n"
+      "  model: [--cubic N --bbr N] [--duration S]\n"
+      "  nash:  --flows-total N\n");
+  return 2;
 }
 
-int usage() {
-  std::fprintf(stderr,
-               "usage: bbrnash <run|model|nash> --capacity MBPS --rtt MS "
-               "--buffer-bdp N [options]\n"
-               "  run:   --flows cubic:4,bbr:2 [--duration S] [--warmup S] "
-               "[--seed N] [--aqm droptail|red|codel] [--csv]\n"
-               "  model: [--cubic N --bbr N] [--duration S]\n"
-               "  nash:  --flows-total N\n");
-  return 2;
+/// Flags each command accepts; anything else is an error, not a no-op.
+const std::vector<std::string>& allowed_keys(const std::string& cmd) {
+  static const std::vector<std::string> run_keys = {
+      "capacity",     "rtt",      "buffer-bdp",       "flows",
+      "duration",     "warmup",   "seed",             "aqm",
+      "loss",         "ack-loss", "ge-p-gb",          "ge-p-bg",
+      "ge-loss-good", "ge-loss-bad", "reorder",       "reorder-delay-ms",
+      "duplicate",    "jitter-ms",   "flap-period-s", "flap-down-s",
+      "flap-down-mbps", "max-events", "max-wall-s",   "retries"};
+  static const std::vector<std::string> model_keys = {
+      "capacity", "rtt", "buffer-bdp", "cubic", "bbr", "duration"};
+  static const std::vector<std::string> nash_keys = {"capacity", "rtt",
+                                                     "buffer-bdp",
+                                                     "flows-total"};
+  static const std::vector<std::string> none;
+  if (cmd == "run") return run_keys;
+  if (cmd == "model") return model_keys;
+  if (cmd == "nash") return nash_keys;
+  return none;
 }
 
 int cmd_run(const Args& args) {
@@ -84,10 +115,32 @@ int cmd_run(const Args& args) {
 
   const auto aqm = parse_aqm(args.str("aqm", "droptail"));
   if (!aqm) {
-    std::fprintf(stderr, "unknown aqm\n");
+    std::fprintf(stderr, "unknown aqm '%s'\n",
+                 args.str("aqm", "").c_str());
     return usage();
   }
   s.aqm = *aqm;
+
+  // Data-path / ACK-path impairments.
+  s.impairments.loss_rate = args.num("loss", 0);
+  s.impairments.gilbert.p_good_to_bad = args.num("ge-p-gb", 0);
+  s.impairments.gilbert.p_bad_to_good = args.num("ge-p-bg", 1);
+  s.impairments.gilbert.loss_good = args.num("ge-loss-good", 0);
+  s.impairments.gilbert.loss_bad = args.num("ge-loss-bad", 1);
+  s.impairments.reorder_rate = args.num("reorder", 0);
+  s.impairments.reorder_delay = from_ms(args.num("reorder-delay-ms", 0));
+  s.impairments.duplicate_rate = args.num("duplicate", 0);
+  s.impairments.jitter = from_ms(args.num("jitter-ms", 0));
+  s.ack_impairments.loss_rate = args.num("ack-loss", 0);
+
+  // Bottleneck link flaps.
+  if (args.has("flap-period-s")) {
+    s.capacity_schedule = make_flap_schedule(
+        from_sec(args.num("flap-period-s", 0)),
+        from_sec(args.num("flap-down-s", 1)), s.capacity,
+        mbps(args.num("flap-down-mbps", to_mbps(s.capacity) / 10)),
+        s.duration);
+  }
 
   // --flows cubic:4,bbr:2,vegas:1
   std::stringstream flows{args.str("flows", "cubic:1,bbr:1")};
@@ -105,8 +158,27 @@ int cmd_run(const Args& args) {
     for (int i = 0; i < count; ++i) s.flows.push_back({*kind, net.base_rtt});
   }
   if (s.flows.empty()) return usage();
+  s.validate();
 
-  const RunResult r = run_scenario(s);
+  GuardConfig guard;
+  guard.watchdog.max_events =
+      static_cast<std::uint64_t>(args.num("max-events", 0));
+  guard.watchdog.max_wall_seconds = args.num("max-wall-s", 0);
+  guard.max_attempts = 1 + static_cast<int>(args.num("retries", 0));
+
+  const RunOutcome o = run_scenario_guarded(s, guard);
+  if (!o.ok()) {
+    std::fprintf(stderr,
+                 "run failed: %s (%s)\n  seed %llu, %d attempt(s), "
+                 "%llu events, reached t=%.2f s\n",
+                 to_string(o.status), o.diagnostics.message.c_str(),
+                 static_cast<unsigned long long>(o.seed_used), o.attempts,
+                 static_cast<unsigned long long>(
+                     o.diagnostics.events_executed),
+                 to_sec(o.diagnostics.sim_time_reached));
+    return 1;
+  }
+  const RunResult& r = o.result;
 
   Table table({"flow", "cc", "goodput_mbps", "avg_rtt_ms", "retransmits",
                "avg_queue_kB"});
@@ -127,6 +199,17 @@ int cmd_run(const Args& args) {
         "aqm %s\n",
         100.0 * r.link_utilization, r.avg_queue_delay_ms,
         static_cast<unsigned long long>(r.total_drops), to_string(s.aqm));
+    if (r.data_impairments.offered > 0 || r.ack_impairments.offered > 0) {
+      std::printf(
+          "impairments: data %llu/%llu dropped (%llu dup, %llu reordered), "
+          "ack %llu/%llu dropped\n",
+          static_cast<unsigned long long>(r.data_impairments.dropped),
+          static_cast<unsigned long long>(r.data_impairments.offered),
+          static_cast<unsigned long long>(r.data_impairments.duplicated),
+          static_cast<unsigned long long>(r.data_impairments.reordered),
+          static_cast<unsigned long long>(r.ack_impairments.dropped),
+          static_cast<unsigned long long>(r.ack_impairments.offered));
+    }
   }
   return 0;
 }
@@ -188,15 +271,30 @@ int cmd_nash(const Args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  const std::vector<std::string>& allowed = allowed_keys(cmd);
+  if (allowed.empty()) {
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    return usage();
+  }
 
   Args args;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0) {
+      if (cmd != "run") {
+        std::fprintf(stderr, "unknown flag '--csv' for '%s'\n", cmd.c_str());
+        return usage();
+      }
       args.csv = true;
       continue;
     }
     if (std::strncmp(argv[i], "--", 2) == 0 && i + 1 < argc) {
-      args.kv[argv[i] + 2] = argv[i + 1];
+      const std::string key = argv[i] + 2;
+      if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
+        std::fprintf(stderr, "unknown flag '--%s' for '%s'\n", key.c_str(),
+                     cmd.c_str());
+        return usage();
+      }
+      args.kv[key] = argv[i + 1];
       ++i;
     } else {
       std::fprintf(stderr, "unexpected argument '%s'\n", argv[i]);
