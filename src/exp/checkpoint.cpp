@@ -1,6 +1,8 @@
 #include "exp/checkpoint.hpp"
 
+#include <cstddef>
 #include <cstdio>
+#include <string>
 #include <utility>
 
 namespace bbrnash {
@@ -9,6 +11,47 @@ namespace {
 
 /// Reserved field holding the cell key inside each record.
 constexpr const char* kKeyField = "key";
+
+void append_kv(std::string& out, const char* key, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, " %s=%.17g", key, v);
+  out += buf;
+}
+
+void append_kv(std::string& out, const char* key, long long v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, " %s=%lld", key, v);
+  out += buf;
+}
+
+void append_kv(std::string& out, const char* key, unsigned long long v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, " %s=%llu", key, v);
+  out += buf;
+}
+
+/// Every ImpairmentConfig knob, raw (the Gilbert chain is keyed by its four
+/// parameters, not its stationary loss rate — two chains with the same
+/// long-run rate but different burstiness measure differently).
+void append_impairments(std::string& out, const std::string& tag,
+                        const ImpairmentConfig& c) {
+  append_kv(out, (tag + ".l").c_str(), c.loss_rate);
+  append_kv(out, (tag + ".gpgb").c_str(), c.gilbert.p_good_to_bad);
+  append_kv(out, (tag + ".gpbg").c_str(), c.gilbert.p_bad_to_good);
+  append_kv(out, (tag + ".glg").c_str(), c.gilbert.loss_good);
+  append_kv(out, (tag + ".glb").c_str(), c.gilbert.loss_bad);
+  append_kv(out, (tag + ".ro").c_str(), c.reorder_rate);
+  append_kv(out, (tag + ".rod").c_str(),
+            static_cast<long long>(c.reorder_delay));
+  append_kv(out, (tag + ".dup").c_str(), c.duplicate_rate);
+  append_kv(out, (tag + ".j").c_str(), static_cast<long long>(c.jitter));
+  append_kv(out, (tag + ".spp").c_str(),
+            static_cast<long long>(c.spikes.period));
+  append_kv(out, (tag + ".spw").c_str(),
+            static_cast<long long>(c.spikes.width));
+  append_kv(out, (tag + ".spm").c_str(),
+            static_cast<long long>(c.spikes.magnitude));
+}
 
 }  // namespace
 
@@ -33,25 +76,40 @@ void CheckpointLog::record(const std::string& key, JsonlRecord rec) {
 std::string mix_checkpoint_key(const NetworkParams& net, int num_cubic,
                                int num_other, CcKind other,
                                const TrialConfig& cfg) {
-  char buf[512];
-  std::snprintf(
-      buf, sizeof buf,
-      "mix c=%lld b=%lld r=%lld nc=%d no=%d cc=%s d=%lld w=%lld t=%d "
-      "s=%llu l=%.17g gl=%.17g al=%.17g agl=%.17g j=%lld sched=%zu "
-      "att=%d bump=%llu",
-      static_cast<long long>(net.capacity),
-      static_cast<long long>(net.buffer_bytes),
-      static_cast<long long>(net.base_rtt), num_cubic, num_other,
-      to_string(other), static_cast<long long>(cfg.duration),
-      static_cast<long long>(cfg.warmup), cfg.trials,
-      static_cast<unsigned long long>(cfg.seed), cfg.impairments.loss_rate,
-      cfg.impairments.gilbert.expected_loss_rate(),
-      cfg.ack_impairments.loss_rate,
-      cfg.ack_impairments.gilbert.expected_loss_rate(),
-      static_cast<long long>(cfg.impairments.jitter),
-      cfg.capacity_schedule.size(), cfg.guard.max_attempts,
-      static_cast<unsigned long long>(cfg.guard.seed_bump));
-  return buf;
+  std::string key = "mix";
+  key.reserve(640);
+  append_kv(key, "c", static_cast<long long>(net.capacity));
+  append_kv(key, "b", static_cast<long long>(net.buffer_bytes));
+  append_kv(key, "r", static_cast<long long>(net.base_rtt));
+  append_kv(key, "nc", static_cast<long long>(num_cubic));
+  append_kv(key, "no", static_cast<long long>(num_other));
+  key += " cc=";
+  key += to_string(other);
+  append_kv(key, "d", static_cast<long long>(cfg.duration));
+  append_kv(key, "w", static_cast<long long>(cfg.warmup));
+  append_kv(key, "t", static_cast<long long>(cfg.trials));
+  append_kv(key, "s", static_cast<unsigned long long>(cfg.seed));
+  append_impairments(key, "di", cfg.impairments);
+  append_impairments(key, "ai", cfg.ack_impairments);
+  // Full schedule contents: two sweeps with the same number of rate steps
+  // but different flap times/rates must not collide.
+  for (const RateChange& c : cfg.capacity_schedule) {
+    append_kv(key, "sc.at", static_cast<long long>(c.at));
+    append_kv(key, "sc.rate", static_cast<long long>(c.rate));
+  }
+  // Guard policy: watchdog limits change where an aborted trial stops (and
+  // so which trials are excluded from the averages), retries and injected
+  // failures change which seeds the surviving trials ran with.
+  append_kv(key, "g.ev",
+            static_cast<unsigned long long>(cfg.guard.watchdog.max_events));
+  append_kv(key, "g.wall", cfg.guard.watchdog.max_wall_seconds);
+  append_kv(key, "g.att", static_cast<long long>(cfg.guard.max_attempts));
+  append_kv(key, "g.bump",
+            static_cast<unsigned long long>(cfg.guard.seed_bump));
+  for (const std::uint64_t s : cfg.guard.inject_failure_seeds) {
+    append_kv(key, "g.inj", static_cast<unsigned long long>(s));
+  }
+  return key;
 }
 
 JsonlRecord mix_to_record(const MixOutcome& m) {
@@ -68,12 +126,11 @@ JsonlRecord mix_to_record(const MixOutcome& m) {
   rec.set("trials_completed", m.trials_completed);
   rec.set("trials_retried", m.trials_retried);
   rec.set("trials_failed", m.trials_failed);
-  std::string log;
-  for (const std::string& f : m.failures) {
-    if (!log.empty()) log += " | ";
-    log += f;
+  // One field per failure so a resumed sweep restores the same diagnostics
+  // list (entry count included) as the uninterrupted run.
+  for (std::size_t i = 0; i < m.failures.size(); ++i) {
+    rec.set("failure_" + std::to_string(i), m.failures[i]);
   }
-  if (!log.empty()) rec.set("failure_log", log);
   return rec;
 }
 
@@ -91,8 +148,9 @@ MixOutcome mix_from_record(const JsonlRecord& rec) {
   m.trials_completed = static_cast<int>(rec.get_u64("trials_completed"));
   m.trials_retried = static_cast<int>(rec.get_u64("trials_retried"));
   m.trials_failed = static_cast<int>(rec.get_u64("trials_failed"));
-  const std::string log = rec.get_string("failure_log");
-  if (!log.empty()) m.failures.push_back(log);
+  for (std::size_t i = 0; rec.has("failure_" + std::to_string(i)); ++i) {
+    m.failures.push_back(rec.get_string("failure_" + std::to_string(i)));
+  }
   return m;
 }
 

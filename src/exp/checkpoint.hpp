@@ -41,8 +41,11 @@ class CheckpointLog {
   std::map<std::string, JsonlRecord> entries_;
 };
 
-/// Key for one run_mix_trials cell: network, mix, trial plan and path
-/// conditions. Everything that changes the measured numbers is in here, so
+/// Key for one run_mix_trials cell: network, mix, trial plan, every knob of
+/// both impairment configs (raw Gilbert-Elliott parameters, not the
+/// stationary rate), the full capacity schedule (each step's time and
+/// rate), and the guard policy (watchdog limits, retries, injected
+/// failures). Everything that changes the measured numbers is in here, so
 /// one log file can serve a whole multi-dimension sweep.
 [[nodiscard]] std::string mix_checkpoint_key(const NetworkParams& net,
                                              int num_cubic, int num_other,

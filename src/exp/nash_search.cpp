@@ -4,6 +4,8 @@
 #include <map>
 #include <memory>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "exp/checkpoint.hpp"
 #include "exp/scenario_runner.hpp"
@@ -18,6 +20,19 @@ std::unique_ptr<CheckpointLog> open_checkpoint(const NashSearchConfig& cfg) {
   return std::make_unique<CheckpointLog>(cfg.checkpoint_path);
 }
 
+/// A cell whose every trial failed has no measurement; its all-zero
+/// averages would read as "0 Mbps" and silently skew the NE search, so
+/// surface the per-trial diagnostics as a hard error instead.
+const MixOutcome& require_measurement(const MixOutcome& m, int num_cubic,
+                                      int num_other) {
+  if (m.trials_completed > 0) return m;
+  std::string msg = "NE search cell (" + std::to_string(num_cubic) +
+                    " CUBIC vs " + std::to_string(num_other) +
+                    " challenger) completed zero trials";
+  for (const std::string& f : m.failures) msg += "\n  " + f;
+  throw std::runtime_error{msg};
+}
+
 }  // namespace
 
 EmpiricalPayoffs measure_payoffs(const NetworkParams& net, int total_flows,
@@ -27,8 +42,10 @@ EmpiricalPayoffs measure_payoffs(const NetworkParams& net, int total_flows,
   out.other_mbps.assign(static_cast<std::size_t>(total_flows) + 1, 0.0);
   const auto log = open_checkpoint(cfg);
   for (int k = 0; k <= total_flows; ++k) {
-    const MixOutcome m = run_mix_trials_checkpointed(
-        net, total_flows - k, k, cfg.challenger, cfg.trial, log.get());
+    const MixOutcome m = require_measurement(
+        run_mix_trials_checkpointed(net, total_flows - k, k, cfg.challenger,
+                                    cfg.trial, log.get()),
+        total_flows - k, k);
     out.cubic_mbps[static_cast<std::size_t>(k)] = m.per_flow_cubic_mbps;
     out.other_mbps[static_cast<std::size_t>(k)] = m.per_flow_other_mbps;
   }
@@ -54,11 +71,10 @@ int find_ne_crossing(const NetworkParams& net, int total_flows,
   const auto outcome_at = [&](int k) -> const MixOutcome& {
     auto it = cache.find(k);
     if (it == cache.end()) {
-      it = cache
-               .emplace(k, run_mix_trials_checkpointed(net, total_flows - k,
-                                                       k, cfg.challenger,
-                                                       cfg.trial, log.get()))
-               .first;
+      MixOutcome m = run_mix_trials_checkpointed(
+          net, total_flows - k, k, cfg.challenger, cfg.trial, log.get());
+      require_measurement(m, total_flows - k, k);
+      it = cache.emplace(k, std::move(m)).first;
     }
     return it->second;
   };

@@ -44,6 +44,10 @@ struct EmpiricalPayoffs {
   std::vector<double> other_mbps;  ///< per-flow challenger payoff at k (k > 0)
 };
 
+/// Per-trial failures inside a cell are tolerated (the cell averages its
+/// surviving trials), but a cell with ZERO completed trials has no payoff
+/// to report: measure_payoffs and find_ne_crossing throw std::runtime_error
+/// carrying the per-trial diagnostics rather than feed 0 Mbps to the search.
 EmpiricalPayoffs measure_payoffs(const NetworkParams& net, int total_flows,
                                  const NashSearchConfig& cfg);
 

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -25,7 +26,13 @@ class JsonlRecord {
   void set(const std::string& key, const char* v) { set(key, std::string{v}); }
   void set(const std::string& key, double v);
   void set(const std::string& key, std::uint64_t v);
+  /// Convenience for non-negative counters; throws std::invalid_argument on
+  /// a negative value rather than silently storing a huge unsigned one.
   void set(const std::string& key, int v) {
+    if (v < 0) {
+      throw std::invalid_argument{"JsonlRecord::set: negative value for '" +
+                                  key + "' (records store unsigned counters)"};
+    }
     set(key, static_cast<std::uint64_t>(v));
   }
 

@@ -90,6 +90,83 @@ TEST(CheckpointLog, TornTrailingWriteIsSkipped) {
   EXPECT_EQ(reloaded.lookup("bad"), nullptr);
 }
 
+TEST(Checkpoint, KeyCoversEveryOutcomeChangingKnob) {
+  const NetworkParams net = make_params(20, 20, 3);
+  const TrialConfig base;
+  const auto key = [&](const TrialConfig& cfg) {
+    return mix_checkpoint_key(net, 1, 1, CcKind::kBbr, cfg);
+  };
+
+  // Each variant flips exactly one knob that changes measured numbers; a
+  // sweep over any of them must never collide with the pristine cell or
+  // with each other.
+  std::vector<std::string> keys = {key(base)};
+  const auto add_variant = [&](const auto& mutate) {
+    TrialConfig c = base;
+    mutate(c);
+    keys.push_back(key(c));
+  };
+  add_variant([](TrialConfig& c) { c.impairments.loss_rate = 0.01; });
+  add_variant([](TrialConfig& c) { c.impairments.reorder_rate = 0.01; });
+  add_variant([](TrialConfig& c) { c.impairments.reorder_delay = from_ms(5); });
+  add_variant([](TrialConfig& c) { c.impairments.duplicate_rate = 0.01; });
+  add_variant([](TrialConfig& c) { c.impairments.jitter = from_ms(2); });
+  add_variant([](TrialConfig& c) {
+    c.impairments.spikes = {from_ms(100), from_ms(10), from_ms(3)};
+  });
+  add_variant([](TrialConfig& c) { c.ack_impairments.loss_rate = 0.01; });
+  add_variant([](TrialConfig& c) { c.ack_impairments.reorder_rate = 0.01; });
+  add_variant([](TrialConfig& c) { c.ack_impairments.jitter = from_ms(2); });
+  add_variant([](TrialConfig& c) { c.guard.watchdog.max_events = 1000; });
+  add_variant([](TrialConfig& c) { c.guard.watchdog.max_wall_seconds = 2.0; });
+  add_variant([](TrialConfig& c) { c.guard.max_attempts = 3; });
+  add_variant([](TrialConfig& c) { c.guard.seed_bump = 7; });
+  add_variant(
+      [&](TrialConfig& c) { c.guard.inject_failure_seeds = {base.seed}; });
+  add_variant([](TrialConfig& c) {
+    c.capacity_schedule = {{from_sec(1), mbps(10)}};
+  });
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    for (std::size_t j = i + 1; j < keys.size(); ++j) {
+      EXPECT_NE(keys[i], keys[j]) << "variants " << i << " and " << j;
+    }
+  }
+
+  // Two Gilbert-Elliott chains with the same stationary loss rate but
+  // different burstiness measure differently, so they must key differently.
+  TrialConfig g1 = base;
+  TrialConfig g2 = base;
+  g1.impairments.gilbert = {0.01, 0.09, 0.0, 1.0};
+  g2.impairments.gilbert = {0.02, 0.18, 0.0, 1.0};
+  ASSERT_DOUBLE_EQ(g1.impairments.gilbert.expected_loss_rate(),
+                   g2.impairments.gilbert.expected_loss_rate());
+  EXPECT_NE(key(g1), key(g2));
+
+  // Capacity schedules of equal length but different flap times or rates.
+  TrialConfig s1 = base;
+  TrialConfig s2 = base;
+  TrialConfig s3 = base;
+  s1.capacity_schedule = {{from_sec(1), mbps(10)}};
+  s2.capacity_schedule = {{from_sec(2), mbps(10)}};
+  s3.capacity_schedule = {{from_sec(1), mbps(5)}};
+  EXPECT_NE(key(s1), key(s2));
+  EXPECT_NE(key(s1), key(s3));
+}
+
+TEST(Checkpoint, FailureListRoundTripsEntryForEntry) {
+  MixOutcome m;
+  m.trials_completed = 1;
+  m.trials_failed = 2;
+  m.failures = {"trial 0 (seed 1, 2 attempts): invariant-violation: q > B",
+                "trial 2 (seed 9, 1 attempts): error: boom"};
+  const MixOutcome back = mix_from_record(mix_to_record(m));
+  ASSERT_EQ(back.failures.size(), m.failures.size());
+  EXPECT_EQ(back.failures[0], m.failures[0]);
+  EXPECT_EQ(back.failures[1], m.failures[1]);
+  const MixOutcome clean = mix_from_record(mix_to_record(MixOutcome{}));
+  EXPECT_TRUE(clean.failures.empty());
+}
+
 TEST(Checkpoint, MixOutcomeRoundTripsExactly) {
   const NetworkParams net = make_params(20, 20, 3);
   TrialConfig cfg;

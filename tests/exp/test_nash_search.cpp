@@ -1,6 +1,8 @@
 #include "exp/nash_search.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -46,6 +48,25 @@ TEST(NashSearch, CrossingAgreesWithEnumerationOnSmallGame) {
 TEST(NashSearch, CrossingRequiresTwoFlows) {
   const NetworkParams net = make_params(20, 20, 3);
   EXPECT_THROW(find_ne_crossing(net, 1, quick_cfg()), std::invalid_argument);
+}
+
+TEST(NashSearch, CellWithZeroCompletedTrialsAbortsWithDiagnostics) {
+  const NetworkParams net = make_params(20, 20, 3);
+  NashSearchConfig cfg = quick_cfg();
+  // One trial, one attempt, and that attempt's seed on the injection list:
+  // every cell completes zero trials. The search must surface the failure
+  // instead of treating the all-zero averages as 0 Mbps payoffs.
+  cfg.trial.guard.max_attempts = 1;
+  cfg.trial.guard.inject_failure_seeds = {cfg.trial.seed};
+  try {
+    (void)measure_payoffs(net, 2, cfg);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("zero trials"), std::string::npos);
+    EXPECT_NE(std::string{e.what()}.find("injected failure"),
+              std::string::npos);
+  }
+  EXPECT_THROW(find_ne_crossing(net, 2, cfg), std::runtime_error);
 }
 
 TEST(NashSearch, ShallowBufferPushesNeTowardBbr) {

@@ -25,6 +25,14 @@ TEST(JsonlRecord, TypedSetAndGet) {
   EXPECT_EQ(rec.get_u64("missing", 9), 9u);
 }
 
+TEST(JsonlRecord, IntOverloadRejectsNegativeValues) {
+  JsonlRecord rec;
+  rec.set("n", 7);  // non-negative ints are counters and store fine
+  EXPECT_EQ(rec.get_u64("n"), 7u);
+  EXPECT_THROW(rec.set("n", -1), std::invalid_argument);
+  EXPECT_EQ(rec.get_u64("n"), 7u);  // failed set left the record untouched
+}
+
 TEST(JsonlRecord, EncodeParseRoundTrip) {
   JsonlRecord rec;
   rec.set("name", R"(quote " backslash \ newline

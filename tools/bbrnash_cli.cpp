@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -133,15 +134,6 @@ int cmd_run(const Args& args) {
   s.impairments.jitter = from_ms(args.num("jitter-ms", 0));
   s.ack_impairments.loss_rate = args.num("ack-loss", 0);
 
-  // Bottleneck link flaps.
-  if (args.has("flap-period-s")) {
-    s.capacity_schedule = make_flap_schedule(
-        from_sec(args.num("flap-period-s", 0)),
-        from_sec(args.num("flap-down-s", 1)), s.capacity,
-        mbps(args.num("flap-down-mbps", to_mbps(s.capacity) / 10)),
-        s.duration);
-  }
-
   // --flows cubic:4,bbr:2,vegas:1
   std::stringstream flows{args.str("flows", "cubic:1,bbr:1")};
   std::string part;
@@ -158,7 +150,23 @@ int cmd_run(const Args& args) {
     for (int i = 0; i < count; ++i) s.flows.push_back({*kind, net.base_rtt});
   }
   if (s.flows.empty()) return usage();
-  s.validate();
+
+  // Knob validation: a bad value (e.g. --loss 1.5 or --flap-down-s >=
+  // --flap-period-s) must exit with a clean one-line diagnosis, never an
+  // uncaught exception.
+  try {
+    if (args.has("flap-period-s")) {
+      s.capacity_schedule = make_flap_schedule(
+          from_sec(args.num("flap-period-s", 0)),
+          from_sec(args.num("flap-down-s", 1)), s.capacity,
+          mbps(args.num("flap-down-mbps", to_mbps(s.capacity) / 10)),
+          s.duration);
+    }
+    s.validate();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "invalid configuration: %s\n", e.what());
+    return 2;
+  }
 
   GuardConfig guard;
   guard.watchdog.max_events =
