@@ -4,6 +4,8 @@
 #include <cstring>
 #include <iostream>
 
+#include "exp/parallel.hpp"
+
 namespace bbrnash::bench {
 
 BenchOptions parse_options(int argc, char** argv) {
@@ -19,6 +21,8 @@ BenchOptions parse_options(int argc, char** argv) {
       opts.fidelity = v == "quick"  ? Fidelity::kQuick
                       : v == "full" ? Fidelity::kFull
                                     : Fidelity::kDefault;
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      opts.jobs = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     }
   }
   return opts;
@@ -28,8 +32,9 @@ void print_banner(const BenchOptions& opts, const std::string& figure,
                   const std::string& description) {
   if (opts.csv) return;
   std::printf("### %s — %s\n", figure.c_str(), description.c_str());
-  std::printf("### fidelity=%s (set BBRNASH_FIDELITY=quick|default|full)\n\n",
-              to_string(opts.fidelity));
+  std::printf("### fidelity=%s (set BBRNASH_FIDELITY=quick|default|full), "
+              "jobs=%d\n\n",
+              to_string(opts.fidelity), resolve_jobs(opts.jobs));
 }
 
 void emit(const BenchOptions& opts, const Table& table) {
@@ -47,7 +52,18 @@ TrialConfig trial_config(const BenchOptions& opts) {
   cfg.warmup = experiment_warmup(opts.fidelity);
   cfg.trials = experiment_trials(opts.fidelity);
   cfg.seed = opts.seed;
+  cfg.jobs = opts.jobs;
   return cfg;
+}
+
+void for_each_cell(const BenchOptions& opts, std::size_t n,
+                   const std::function<void(std::size_t)>& fn) {
+  parallel_for(opts.jobs, n, fn);
+}
+
+void print_parallel_summary(const BenchOptions& opts) {
+  if (opts.csv) return;
+  std::printf("### %s\n", describe(parallel_telemetry()).c_str());
 }
 
 }  // namespace bbrnash::bench

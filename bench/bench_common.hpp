@@ -1,6 +1,7 @@
 // Shared scaffolding for the figure-regeneration benches.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -11,11 +12,15 @@
 
 namespace bbrnash::bench {
 
-/// Parsed command line common to all benches: [--csv] [--seed N].
+/// Parsed command line common to all benches:
+///   [--csv] [--seed N] [--fidelity quick|default|full] [--jobs N]
 struct BenchOptions {
   bool csv = false;
   std::uint64_t seed = 1;
   Fidelity fidelity = Fidelity::kDefault;
+  /// Sweep workers: 0 (default) = one per hardware thread, 1 = serial.
+  /// Output is bit-identical for every value (see exp/parallel.hpp).
+  int jobs = 0;
 };
 
 BenchOptions parse_options(int argc, char** argv);
@@ -27,7 +32,16 @@ void print_banner(const BenchOptions& opts, const std::string& figure,
 /// Emits the table in the selected format.
 void emit(const BenchOptions& opts, const Table& table);
 
-/// Trial config at the chosen fidelity.
+/// Trial config at the chosen fidelity (carries opts.jobs).
 TrialConfig trial_config(const BenchOptions& opts);
+
+/// Runs fn(i) for i in [0, n) on opts.jobs workers. fn must commit its
+/// results by index (slot per sweep point); emit the table afterwards in
+/// index order and the output is byte-identical to --jobs 1.
+void for_each_cell(const BenchOptions& opts, std::size_t n,
+                   const std::function<void(std::size_t)>& fn);
+
+/// Prints the per-run parallel telemetry footer (suppressed under --csv).
+void print_parallel_summary(const BenchOptions& opts);
 
 }  // namespace bbrnash::bench

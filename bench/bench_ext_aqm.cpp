@@ -7,6 +7,7 @@
 // CUBIC/BBR population. Series per AQM: the 1v1 split, the shared queuing
 // delay, and the empirical 10-flow NE.
 #include <cstdio>
+#include <iterator>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -52,11 +53,19 @@ int main(int argc, char** argv) {
   const NetworkParams net = make_params(50.0, 40.0, 5.0);
   const TrialConfig trial = trial_config(opts);
 
+  // Each AQM is an independent cell (the per-trial loop inside
+  // run_with_aqm stays serial so the averages accumulate in reference
+  // order); rows are emitted in kAllAqmKinds order.
+  std::vector<MixOutcome> aqm_rows(std::size(kAllAqmKinds));
+  for_each_cell(opts, aqm_rows.size(), [&](std::size_t i) {
+    aqm_rows[i] = run_with_aqm(net, 1, 1, kAllAqmKinds[i], trial);
+  });
+
   Table table({"aqm", "cubic_mbps", "bbr_mbps", "queue_delay_ms",
                "utilization"});
-  for (const AqmKind aqm : kAllAqmKinds) {
-    const MixOutcome m = run_with_aqm(net, 1, 1, aqm, trial);
-    table.add_row({std::string{to_string(aqm)},
+  for (std::size_t i = 0; i < aqm_rows.size(); ++i) {
+    const MixOutcome& m = aqm_rows[i];
+    table.add_row({std::string{to_string(kAllAqmKinds[i])},
                    format_double(m.per_flow_cubic_mbps),
                    format_double(m.per_flow_other_mbps),
                    format_double(m.avg_queue_delay_ms, 1),
@@ -68,13 +77,21 @@ int main(int argc, char** argv) {
     std::printf("10-flow proportion sweep under each AQM (per-flow BBR "
                 "Mbps; fair share %.1f):\n",
                 to_mbps(net.capacity) / 10.0);
+    const std::vector<int> ks = {2, 5, 8};
+    const std::vector<AqmKind> aqms = {AqmKind::kDropTail, AqmKind::kRed,
+                                       AqmKind::kCoDel};
+    // Flatten the (k x AQM) grid into parallel cells.
+    std::vector<double> cells(ks.size() * aqms.size(), 0.0);
+    for_each_cell(opts, cells.size(), [&](std::size_t c) {
+      const int k = ks[c / aqms.size()];
+      const AqmKind aqm = aqms[c % aqms.size()];
+      cells[c] = run_with_aqm(net, 10 - k, k, aqm, trial).per_flow_other_mbps;
+    });
     Table sweep({"num_bbr", "droptail", "red", "codel"});
-    for (int k = 2; k <= 8; k += 3) {
-      std::vector<double> row = {static_cast<double>(k)};
-      for (const AqmKind aqm :
-           {AqmKind::kDropTail, AqmKind::kRed, AqmKind::kCoDel}) {
-        row.push_back(
-            run_with_aqm(net, 10 - k, k, aqm, trial).per_flow_other_mbps);
+    for (std::size_t ki = 0; ki < ks.size(); ++ki) {
+      std::vector<double> row = {static_cast<double>(ks[ki])};
+      for (std::size_t a = 0; a < aqms.size(); ++a) {
+        row.push_back(cells[ki * aqms.size() + a]);
       }
       sweep.add_row(row);
     }
@@ -84,5 +101,6 @@ int main(int argc, char** argv) {
         "that lets CUBIC push BBR around in deep drop-tail buffers — the "
         "equilibrium question the paper leaves to future work.\n");
   }
+  print_parallel_summary(opts);
   return 0;
 }

@@ -52,6 +52,12 @@ int main(int argc, char** argv) {
 
   Table table({"buffer_bdp", "loss_rate", "ne_bbr_flows", "drift_vs_clean",
                "model_clean_lo", "model_clean_hi"});
+  // The outer grid deliberately stays serial: every cell appends to the
+  // same checkpoint file, and each loss row's drift is computed against
+  // the clean-path NE of the same buffer, found earlier in the loop.
+  // Parallelism comes from cfg.trial.jobs — the trials inside each probed
+  // distribution fan out while the sweep order (and checkpoint resume
+  // behaviour) stays exactly serial.
   for (const double bdp : buffer_bdps) {
     const NetworkParams net = make_params(20.0, 20.0, bdp);
     const auto region = predict_nash_region(net, total_flows);
@@ -80,5 +86,6 @@ int main(int argc, char** argv) {
       std::printf("checkpoint: %s\n", checkpoint_path.c_str());
     }
   }
+  print_parallel_summary(opts);
   return 0;
 }

@@ -35,23 +35,37 @@ void run_panel(const BenchOptions& opts, const Panel& panel) {
   RunningStats err_1_30;
 
   const double step = 0.5 * sweep_step_multiplier(opts.fidelity);
+  std::vector<double> bdps;
   for (double bdp = 1.0; bdp <= 30.0 + 1e-9; bdp += step) {
+    bdps.push_back(bdp);
+  }
+
+  // Parallel cells committed by slot; the table AND the error summary are
+  // reduced in sweep order afterwards, so output is byte-identical for
+  // every --jobs value.
+  struct Row {
+    double ware = 0, model = 0, sim = 0, err_pct = 0;
+  };
+  std::vector<Row> rows(bdps.size());
+  for_each_cell(opts, bdps.size(), [&](std::size_t i) {
     const NetworkParams net =
-        make_params(panel.capacity_mbps, panel.rtt_ms, bdp);
+        make_params(panel.capacity_mbps, panel.rtt_ms, bdps[i]);
 
     const WarePrediction ware =
         ware_prediction(net, WareInputs{1, to_sec(trial.duration), 1500});
     const auto model = two_flow_prediction(net);
     const MixOutcome sim = run_mix_trials(net, 1, 1, CcKind::kBbr, trial);
 
-    const double model_mbps = model ? to_mbps(model->lambda_bbr) : 0.0;
-    const double sim_mbps = sim.per_flow_other_mbps;
-    const double err_pct =
-        sim_mbps > 0 ? 100.0 * (model_mbps - sim_mbps) / sim_mbps : 0.0;
-    err_1_30.add(std::abs(err_pct));
-
-    table.add_row({bdp, to_mbps(ware.lambda_bbr), model_mbps, sim_mbps,
-                   err_pct});
+    Row& r = rows[i];
+    r.ware = to_mbps(ware.lambda_bbr);
+    r.model = model ? to_mbps(model->lambda_bbr) : 0.0;
+    r.sim = sim.per_flow_other_mbps;
+    r.err_pct = r.sim > 0 ? 100.0 * (r.model - r.sim) / r.sim : 0.0;
+  });
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    err_1_30.add(std::abs(r.err_pct));
+    table.add_row({bdps[i], r.ware, r.model, r.sim, r.err_pct});
   }
 
   if (!opts.csv) std::printf("-- panel %s --\n", panel.label);
@@ -78,5 +92,6 @@ int main(int argc, char** argv) {
       {"(d) 100 Mbps, 80 ms", 100.0, 80.0},
   };
   for (const auto& p : panels) run_panel(opts, p);
+  print_parallel_summary(opts);
   return 0;
 }

@@ -6,6 +6,7 @@
 // eventually crosses the fair-share line.
 #include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "model/mishra_model.hpp"
@@ -25,36 +26,50 @@ void run_panel(const BenchOptions& opts, int total_flows, double buffer_bdp) {
   const int step = opts.fidelity == Fidelity::kQuick ? 3
                    : opts.fidelity == Fidelity::kFull ? 1
                                                       : (total_flows > 10 ? 2 : 1);
+  std::vector<int> ks;
+  for (int k = 1; k <= total_flows; k += step) ks.push_back(k);
+
+  // Parallel cells, slot-committed; table rows and trend statistics are
+  // reduced in k order afterwards (byte-identical for every --jobs).
+  struct Row {
+    double lo = 0, hi = 0, sim = 0;
+  };
+  std::vector<Row> rows(ks.size());
+  for_each_cell(opts, ks.size(), [&](std::size_t i) {
+    const int k = ks[i];
+    const int nc = total_flows - k;
+    const MixOutcome sim = run_mix_trials(net, nc, k, CcKind::kBbr, trial);
+    Row& r = rows[i];
+    if (nc >= 1) {
+      const auto region = prediction_interval(net, nc, k);
+      if (region) {
+        r.lo = to_mbps(region->sync.per_flow_bbr);
+        r.hi = to_mbps(region->desync.per_flow_bbr);
+      }
+    } else {
+      r.lo = r.hi = fair;  // all-BBR: fair share by definition
+    }
+    r.sim = sim.per_flow_other_mbps;
+  });
+
   double first_mixed = 0.0;
   double max_mixed = 0.0;
   double last_mixed = 0.0;
   bool first = true;
-  for (int k = 1; k <= total_flows; k += step) {
-    const int nc = total_flows - k;
-    const MixOutcome sim = run_mix_trials(net, nc, k, CcKind::kBbr, trial);
-    double lo = 0.0;
-    double hi = 0.0;
-    if (nc >= 1) {
-      const auto region = prediction_interval(net, nc, k);
-      if (region) {
-        lo = to_mbps(region->sync.per_flow_bbr);
-        hi = to_mbps(region->desync.per_flow_bbr);
-      }
-    } else {
-      lo = hi = fair;  // all-BBR: fair share by definition
-    }
-    const double sim_mbps = sim.per_flow_other_mbps;
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    const int k = ks[i];
+    const Row& r = rows[i];
     // The diminishing-returns claim concerns *mixed* distributions: at
     // k = N the CUBIC pressure vanishes and per-flow BBR legitimately
     // jumps back to fair share, so the all-BBR point is excluded from the
     // trend statistics.
-    if (nc >= 1) {
-      if (first) first_mixed = sim_mbps;
-      max_mixed = std::max(max_mixed, sim_mbps);
-      last_mixed = sim_mbps;
+    if (total_flows - k >= 1) {
+      if (first) first_mixed = r.sim;
+      max_mixed = std::max(max_mixed, r.sim);
+      last_mixed = r.sim;
       first = false;
     }
-    table.add_row({static_cast<double>(k), lo, hi, sim_mbps, fair});
+    table.add_row({static_cast<double>(k), r.lo, r.hi, r.sim, fair});
   }
 
   if (!opts.csv) {
@@ -85,5 +100,6 @@ int main(int argc, char** argv) {
   run_panel(opts, 20, 3.0);
   run_panel(opts, 10, 10.0);
   run_panel(opts, 20, 10.0);
+  print_parallel_summary(opts);
   return 0;
 }

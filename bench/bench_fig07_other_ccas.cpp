@@ -27,14 +27,27 @@ int main(int argc, char** argv) {
   const std::vector<CcKind> kinds = {CcKind::kBbr, CcKind::kBbrV2,
                                      CcKind::kCopa, CcKind::kVivace};
 
+  std::vector<int> ks;
+  for (int k = 1; k <= 10; k += step) ks.push_back(k);
+
+  // Flatten the (k x CCA) grid into independent parallel cells; rows and
+  // the per-CCA maxima are reduced in grid order afterwards.
+  std::vector<double> cells(ks.size() * kinds.size(), 0.0);
+  for_each_cell(opts, cells.size(), [&](std::size_t c) {
+    const int k = ks[c / kinds.size()];
+    const CcKind kind = kinds[c % kinds.size()];
+    const MixOutcome m = run_mix_trials(net, 10 - k, k, kind, trial);
+    cells[c] = m.per_flow_other_mbps;
+  });
+
   Table table({"num_x", "fair_share", "bbr", "bbrv2", "copa", "vivace"});
   std::vector<double> best(kinds.size(), 0.0);
-  for (int k = 1; k <= 10; k += step) {
-    std::vector<double> row = {static_cast<double>(k), fair};
+  for (std::size_t ki = 0; ki < ks.size(); ++ki) {
+    std::vector<double> row = {static_cast<double>(ks[ki]), fair};
     for (std::size_t i = 0; i < kinds.size(); ++i) {
-      const MixOutcome m = run_mix_trials(net, 10 - k, k, kinds[i], trial);
-      row.push_back(m.per_flow_other_mbps);
-      if (m.per_flow_other_mbps > best[i]) best[i] = m.per_flow_other_mbps;
+      const double mbps = cells[ki * kinds.size() + i];
+      row.push_back(mbps);
+      if (mbps > best[i]) best[i] = mbps;
     }
     table.add_row(row);
   }
@@ -50,5 +63,6 @@ int main(int argc, char** argv) {
                   i == 2 ? "no NE expected" : "mixed NE expected");
     }
   }
+  print_parallel_summary(opts);
   return 0;
 }

@@ -7,6 +7,7 @@
 // algorithms while queuing delay is virtually flat until every flow is
 // BBR — so throughput is the metric with switching incentive.
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hpp"
 
@@ -23,19 +24,35 @@ int main(int argc, char** argv) {
   const TrialConfig trial = trial_config(opts);
   const int step = opts.fidelity == Fidelity::kQuick ? 2 : 1;
 
+  std::vector<int> ks;
+  for (int k = 0; k <= 10; k += step) ks.push_back(k);
+
+  // Distributions are independent: run them as parallel cells, then build
+  // the table and the delay summary in k order.
+  struct Row {
+    double cubic = 0, bbr = 0, delay = 0;
+  };
+  std::vector<Row> rows(ks.size());
+  for_each_cell(opts, ks.size(), [&](std::size_t i) {
+    const int k = ks[i];
+    const MixOutcome m = run_mix_trials(net, 10 - k, k, CcKind::kBbr, trial);
+    rows[i] = {m.per_flow_cubic_mbps, m.per_flow_other_mbps,
+               m.avg_queue_delay_ms};
+  });
+
   Table table({"num_bbr", "cubic_mbps", "bbr_mbps", "queue_delay_ms"});
   double delay_mixed_min = 1e9;
   double delay_mixed_max = 0.0;
   double delay_all_bbr = 0.0;
-  for (int k = 0; k <= 10; k += step) {
-    const MixOutcome m = run_mix_trials(net, 10 - k, k, CcKind::kBbr, trial);
-    table.add_row({static_cast<double>(k), m.per_flow_cubic_mbps,
-                   m.per_flow_other_mbps, m.avg_queue_delay_ms});
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    const int k = ks[i];
+    const Row& r = rows[i];
+    table.add_row({static_cast<double>(k), r.cubic, r.bbr, r.delay});
     if (k == 10) {
-      delay_all_bbr = m.avg_queue_delay_ms;
+      delay_all_bbr = r.delay;
     } else {
-      delay_mixed_min = std::min(delay_mixed_min, m.avg_queue_delay_ms);
-      delay_mixed_max = std::max(delay_mixed_max, m.avg_queue_delay_ms);
+      delay_mixed_min = std::min(delay_mixed_min, r.delay);
+      delay_mixed_max = std::max(delay_mixed_max, r.delay);
     }
   }
   emit(opts, table);
@@ -45,5 +62,6 @@ int main(int argc, char** argv) {
         "all-BBR: %.1f ms\n",
         delay_mixed_min, delay_mixed_max, delay_all_bbr);
   }
+  print_parallel_summary(opts);
   return 0;
 }

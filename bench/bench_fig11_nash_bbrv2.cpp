@@ -27,17 +27,35 @@ void run_panel(const BenchOptions& opts, double cap_mbps,
   cfg.trial = trial_config(opts);
   if (opts.fidelity != Fidelity::kFull) cfg.trial.trials = 1;
 
-  for (const double bdp : buffers) {
-    for (const double rtt : rtts) {
-      const NetworkParams net = make_params(cap_mbps, rtt, bdp);
-      const auto region = predict_nash_region(net, kTotalFlows);
-      const int k_ne = find_ne_crossing(net, kTotalFlows, cfg);
-      table.add_row(
-          {format_double(bdp, 1), format_double(rtt, 0),
-           region ? format_double(region->cubic_low(), 1) : "n/a",
-           region ? format_double(region->cubic_high(), 1) : "n/a",
-           format_double(static_cast<double>(kTotalFlows - k_ne), 0)});
+  // Flatten the (buffer x RTT) grid into independent parallel NE
+  // searches; rows are emitted in grid order.
+  struct Row {
+    bool has_region = false;
+    double lo = 0, hi = 0;
+    int k_ne = 0;
+  };
+  std::vector<Row> rows(buffers.size() * rtts.size());
+  for_each_cell(opts, rows.size(), [&](std::size_t c) {
+    const double bdp = buffers[c / rtts.size()];
+    const double rtt = rtts[c % rtts.size()];
+    const NetworkParams net = make_params(cap_mbps, rtt, bdp);
+    const auto region = predict_nash_region(net, kTotalFlows);
+    Row& r = rows[c];
+    if (region) {
+      r.has_region = true;
+      r.lo = region->cubic_low();
+      r.hi = region->cubic_high();
     }
+    r.k_ne = find_ne_crossing(net, kTotalFlows, cfg);
+  });
+  for (std::size_t c = 0; c < rows.size(); ++c) {
+    const Row& r = rows[c];
+    table.add_row(
+        {format_double(buffers[c / rtts.size()], 1),
+         format_double(rtts[c % rtts.size()], 0),
+         r.has_region ? format_double(r.lo, 1) : "n/a",
+         r.has_region ? format_double(r.hi, 1) : "n/a",
+         format_double(static_cast<double>(kTotalFlows - r.k_ne), 0)});
   }
   if (!opts.csv) std::printf("-- panel: 50 flows, %.0f Mbps --\n", cap_mbps);
   emit(opts, table);
@@ -68,5 +86,6 @@ int main(int argc, char** argv) {
   }
   run_panel(opts, 50.0, buffers, rtts);
   run_panel(opts, 100.0, buffers, rtts);
+  print_parallel_summary(opts);
   return 0;
 }

@@ -62,15 +62,67 @@ CheckpointLog::CheckpointLog(std::string path) : path_(std::move(path)) {
   }
 }
 
-const JsonlRecord* CheckpointLog::lookup(const std::string& key) const {
+CheckpointLog::~CheckpointLog() {
+  {
+    const std::lock_guard<std::mutex> lk{mu_};
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  if (writer_.joinable()) writer_.join();  // drains pending_ before exiting
+}
+
+std::size_t CheckpointLog::size() const {
+  const std::lock_guard<std::mutex> lk{mu_};
+  return entries_.size();
+}
+
+std::optional<JsonlRecord> CheckpointLog::lookup(
+    const std::string& key) const {
+  const std::lock_guard<std::mutex> lk{mu_};
   const auto it = entries_.find(key);
-  return it == entries_.end() ? nullptr : &it->second;
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
 }
 
 void CheckpointLog::record(const std::string& key, JsonlRecord rec) {
   rec.set(kKeyField, key);
-  append_jsonl_line(path_, rec.encode());
-  entries_[key] = std::move(rec);
+  std::string line = rec.encode();
+  {
+    // One critical section for both the map update and the queue push:
+    // for any key, file append order matches in-memory last-write order,
+    // so a reload reproduces exactly the state lookup() was serving.
+    const std::lock_guard<std::mutex> lk{mu_};
+    entries_[key] = std::move(rec);
+    pending_.push_back(std::move(line));
+    ++accepted_;
+    if (!writer_.joinable()) {
+      writer_ = std::thread{&CheckpointLog::writer_main, this};
+    }
+  }
+  queue_cv_.notify_one();
+}
+
+void CheckpointLog::flush() {
+  std::unique_lock<std::mutex> lk{mu_};
+  drained_cv_.wait(lk, [&] { return written_ == accepted_; });
+}
+
+void CheckpointLog::writer_main() {
+  std::unique_lock<std::mutex> lk{mu_};
+  while (true) {
+    queue_cv_.wait(lk, [&] { return stop_ || !pending_.empty(); });
+    if (pending_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    std::vector<std::string> batch;
+    batch.swap(pending_);
+    lk.unlock();  // file I/O happens outside the lock
+    for (const std::string& line : batch) append_jsonl_line(path_, line);
+    lk.lock();
+    written_ += batch.size();
+    drained_cv_.notify_all();
+  }
 }
 
 std::string mix_checkpoint_key(const NetworkParams& net, int num_cubic,
@@ -163,7 +215,7 @@ MixOutcome run_mix_trials_checkpointed(const NetworkParams& net,
   }
   const std::string key =
       mix_checkpoint_key(net, num_cubic, num_other, other, cfg);
-  if (const JsonlRecord* hit = log->lookup(key)) {
+  if (const auto hit = log->lookup(key)) {
     return mix_from_record(*hit);
   }
   const MixOutcome m = run_mix_trials(net, num_cubic, num_other, other, cfg);

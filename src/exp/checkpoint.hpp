@@ -10,10 +10,24 @@
 // uninterrupted one (asserted by tests/exp/test_checkpoint.cpp). A torn
 // trailing line from a crash mid-append parses as garbage and is skipped
 // on reload — that cell simply re-runs.
+//
+// CheckpointLog is thread-safe: any number of sweep workers may interleave
+// lookup() and record(). File appends are queued and drained by a single
+// writer thread (MPSC), so record() never serializes workers behind disk
+// I/O and the file only ever sees whole-line appends — the append-only
+// crash-safety contract is unchanged. The widened crash window (a record
+// accepted but not yet drained) loses at most the queue's tail, which
+// recovers exactly like a torn line: those cells re-run. flush() blocks
+// until every accepted record is on disk; the destructor drains and joins.
 #pragma once
 
+#include <condition_variable>
 #include <map>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "cc/congestion_control.hpp"
 #include "exp/sweeps.hpp"
@@ -28,17 +42,35 @@ class CheckpointLog {
   /// On duplicate keys the last record wins, so re-recording a key is
   /// harmless.
   explicit CheckpointLog(std::string path);
+  ~CheckpointLog();
+  CheckpointLog(const CheckpointLog&) = delete;
+  CheckpointLog& operator=(const CheckpointLog&) = delete;
 
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
-  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
-  /// nullptr when the key has not been recorded.
-  [[nodiscard]] const JsonlRecord* lookup(const std::string& key) const;
-  /// Appends to the file (flushing) and updates the in-memory view.
+  [[nodiscard]] std::size_t size() const;
+  /// nullopt when the key has not been recorded. Returns a copy so the
+  /// result stays valid while other threads keep recording.
+  [[nodiscard]] std::optional<JsonlRecord> lookup(
+      const std::string& key) const;
+  /// Updates the in-memory view immediately and queues the file append
+  /// for the writer thread.
   void record(const std::string& key, JsonlRecord rec);
+  /// Blocks until every record() accepted so far has reached the file.
+  void flush();
 
  private:
+  void writer_main();
+
   std::string path_;
+  mutable std::mutex mu_;  ///< guards everything below
   std::map<std::string, JsonlRecord> entries_;
+  std::condition_variable queue_cv_;    ///< wakes the writer
+  std::condition_variable drained_cv_;  ///< wakes flush()
+  std::vector<std::string> pending_;    ///< encoded lines not yet on disk
+  std::size_t accepted_ = 0;  ///< lines handed to record()
+  std::size_t written_ = 0;   ///< lines fully appended + flushed
+  bool stop_ = false;
+  std::thread writer_;  ///< started lazily on the first record()
 };
 
 /// Key for one run_mix_trials cell: network, mix, trial plan, every knob of

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "exp/checkpoint.hpp"
+#include "exp/parallel.hpp"
 #include "exp/scenario_runner.hpp"
 
 namespace bbrnash {
@@ -38,16 +39,31 @@ const MixOutcome& require_measurement(const MixOutcome& m, int num_cubic,
 EmpiricalPayoffs measure_payoffs(const NetworkParams& net, int total_flows,
                                  const NashSearchConfig& cfg) {
   EmpiricalPayoffs out;
-  out.cubic_mbps.assign(static_cast<std::size_t>(total_flows) + 1, 0.0);
-  out.other_mbps.assign(static_cast<std::size_t>(total_flows) + 1, 0.0);
+  const auto cells = static_cast<std::size_t>(total_flows) + 1;
+  out.cubic_mbps.assign(cells, 0.0);
+  out.other_mbps.assign(cells, 0.0);
   const auto log = open_checkpoint(cfg);
-  for (int k = 0; k <= total_flows; ++k) {
-    const MixOutcome m = require_measurement(
-        run_mix_trials_checkpointed(net, total_flows - k, k, cfg.challenger,
-                                    cfg.trial, log.get()),
-        total_flows - k, k);
-    out.cubic_mbps[static_cast<std::size_t>(k)] = m.per_flow_cubic_mbps;
-    out.other_mbps[static_cast<std::size_t>(k)] = m.per_flow_other_mbps;
+
+  // All n+1 distributions are independent cells: run them concurrently,
+  // each committing into its own slot. The nested per-cell trial loop in
+  // run_mix_trials detects it is inside a pool task and runs inline.
+  // CheckpointLog is internally thread-safe; under parallel execution the
+  // cells land in the log in completion order, but every record's key and
+  // numbers are identical to a serial run's.
+  std::vector<MixOutcome> measured(cells);
+  parallel_for(cfg.trial.jobs, cells, [&](std::size_t k) {
+    measured[k] = run_mix_trials_checkpointed(
+        net, total_flows - static_cast<int>(k), static_cast<int>(k),
+        cfg.challenger, cfg.trial, log.get());
+  });
+
+  // Validate and harvest in k order so an all-failed cell surfaces the
+  // same (lowest-k) error a serial sweep would have thrown.
+  for (std::size_t k = 0; k < cells; ++k) {
+    const MixOutcome& m = require_measurement(
+        measured[k], total_flows - static_cast<int>(k), static_cast<int>(k));
+    out.cubic_mbps[k] = m.per_flow_cubic_mbps;
+    out.other_mbps[k] = m.per_flow_other_mbps;
   }
   return out;
 }
@@ -66,6 +82,9 @@ int find_ne_crossing(const NetworkParams& net, int total_flows,
   const double fair_mbps = to_mbps(net.capacity) / total_flows;
   const double tol = cfg.tolerance_frac * fair_mbps;
 
+  // The crossing search is adaptive — which cell runs next depends on the
+  // last result — so cells stay serial here; parallelism comes from the
+  // trial loop inside each probed cell (cfg.trial.jobs).
   std::map<int, MixOutcome> cache;
   const auto log = open_checkpoint(cfg);
   const auto outcome_at = [&](int k) -> const MixOutcome& {
@@ -143,26 +162,36 @@ ProfileOutcome run_profile(BytesPerSec capacity, Bytes buffer_bytes,
   avg.cubic_mbps.assign(g_count, 0.0);
   avg.other_mbps.assign(g_count, 0.0);
 
-  const int trials = trial.trials > 0 ? trial.trials : 1;
-  for (int t = 0; t < trials; ++t) {
-    Scenario s;
-    s.capacity = capacity;
-    s.buffer_bytes = buffer_bytes;
-    s.duration = trial.duration;
-    s.warmup = trial.warmup;
-    s.seed = trial.seed + static_cast<std::uint64_t>(t) * 1000003ULL;
-
-    std::vector<std::size_t> flow_group;
-    for (std::size_t g = 0; g < g_count; ++g) {
-      const int cubics = profile.cubic_per_group[g];
-      for (int i = 0; i < groups[g].flows; ++i) {
-        s.flows.push_back(
-            {i < cubics ? CcKind::kCubic : challenger, groups[g].base_rtt});
-        flow_group.push_back(g);
-      }
+  // The flow list is a pure function of (groups, profile): identical for
+  // every trial, so build the group mapping once.
+  std::vector<std::size_t> flow_group;
+  std::vector<FlowSpec> flows;
+  for (std::size_t g = 0; g < g_count; ++g) {
+    const int cubics = profile.cubic_per_group[g];
+    for (int i = 0; i < groups[g].flows; ++i) {
+      flows.push_back(
+          {i < cubics ? CcKind::kCubic : challenger, groups[g].base_rtt});
+      flow_group.push_back(g);
     }
+  }
 
-    const RunResult r = run_scenario(s);
+  const int trials = trial.trials > 0 ? trial.trials : 1;
+  std::vector<RunResult> results(static_cast<std::size_t>(trials));
+  parallel_for(trial.jobs, static_cast<std::size_t>(trials),
+               [&](std::size_t t) {
+                 Scenario s;
+                 s.capacity = capacity;
+                 s.buffer_bytes = buffer_bytes;
+                 s.duration = trial.duration;
+                 s.warmup = trial.warmup;
+                 s.seed = trial.seed + static_cast<std::uint64_t>(t) * 1000003ULL;
+                 s.flows = flows;
+                 results[t] = run_scenario(s);
+               });
+
+  // Reduce in trial order (bit-identical to the serial loop).
+  for (int t = 0; t < trials; ++t) {
+    const RunResult& r = results[static_cast<std::size_t>(t)];
     std::vector<double> cubic_sum(g_count, 0.0);
     std::vector<double> other_sum(g_count, 0.0);
     std::vector<int> cubic_n(g_count, 0);
@@ -212,39 +241,51 @@ MultiRttNe find_multi_rtt_ne(BytesPerSec capacity, Bytes buffer_bytes,
 
   const int max_steps = 2 * total + 4;
   for (int step = 0; step < max_steps; ++step) {
+    // Enumerate the step's unilateral deviations in the fixed serial order
+    // (group ascending; CUBIC→challenger before challenger→CUBIC), run
+    // them concurrently into slots, then pick the winner by scanning the
+    // slots in that same order — ties resolve exactly as the serial
+    // first-strict-improvement scan did.
+    struct Candidate {
+      GroupProfile profile;
+      std::size_t group = 0;
+      bool to_challenger = false;
+    };
+    std::vector<Candidate> candidates;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      if (result.profile.cubic_per_group[g] > 0) {
+        GroupProfile cand = result.profile;
+        --cand.cubic_per_group[g];
+        candidates.push_back({std::move(cand), g, true});
+      }
+      if (result.profile.cubic_per_group[g] < groups[g].flows) {
+        GroupProfile cand = result.profile;
+        ++cand.cubic_per_group[g];
+        candidates.push_back({std::move(cand), g, false});
+      }
+    }
+    std::vector<ProfileOutcome> outcomes(candidates.size());
+    parallel_for(cfg.trial.jobs, candidates.size(), [&](std::size_t i) {
+      outcomes[i] = run_profile(capacity, buffer_bytes, groups,
+                                candidates[i].profile, cfg.challenger,
+                                cfg.trial);
+    });
+
     double best_gain = tol;
     GroupProfile best_profile;
     ProfileOutcome best_outcome;
     bool found = false;
-
-    for (std::size_t g = 0; g < groups.size(); ++g) {
-      // A CUBIC flow in group g considers switching to the challenger.
-      if (result.profile.cubic_per_group[g] > 0) {
-        GroupProfile cand = result.profile;
-        --cand.cubic_per_group[g];
-        const ProfileOutcome o = run_profile(capacity, buffer_bytes, groups,
-                                             cand, cfg.challenger, cfg.trial);
-        const double gain = o.other_mbps[g] - current.cubic_mbps[g];
-        if (gain > best_gain) {
-          best_gain = gain;
-          best_profile = cand;
-          best_outcome = o;
-          found = true;
-        }
-      }
-      // A challenger flow in group g considers switching to CUBIC.
-      if (result.profile.cubic_per_group[g] < groups[g].flows) {
-        GroupProfile cand = result.profile;
-        ++cand.cubic_per_group[g];
-        const ProfileOutcome o = run_profile(capacity, buffer_bytes, groups,
-                                             cand, cfg.challenger, cfg.trial);
-        const double gain = o.cubic_mbps[g] - current.other_mbps[g];
-        if (gain > best_gain) {
-          best_gain = gain;
-          best_profile = cand;
-          best_outcome = o;
-          found = true;
-        }
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const Candidate& c = candidates[i];
+      const ProfileOutcome& o = outcomes[i];
+      const double gain = c.to_challenger
+                              ? o.other_mbps[c.group] - current.cubic_mbps[c.group]
+                              : o.cubic_mbps[c.group] - current.other_mbps[c.group];
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_profile = c.profile;
+        best_outcome = o;
+        found = true;
       }
     }
 

@@ -19,6 +19,15 @@ struct TrialConfig {
   int trials = 3;
   std::uint64_t seed = 1;
 
+  /// Worker threads for the trial loop: 1 (the default) runs serially on
+  /// the calling thread — the reference semantics; 0 means one worker per
+  /// hardware thread; N means N workers. Per-trial seeds are pure
+  /// functions of this config and results are committed by trial index,
+  /// so the measured numbers are bit-identical for every value (asserted
+  /// by tests/exp/test_parallel.cpp). Nested calls (e.g. inside a
+  /// parallel measure_payoffs) run their trials inline regardless.
+  int jobs = 1;
+
   /// Path conditions applied to every trial's scenario (pristine by
   /// default, matching the paper). See Scenario for the semantics.
   ImpairmentConfig impairments;

@@ -67,5 +67,25 @@ TEST(Sweeps, TrialsAreAveraged) {
   EXPECT_NE(one.per_flow_other_mbps, three.per_flow_other_mbps);
 }
 
+TEST(Sweeps, FailuresAreSortedByTrialIndex) {
+  const NetworkParams net = make_params(20, 20, 3);
+  TrialConfig cfg = quick_trials(4);
+  // Fail trials 3, 1, and 0 (single attempt each). However the trials are
+  // scheduled — serial or any --jobs fan-out — the diagnostics list must
+  // come back sorted by trial index, so parallel runs and checkpoint
+  // resumes compare equal entry-for-entry.
+  cfg.guard.inject_failure_seeds = {cfg.seed + 3 * 1000003ULL,
+                                    cfg.seed + 1 * 1000003ULL, cfg.seed};
+  for (const int jobs : {1, 8}) {
+    cfg.jobs = jobs;
+    const MixOutcome m = run_mix_trials(net, 1, 1, CcKind::kBbr, cfg);
+    ASSERT_EQ(m.trials_failed, 3) << "jobs=" << jobs;
+    ASSERT_EQ(m.failures.size(), 3u) << "jobs=" << jobs;
+    EXPECT_EQ(m.failures[0].rfind("trial 0 ", 0), 0u) << m.failures[0];
+    EXPECT_EQ(m.failures[1].rfind("trial 1 ", 0), 0u) << m.failures[1];
+    EXPECT_EQ(m.failures[2].rfind("trial 3 ", 0), 0u) << m.failures[2];
+  }
+}
+
 }  // namespace
 }  // namespace bbrnash

@@ -1,0 +1,135 @@
+// Golden-value pins for the paper's analytical models at the operating
+// points its figures sweep (1–30 BDP buffers at 100 Mbps / 40 ms):
+//   * Mishra 2-flow solution (Eq. 14 / §2.3)      -> mishra_two_flow.jsonl
+//   * CUBIC-synchronized multi-flow (Eq. 21)      -> mishra_sync.jsonl
+//   * CUBIC-desynchronized multi-flow (Eq. 22)    -> mishra_desync.jsonl
+//   * Ware et al. baseline (Eqs. 2–4)             -> ware_baseline.jsonl
+//
+// Every value is stored with %.17g round-trip precision and compared
+// bit-exactly: the solvers are pure arithmetic + bisection, so any drift
+// is a real change in model output, not noise. The tables live in
+// tests/golden/ and are CHECKED IN.
+//
+// Regenerating after an intentional model change:
+//   BBRNASH_REGEN_GOLDEN=1 ./test_model --gtest_filter='GoldenFigures.*'
+// then inspect the diff of tests/golden/*.jsonl and commit it. The tests
+// PASS (after rewriting) in regeneration mode, so forgetting to unset the
+// variable cannot mask a regression in CI where the env var is absent.
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "model/mishra_model.hpp"
+#include "model/ware_model.hpp"
+#include "util/jsonl.hpp"
+
+namespace bbrnash {
+namespace {
+
+constexpr double kCapacityMbps = 100.0;
+constexpr double kRttMs = 40.0;
+constexpr int kMinBdp = 1;
+constexpr int kMaxBdp = 30;  // the figures' deep-buffer edge
+
+std::string golden_path(const std::string& name) {
+  return std::string{BBRNASH_GOLDEN_DIR} + "/" + name + ".jsonl";
+}
+
+bool regen_mode() { return std::getenv("BBRNASH_REGEN_GOLDEN") != nullptr; }
+
+/// Emits one record per operating point via `fill` (which appends the
+/// model's outputs), then either rewrites the table or compares against
+/// it field-for-field, bit-exactly.
+void check_golden(
+    const std::string& name,
+    const std::function<void(const NetworkParams&, JsonlRecord&)>& fill) {
+  std::vector<JsonlRecord> fresh;
+  for (int bdp = kMinBdp; bdp <= kMaxBdp; ++bdp) {
+    const NetworkParams net = make_params(kCapacityMbps, kRttMs, bdp);
+    JsonlRecord rec;
+    rec.set("capacity_mbps", kCapacityMbps);
+    rec.set("rtt_ms", kRttMs);
+    rec.set("buffer_bdp", static_cast<std::uint64_t>(bdp));
+    fill(net, rec);
+    fresh.push_back(std::move(rec));
+  }
+
+  const std::string path = golden_path(name);
+  if (regen_mode()) {
+    std::remove(path.c_str());
+    for (const JsonlRecord& rec : fresh) {
+      append_jsonl_line(path, rec.encode());
+    }
+  }
+
+  const std::vector<JsonlRecord> golden = read_jsonl(path);
+  ASSERT_EQ(golden.size(), fresh.size())
+      << path << " missing or stale; see the regeneration note in "
+      << __FILE__;
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    // Compare canonical encodings: doubles print at %.17g (bit-exact
+    // round trip), and an integral-looking double reprints identically
+    // whether reloaded as u64 or double.
+    EXPECT_EQ(golden[i].encode(), fresh[i].encode()) << name << " row " << i;
+  }
+}
+
+TEST(GoldenFigures, MishraTwoFlow) {
+  check_golden("mishra_two_flow", [](const NetworkParams& net,
+                                     JsonlRecord& rec) {
+    const auto p = two_flow_prediction(net);
+    ASSERT_TRUE(p.has_value());
+    rec.set("bbr_buffer_bytes", p->bbr_buffer_bytes);
+    rec.set("cubic_min_buffer", p->cubic_min_buffer);
+    rec.set("lambda_cubic", p->lambda_cubic);
+    rec.set("lambda_bbr", p->lambda_bbr);
+    rec.set("kappa", p->kappa);
+  });
+}
+
+void fill_multi_flow(CubicSyncBound bound, const NetworkParams& net,
+                     JsonlRecord& rec) {
+  // The paper's Fig. 4 population: 5 CUBIC vs 5 BBR flows.
+  const auto p = multi_flow_prediction(net, 5, 5, bound);
+  ASSERT_TRUE(p.has_value());
+  rec.set("kappa", p->aggregate.kappa);
+  rec.set("bbr_buffer_bytes", p->aggregate.bbr_buffer_bytes);
+  rec.set("lambda_cubic", p->aggregate.lambda_cubic);
+  rec.set("lambda_bbr", p->aggregate.lambda_bbr);
+  rec.set("per_flow_cubic", p->per_flow_cubic);
+  rec.set("per_flow_bbr", p->per_flow_bbr);
+}
+
+TEST(GoldenFigures, MishraCubicSynchronized) {
+  check_golden("mishra_sync", [](const NetworkParams& net, JsonlRecord& rec) {
+    fill_multi_flow(CubicSyncBound::kSynchronized, net, rec);
+  });
+}
+
+TEST(GoldenFigures, MishraCubicDesynchronized) {
+  check_golden("mishra_desync",
+               [](const NetworkParams& net, JsonlRecord& rec) {
+                 fill_multi_flow(CubicSyncBound::kDesynchronized, net, rec);
+               });
+}
+
+TEST(GoldenFigures, WareBaseline) {
+  check_golden("ware_baseline", [](const NetworkParams& net,
+                                   JsonlRecord& rec) {
+    WareInputs in;
+    in.num_bbr_flows = 5;  // matches the multi-flow tables above
+    const WarePrediction p = ware_prediction(net, in);
+    rec.set("cubic_fraction", p.cubic_fraction);
+    rec.set("probe_time_sec", p.probe_time_sec);
+    rec.set("bbr_fraction", p.bbr_fraction);
+    rec.set("lambda_bbr", p.lambda_bbr);
+    rec.set("lambda_cubic", p.lambda_cubic);
+  });
+}
+
+}  // namespace
+}  // namespace bbrnash

@@ -11,9 +11,15 @@
 //   bbrnash model --capacity 100 --rtt 40 --buffer-bdp 5
 //                 [--cubic 5 --bbr 5]
 //   bbrnash nash  --capacity 100 --rtt 40 --buffer-bdp 5 --flows-total 50
+//                 [--empirical] [--trials N] [--duration S] [--warmup S]
+//                 [--seed N] [--jobs N] [--challenger bbr|bbrv2|...]
+//                 [--tolerance F] [--checkpoint PATH]
 //
 // `run` simulates a scenario and prints per-flow results; `model` prints
-// the analytical prediction; `nash` prints the predicted Nash region.
+// the analytical prediction; `nash` prints the predicted Nash region —
+// with `--empirical` it also runs the crossing search on the simulator
+// (`--jobs N` fans the per-distribution trials out over N worker threads;
+// the result is bit-identical to --jobs 1).
 // Unknown flags are rejected with a non-zero exit so a typo'd knob can
 // never silently run the default experiment.
 #include <algorithm>
@@ -28,6 +34,8 @@
 #include <string>
 #include <vector>
 
+#include "exp/nash_search.hpp"
+#include "exp/parallel.hpp"
 #include "exp/scenario_runner.hpp"
 #include "model/mishra_model.hpp"
 #include "model/nash.hpp"
@@ -41,6 +49,7 @@ namespace {
 struct Args {
   std::map<std::string, std::string> kv;
   bool csv = false;
+  bool empirical = false;
 
   double num(const std::string& key, double fallback) const {
     const auto it = kv.find(key);
@@ -78,7 +87,9 @@ int usage() {
       "         watchdog:    [--max-events N] [--max-wall-s S] "
       "[--retries N]\n"
       "  model: [--cubic N --bbr N] [--duration S]\n"
-      "  nash:  --flows-total N\n");
+      "  nash:  --flows-total N [--empirical] [--trials N] [--duration S]\n"
+      "         [--warmup S] [--seed N] [--jobs N] [--challenger CC]\n"
+      "         [--tolerance F] [--checkpoint PATH]\n");
   return 2;
 }
 
@@ -93,9 +104,10 @@ const std::vector<std::string>& allowed_keys(const std::string& cmd) {
       "flap-down-mbps", "max-events", "max-wall-s",   "retries"};
   static const std::vector<std::string> model_keys = {
       "capacity", "rtt", "buffer-bdp", "cubic", "bbr", "duration"};
-  static const std::vector<std::string> nash_keys = {"capacity", "rtt",
-                                                     "buffer-bdp",
-                                                     "flows-total"};
+  static const std::vector<std::string> nash_keys = {
+      "capacity", "rtt",  "buffer-bdp", "flows-total", "trials",
+      "duration", "warmup", "seed",     "jobs",        "challenger",
+      "tolerance", "checkpoint"};
   static const std::vector<std::string> none;
   if (cmd == "run") return run_keys;
   if (cmd == "model") return model_keys;
@@ -259,18 +271,48 @@ int cmd_nash(const Args& args) {
                   args.num("buffer-bdp", 5));
   const int total = static_cast<int>(args.num("flows-total", 50));
   const auto region = predict_nash_region(net, total);
-  if (!region) {
+  if (!region && !args.empirical) {
     std::printf("outside the model's validity domain\n");
     return 1;
   }
+  if (region) {
+    std::printf(
+        "Nash region for %d same-RTT flows on %.0f Mbps / %.0f ms / %.1f "
+        "BDP:\n"
+        "  CUBIC flows at NE: %.1f (desync bound) .. %.1f (sync bound)\n"
+        "  BBR flows at NE:   %.1f .. %.1f\n",
+        total, to_mbps(net.capacity), to_ms(net.base_rtt), net.buffer_in_bdp(),
+        region->cubic_low(), region->cubic_high(),
+        static_cast<double>(total) - region->cubic_high(),
+        static_cast<double>(total) - region->cubic_low());
+  } else {
+    std::printf("model prediction: outside the validity domain\n");
+  }
+  if (!args.empirical) return 0;
+
+  NashSearchConfig cfg;
+  const auto challenger = parse_cc(args.str("challenger", "bbr"));
+  if (!challenger) {
+    std::fprintf(stderr, "unknown challenger '%s'\n",
+                 args.str("challenger", "").c_str());
+    return usage();
+  }
+  cfg.challenger = *challenger;
+  cfg.trial.trials = static_cast<int>(args.num("trials", 3));
+  cfg.trial.duration = from_sec(args.num("duration", 30));
+  cfg.trial.warmup = from_sec(args.num("warmup", args.num("duration", 30) / 4));
+  cfg.trial.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  cfg.trial.jobs = static_cast<int>(args.num("jobs", 0));
+  cfg.tolerance_frac = args.num("tolerance", cfg.tolerance_frac);
+  cfg.checkpoint_path = args.str("checkpoint", "");
+
+  const int k_ne = find_ne_crossing(net, total, cfg);
   std::printf(
-      "Nash region for %d same-RTT flows on %.0f Mbps / %.0f ms / %.1f BDP:\n"
-      "  CUBIC flows at NE: %.1f (desync bound) .. %.1f (sync bound)\n"
-      "  BBR flows at NE:   %.1f .. %.1f\n",
-      total, to_mbps(net.capacity), to_ms(net.base_rtt), net.buffer_in_bdp(),
-      region->cubic_low(), region->cubic_high(),
-      static_cast<double>(total) - region->cubic_high(),
-      static_cast<double>(total) - region->cubic_low());
+      "empirical NE (crossing search, %d trials x %.0f s per distribution):\n"
+      "  %d CUBIC / %d %s flows\n",
+      cfg.trial.trials, to_sec(cfg.trial.duration), total - k_ne, k_ne,
+      to_string(cfg.challenger));
+  std::printf("%s\n", describe(parallel_telemetry()).c_str());
   return 0;
 }
 
@@ -293,6 +335,15 @@ int main(int argc, char** argv) {
         return usage();
       }
       args.csv = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--empirical") == 0) {
+      if (cmd != "nash") {
+        std::fprintf(stderr, "unknown flag '--empirical' for '%s'\n",
+                     cmd.c_str());
+        return usage();
+      }
+      args.empirical = true;
       continue;
     }
     if (std::strncmp(argv[i], "--", 2) == 0 && i + 1 < argc) {
