@@ -1,0 +1,365 @@
+// bench_perf_simcore: the simulator-core performance harness.
+//
+// Every paper figure is produced by sweeps that push hundreds of millions
+// of packet events through the discrete-event core, so the per-event cost
+// is the scale knob that matters after PR 2's cross-cell parallelism. This
+// driver pins that cost down: it wires four representative dumbbell
+// scenarios directly onto the simulator (no sweep/checkpoint machinery in
+// the way), runs each one, and reports
+//   * events/sec and ns/event over the steady-state window (post-warmup),
+//   * allocations per event in steady state (via the counting-allocator
+//     hook in src/util/alloc_counter.*) — the pooled event core must hold
+//     this at exactly zero,
+//   * packet throughput as a sanity anchor.
+//
+// Scenarios: 2-flow (the paper's Fig. 3 shape), 50-flow (Fig. 9 shape, the
+// acceptance scenario), impaired (loss + jitter + reordering exercises the
+// retransmit/out-of-order paths), deep-buffer (50 BDP, Fig. 12 shape,
+// stresses queue pooling).
+//
+// Usage:
+//   bench_perf_simcore [--quick] [--repeat N] [--check] [--json PATH]
+//     --quick   quarter-length runs (the CI smoke configuration)
+//     --repeat  run each scenario N times, keep the fastest (default 1)
+//     --check   exit non-zero when steady-state allocations are nonzero
+//               (deterministic, so safe for CI; no timing assertions)
+//     --trap    abort on the first steady-state allocation (run under a
+//               debugger: the backtrace names the allocating code path)
+//     --json    write the measurements as JSON (BENCH_simcore.json schema,
+//               documented in EXPERIMENTS.md)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cc/congestion_control.hpp"
+#include "flow/receiver.hpp"
+#include "flow/sender.hpp"
+#include "net/bottleneck_link.hpp"
+#include "net/delay_line.hpp"
+#include "net/impairment.hpp"
+#include "sim/simulator.hpp"
+#include "util/alloc_counter.hpp"
+#include "util/units.hpp"
+
+namespace bbrnash {
+namespace {
+
+bool g_trap_steady = false;  ///< --trap: abort on first steady-state alloc
+
+struct PerfCase {
+  std::string name;
+  int bbr_flows = 1;
+  int cubic_flows = 1;
+  BytesPerSec capacity = mbps(100);
+  TimeNs rtt = from_ms(40);
+  double buffer_bdps = 1.0;
+  TimeNs duration = from_sec(10);
+  TimeNs warmup = from_sec(2);
+  ImpairmentConfig impair;  ///< data-path impairments (pristine by default)
+};
+
+struct Measurement {
+  std::uint64_t total_events = 0;
+  double total_wall_sec = 0.0;
+  std::uint64_t steady_events = 0;
+  double steady_wall_sec = 0.0;
+  std::uint64_t steady_allocs = 0;
+  std::uint64_t steady_frees = 0;
+  std::uint64_t packets_delivered = 0;
+
+  [[nodiscard]] double events_per_sec() const {
+    return steady_wall_sec > 0.0
+               ? static_cast<double>(steady_events) / steady_wall_sec
+               : 0.0;
+  }
+  [[nodiscard]] double ns_per_event() const {
+    return steady_events > 0
+               ? steady_wall_sec * 1e9 / static_cast<double>(steady_events)
+               : 0.0;
+  }
+  [[nodiscard]] double allocs_per_event() const {
+    return steady_events > 0
+               ? static_cast<double>(steady_allocs) /
+                     static_cast<double>(steady_events)
+               : 0.0;
+  }
+};
+
+/// A packet plus its bottleneck sojourn, travelling the forward delay line
+/// (same shape the scenario runner uses).
+struct Delivery {
+  Packet pkt;
+  TimeNs sojourn;
+};
+
+/// SplitMix64 finalizer: deterministic per-flow seed streams.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t z = seed + stream * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Measurement run_case(const PerfCase& pc) {
+  const auto n = static_cast<std::uint32_t>(pc.bbr_flows + pc.cubic_flows);
+  Simulator sim;
+  const Bytes bdp = bdp_bytes(pc.capacity, pc.rtt);
+  const Bytes buffer = std::max<Bytes>(
+      3 * (kDefaultMss + kHeaderBytes),
+      static_cast<Bytes>(static_cast<double>(bdp) * pc.buffer_bdps));
+  BottleneckLink link{sim, pc.capacity, buffer, n};
+
+  // Pre-size every per-packet pool past its expected high-water mark, so
+  // nothing grows (allocates) inside the measured steady-state window: the
+  // aggregate in-flight span is bounded by BDP + buffer packets, and each
+  // in-flight packet accounts for a handful of scheduled events. Per-flow
+  // pools get the aggregate span scaled by the flow count (with slack for
+  // skew) — oversizing them is not free, because a ring's head sweeps its
+  // whole buffer and an oversized ring trades cache locality for nothing.
+  // All pools still grow on demand if a scenario overruns the hint.
+  const auto total_window_pkts = static_cast<std::size_t>(
+      (bdp + buffer) / (kDefaultMss + kHeaderBytes) + 1);
+  const std::size_t per_flow_pkts = 4 * total_window_pkts / n + 512;
+  sim.reserve_events(16 * total_window_pkts + 4096);
+
+  std::vector<std::unique_ptr<Sender>> senders;
+  std::vector<std::unique_ptr<Receiver>> receivers;
+  std::vector<std::unique_ptr<DelayLine<Delivery>>> fwd;
+  std::vector<std::unique_ptr<DelayLine<Ack>>> rev;
+  std::vector<std::unique_ptr<ImpairmentStage<Packet>>> stages(n);
+  senders.reserve(n);
+  receivers.reserve(n);
+  fwd.reserve(n);
+  rev.reserve(n);
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    receivers.push_back(std::make_unique<Receiver>(i));
+    fwd.push_back(std::make_unique<DelayLine<Delivery>>(sim, pc.rtt / 2));
+    rev.push_back(
+        std::make_unique<DelayLine<Ack>>(sim, pc.rtt - pc.rtt / 2));
+    if (pc.impair.any()) {
+      stages[i] = std::make_unique<ImpairmentStage<Packet>>(
+          sim, pc.impair, mix_seed(42, i + 1));
+      stages[i]->set_sink([&link](const Packet& p) { link.send(p); });
+    }
+
+    CcConfig cfg;
+    cfg.seed = mix_seed(7, i + 1);
+    const CcKind kind =
+        i < static_cast<std::uint32_t>(pc.bbr_flows) ? CcKind::kBbr
+                                                     : CcKind::kCubic;
+    ImpairmentStage<Packet>* stage = stages[i].get();
+    senders.push_back(std::make_unique<Sender>(
+        sim, i, SenderConfig{}, make_congestion_control(kind, cfg),
+        [&link, stage](const Packet& p) {
+          if (stage != nullptr) {
+            stage->send(p);
+          } else {
+            link.send(p);
+          }
+        }));
+
+
+    senders.back()->reserve_windows(per_flow_pkts);
+    receivers.back()->reserve_reorder(per_flow_pkts);
+
+    fwd[i]->set_sink([&receivers, i](const Delivery& d) {
+      receivers[i]->on_packet(d.pkt, d.sojourn);
+    });
+    receivers[i]->set_ack_sink(
+        [&rev, i](const Ack& ack) { rev[i]->send(ack); });
+    rev[i]->set_sink(
+        [&senders, i](const Ack& ack) { senders[i]->on_ack(ack); });
+  }
+  link.set_sink([&sim, &fwd](const Packet& pkt) {
+    const TimeNs sojourn =
+        pkt.enqueued_at == kTimeNone ? 0 : sim.now() - pkt.enqueued_at;
+    fwd[pkt.flow]->send(Delivery{pkt, sojourn});
+  });
+
+  // Stagger starts across one RTT so slow starts decorrelate (fixed stride:
+  // the bench must be deterministic run to run).
+  for (std::uint32_t i = 0; i < n; ++i) {
+    senders[i]->start(static_cast<TimeNs>(i) * (pc.rtt / std::max(1u, n)));
+  }
+
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  sim.run_until(pc.warmup);
+  const auto t1 = Clock::now();
+  const std::uint64_t warm_events = sim.events_executed();
+  const std::uint64_t warm_news = allocs::news();
+  const std::uint64_t warm_deletes = allocs::deletes();
+  if (g_trap_steady) allocs::set_trap(true);
+  sim.run_until(pc.duration);
+  if (g_trap_steady) allocs::set_trap(false);
+  const auto t2 = Clock::now();
+
+  Measurement m;
+  m.total_events = sim.events_executed();
+  m.total_wall_sec = std::chrono::duration<double>(t2 - t0).count();
+  m.steady_events = sim.events_executed() - warm_events;
+  m.steady_wall_sec = std::chrono::duration<double>(t2 - t1).count();
+  m.steady_allocs = allocs::news() - warm_news;
+  m.steady_frees = allocs::deletes() - warm_deletes;
+  for (const auto& r : receivers) m.packets_delivered += r->packets_received();
+  return m;
+}
+
+std::vector<PerfCase> make_cases(bool quick) {
+  const double scale = quick ? 0.25 : 1.0;
+  const auto secs = [scale](double s) { return from_sec(s * scale); };
+
+  PerfCase two_flow;
+  two_flow.name = "two_flow";
+  two_flow.bbr_flows = 1;
+  two_flow.cubic_flows = 1;
+  two_flow.capacity = mbps(200);
+  two_flow.duration = secs(12);
+  two_flow.warmup = secs(4);
+
+  PerfCase fifty_flow;
+  fifty_flow.name = "fifty_flow";
+  fifty_flow.bbr_flows = 25;
+  fifty_flow.cubic_flows = 25;
+  fifty_flow.capacity = mbps(400);
+  fifty_flow.duration = secs(8);
+  fifty_flow.warmup = secs(3);
+
+  PerfCase impaired;
+  impaired.name = "impaired";
+  impaired.bbr_flows = 2;
+  impaired.cubic_flows = 2;
+  impaired.capacity = mbps(100);
+  impaired.duration = secs(12);
+  impaired.warmup = secs(4);
+  impaired.impair.loss_rate = 0.005;
+  impaired.impair.jitter = from_ms(2);
+  impaired.impair.reorder_rate = 0.001;
+  impaired.impair.reorder_delay = from_ms(5);
+
+  PerfCase deep_buffer;
+  deep_buffer.name = "deep_buffer";
+  deep_buffer.bbr_flows = 1;
+  deep_buffer.cubic_flows = 1;
+  deep_buffer.capacity = mbps(100);
+  deep_buffer.buffer_bdps = 50.0;
+  deep_buffer.duration = secs(12);
+  deep_buffer.warmup = secs(4);
+
+  return {two_flow, fifty_flow, impaired, deep_buffer};
+}
+
+void write_json(const std::string& path, bool quick,
+                const std::vector<PerfCase>& cases,
+                const std::vector<Measurement>& results) {
+  std::ofstream os{path};
+  if (!os) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  os << "{\n  \"schema\": \"bbrnash-simcore-perf-v1\",\n";
+  os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+  os << "  \"cases\": [\n";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const Measurement& m = results[i];
+    char buf[640];
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"name\": \"%s\", \"steady_events\": %llu, "
+        "\"steady_wall_sec\": %.6f, \"events_per_sec\": %.0f, "
+        "\"ns_per_event\": %.2f, \"allocs_per_event\": %.8f, "
+        "\"steady_allocs\": %llu, \"steady_frees\": %llu, "
+        "\"packets_delivered\": %llu}%s\n",
+        cases[i].name.c_str(),
+        static_cast<unsigned long long>(m.steady_events), m.steady_wall_sec,
+        m.events_per_sec(), m.ns_per_event(), m.allocs_per_event(),
+        static_cast<unsigned long long>(m.steady_allocs),
+        static_cast<unsigned long long>(m.steady_frees),
+        static_cast<unsigned long long>(m.packets_delivered),
+        i + 1 < cases.size() ? "," : "");
+    os << buf;
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+}  // namespace bbrnash
+
+int main(int argc, char** argv) {
+  using namespace bbrnash;
+  bool quick = false;
+  bool check = false;
+  int repeat = 1;
+  std::string json_path;
+  std::string only;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--repeat" && i + 1 < argc) {
+      repeat = std::max(1, std::atoi(argv[++i]));
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--trap") {
+      g_trap_steady = true;
+    } else if (arg == "--only" && i + 1 < argc) {
+      only = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_perf_simcore [--quick] [--repeat N] "
+                   "[--check] [--trap] [--only CASE] [--json PATH]\n");
+      return 2;
+    }
+  }
+
+  std::vector<PerfCase> cases = make_cases(quick);
+  if (!only.empty()) {
+    std::erase_if(cases, [&](const PerfCase& c) { return c.name != only; });
+    if (cases.empty()) {
+      std::fprintf(stderr, "unknown case: %s\n", only.c_str());
+      return 2;
+    }
+  }
+  std::vector<Measurement> results;
+  results.reserve(cases.size());
+  std::printf("simulator-core perf harness (%s)\n",
+              quick ? "quick" : "full");
+  std::printf("%-12s %14s %12s %12s %16s %12s\n", "scenario", "events",
+              "events/sec", "ns/event", "allocs/event", "pkts");
+  bool clean = true;
+  for (const PerfCase& pc : cases) {
+    Measurement best;
+    for (int r = 0; r < repeat; ++r) {
+      Measurement m = run_case(pc);
+      if (r == 0 || m.steady_wall_sec < best.steady_wall_sec) best = m;
+    }
+    // Steady-state allocations are deterministic (they depend only on the
+    // simulated workload, never on timing), so the zero check is CI-safe.
+    if (best.steady_allocs != 0) clean = false;
+    std::printf("%-12s %14llu %12.0f %12.1f %16.8f %12llu\n",
+                pc.name.c_str(),
+                static_cast<unsigned long long>(best.steady_events),
+                best.events_per_sec(), best.ns_per_event(),
+                best.allocs_per_event(),
+                static_cast<unsigned long long>(best.packets_delivered));
+    results.push_back(best);
+  }
+  if (!json_path.empty()) write_json(json_path, quick, cases, results);
+  if (check && !clean) {
+    std::fprintf(stderr,
+                 "FAIL: steady-state allocations detected on the packet "
+                 "hot path (expected 0 per event after warmup)\n");
+    return 1;
+  }
+  return 0;
+}

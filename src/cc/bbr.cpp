@@ -7,7 +7,11 @@ namespace bbrnash {
 Bbr::Bbr(const BbrConfig& cfg)
     : cfg_(cfg),
       rng_(cfg.seed),
-      btlbw_(FilterKind::kMax, /*window=*/cfg.btlbw_window_rounds, 0.0) {}
+      btlbw_(FilterKind::kMax, /*window=*/cfg.btlbw_window_rounds, 0.0) {
+  // Per-ack bandwidth samples: pre-size the monotone ring so the filter
+  // never grows (allocates) on the ack hot path mid-run.
+  btlbw_.reserve(4096);
+}
 
 void Bbr::on_start(TimeNs now) {
   cwnd_ = cfg_.initial_cwnd;

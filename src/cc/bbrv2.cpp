@@ -7,7 +7,9 @@ namespace bbrnash {
 BbrV2::BbrV2(const BbrV2Config& cfg)
     : cfg_(cfg),
       rng_(cfg.seed),
-      btlbw_(FilterKind::kMax, cfg.btlbw_window_rounds, 0.0) {}
+      btlbw_(FilterKind::kMax, cfg.btlbw_window_rounds, 0.0) {
+  btlbw_.reserve(4096);  // no filter growth on the ack hot path
+}
 
 void BbrV2::on_start(TimeNs now) {
   cwnd_raw_ = cfg_.initial_cwnd;

@@ -7,7 +7,10 @@ namespace bbrnash {
 Copa::Copa(const CopaConfig& cfg)
     : cfg_(cfg),
       min_rtt_(FilterKind::kMin, cfg.min_rtt_window, kTimeInf),
-      standing_rtt_(FilterKind::kMin, from_ms(50), kTimeInf) {}
+      standing_rtt_(FilterKind::kMin, from_ms(50), kTimeInf) {
+  min_rtt_.reserve(4096);  // no filter growth on the ack hot path
+  standing_rtt_.reserve(4096);
+}
 
 void Copa::on_start(TimeNs now) {
   (void)now;

@@ -118,7 +118,7 @@ void Sender::transmit_seq(SeqNo seq, bool is_retransmit) {
   if (!is_retransmit) {
     assert(seq == next_seq_);
     ++next_seq_;
-    records_.emplace_back();
+    records_.push_back(TxRecord{});
   }
   TxRecord* rec = record_for(seq);
   assert(rec != nullptr);
@@ -139,7 +139,7 @@ void Sender::transmit_seq(SeqNo seq, bool is_retransmit) {
     ++rec->retx_count;
     ++retransmits_;
   }
-  inflight_by_order_.emplace(rec->send_order, seq);
+  inflight_by_order_.insert(rec->send_order, seq);
   inflight_ += cfg_.mss;
   note_inflight_change();
 
@@ -255,11 +255,9 @@ void Sender::detect_losses() {
   const std::uint64_t threshold =
       highest_delivered_order_ - static_cast<std::uint64_t>(cfg_.dupthresh);
   Bytes newly_lost = 0;
-  while (!inflight_by_order_.empty()) {
-    const auto it = inflight_by_order_.begin();
-    if (it->first > threshold) break;
-    const SeqNo seq = it->second;
-    mark_lost(seq);
+  while (!inflight_by_order_.empty() &&
+         inflight_by_order_.front_order() <= threshold) {
+    mark_lost(inflight_by_order_.front_seq());  // erases the front entry
     newly_lost += cfg_.mss;
   }
   if (newly_lost > 0) enter_recovery_if_needed(newly_lost);
@@ -324,7 +322,7 @@ void Sender::on_rto_fired() {
   if (rto_backoff_ < 6) ++rto_backoff_;
   // Declare everything in flight lost and restart from the oldest hole.
   while (!inflight_by_order_.empty()) {
-    mark_lost(inflight_by_order_.begin()->second);
+    mark_lost(inflight_by_order_.front_seq());
   }
   // RTO resets any recovery episode: the CC gets the dedicated signal.
   in_recovery_ = false;

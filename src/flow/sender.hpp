@@ -14,15 +14,15 @@
 // transfers).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 
 #include "cc/congestion_control.hpp"
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
+#include "util/ring_deque.hpp"
 #include "util/stats.hpp"
 #include "util/units.hpp"
 
@@ -62,6 +62,16 @@ class Sender {
 
   /// Begins transmitting at simulated time `at`.
   void start(TimeNs at);
+
+  /// Pre-sizes the per-packet bookkeeping rings for a window of up to
+  /// `packets` tracked packets, so they reach high-water capacity before
+  /// the hot path runs instead of growing (allocating) mid-measurement.
+  /// Purely a perf knob: the rings still grow on demand past the hint.
+  void reserve_windows(std::size_t packets) {
+    records_.reserve(packets);
+    retx_queue_.reserve(packets);
+    inflight_by_order_.reserve(packets);
+  }
 
   /// Delivers an ACK from the reverse path.
   void on_ack(const Ack& ack);
@@ -131,6 +141,55 @@ class Sender {
   [[nodiscard]] TimeNs current_rto() const;
   void note_inflight_change();
 
+  /// The set of in-flight packets keyed by send order (what std::map was
+  /// used for). Orders are assigned consecutively at transmit time, so the
+  /// ordered map degenerates into a ring indexed by (order - base): insert
+  /// is a push at the back, erase tombstones the slot, and the minimum
+  /// live order is maintained by advancing the base past tombstones —
+  /// O(1) amortized, allocation-free at steady state where the map paid a
+  /// node allocation per transmitted packet.
+  class OrderWindow {
+   public:
+    /// Pre: orders arrive consecutively (order == base + size()).
+    void insert(std::uint64_t order, SeqNo seq) {
+      assert(order == base_ + slots_.size() && "send orders are consecutive");
+      (void)order;
+      slots_.push_back(seq);
+      ++live_;
+    }
+    /// Erasing an absent order is a no-op, like map::erase by key.
+    void erase(std::uint64_t order) {
+      if (order < base_) return;
+      const auto idx = static_cast<std::size_t>(order - base_);
+      if (idx >= slots_.size() || slots_[idx] == kDead) return;
+      slots_[idx] = kDead;
+      --live_;
+      // Keep the front slot live (or the ring empty) so front_*() are O(1).
+      while (!slots_.empty() && slots_.front() == kDead) {
+        slots_.pop_front();
+        ++base_;
+      }
+    }
+    [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+    /// Smallest live send order / its sequence number. Pre: !empty().
+    [[nodiscard]] std::uint64_t front_order() const {
+      assert(live_ > 0);
+      return base_;
+    }
+    [[nodiscard]] SeqNo front_seq() const {
+      assert(live_ > 0);
+      return slots_.front();
+    }
+    void reserve(std::size_t n) { slots_.reserve(n); }
+
+   private:
+    static constexpr SeqNo kDead = ~SeqNo{0};
+
+    RingDeque<SeqNo> slots_;
+    std::uint64_t base_ = 1;  ///< send orders start at 1
+    std::size_t live_ = 0;
+  };
+
   Simulator& sim_;
   FlowId flow_;
   SenderConfig cfg_;
@@ -138,10 +197,10 @@ class Sender {
   TransmitFn transmit_;
 
   // Sequence space. records_ is indexed by (seq - base_seq_).
-  std::deque<TxRecord> records_;
+  RingDeque<TxRecord> records_;
   SeqNo base_seq_ = 0;   // smallest seq still tracked
   SeqNo next_seq_ = 0;   // next new sequence number to send
-  std::deque<SeqNo> retx_queue_;
+  RingDeque<SeqNo> retx_queue_;
 
   // Delivery / ordering state (tcp_rate.c equivalents).
   Bytes inflight_ = 0;
@@ -150,7 +209,7 @@ class Sender {
   TimeNs first_tx_time_ = 0;  ///< send time of the most recently acked pkt
   std::uint64_t next_send_order_ = 1;
   std::uint64_t highest_delivered_order_ = 0;
-  std::map<std::uint64_t, SeqNo> inflight_by_order_;
+  OrderWindow inflight_by_order_;
 
   // Recovery episode state.
   bool in_recovery_ = false;

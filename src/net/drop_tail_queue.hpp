@@ -7,10 +7,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "net/packet.hpp"
+#include "net/packet_pool.hpp"
 #include "util/stats.hpp"
 #include "util/units.hpp"
 
@@ -101,7 +101,7 @@ class DropTailQueue {
   Bytes capacity_;
   Bytes occupied_ = 0;
   Bytes max_occupied_ = 0;
-  std::deque<Packet> packets_;
+  PacketRing packets_;  ///< recycled slots: no allocation at steady state
 
   std::vector<Bytes> per_flow_bytes_;
   std::vector<Bytes> per_flow_min_;

@@ -1,0 +1,27 @@
+// PacketRing: the recycled packet store for network pipeline elements.
+//
+// Packets in this simulator are small trivially-copyable values, so the
+// classic pointer-based free-list pool degenerates into something simpler
+// and faster: a ring of packet slots that are recycled in place. A dequeue
+// frees the head slot and an enqueue reuses it — the "free list" is the
+// unused arc of the ring — so once a queue reaches its high-water
+// occupancy (bounded by the buffer size B), the per-packet path performs
+// ZERO heap allocations. std::deque, by contrast, allocated and released
+// a ~512-byte node for every handful of packets, which showed up as the
+// dominant allocation source in the bottleneck hot path.
+//
+// Used by DropTailQueue (and available to any AQM variant that stores
+// packets). DelayLine and ImpairmentStage do not store packets at all:
+// their in-flight copies ride inside pooled event records
+// (see sim/event_queue.hpp), which is the same recycling idea applied to
+// the event heap.
+#pragma once
+
+#include "net/packet.hpp"
+#include "util/ring_deque.hpp"
+
+namespace bbrnash {
+
+using PacketRing = RingDeque<Packet>;
+
+}  // namespace bbrnash

@@ -20,21 +20,27 @@ class Simulator {
   [[nodiscard]] TimeNs now() const noexcept { return now_; }
 
   /// Schedules `fn` at absolute simulated time `when` (>= now()).
-  void schedule_at(TimeNs when, EventFn fn) {
+  /// The callable is forwarded to the event pool as-is: keep hot-path
+  /// lambdas trivially copyable and within kEventInlineBytes so they stay
+  /// in the record's inline buffer (see event_queue.hpp).
+  template <typename F>
+  void schedule_at(TimeNs when, F&& fn) {
     assert(when >= now_ && "cannot schedule into the past");
-    queue_.schedule(when, std::move(fn));
+    queue_.schedule(when, std::forward<F>(fn));
   }
 
   /// Schedules `fn` after a relative delay (>= 0).
-  void schedule_in(TimeNs delay, EventFn fn) {
+  template <typename F>
+  void schedule_in(TimeNs delay, F&& fn) {
     assert(delay >= 0);
-    queue_.schedule(now_ + delay, std::move(fn));
+    queue_.schedule(now_ + delay, std::forward<F>(fn));
   }
 
   /// Cancellable variants, for timers (e.g., RTO) that are usually rearmed.
-  EventId schedule_cancellable_at(TimeNs when, EventFn fn) {
+  template <typename F>
+  EventId schedule_cancellable_at(TimeNs when, F&& fn) {
     assert(when >= now_);
-    return queue_.schedule_cancellable(when, std::move(fn));
+    return queue_.schedule_cancellable(when, std::forward<F>(fn));
   }
   void cancel(EventId id) { queue_.cancel(id); }
 
@@ -43,11 +49,8 @@ class Simulator {
   /// exactly `deadline` are executed. A run interrupted by stop() or an
   /// exhausted event budget leaves the clock at the last executed event.
   void run_until(TimeNs deadline) {
-    while (!queue_.empty() && queue_.next_time() <= deadline && !stopped_ &&
-           !budget_exhausted()) {
-      auto ev = queue_.pop();
-      now_ = ev.when;
-      ev.fn();
+    while (!stopped_ && !budget_exhausted() &&
+           queue_.run_one(deadline, now_)) {
       ++events_executed_;
     }
     if (!stopped_ && !budget_exhausted() && now_ < deadline) now_ = deadline;
@@ -55,10 +58,7 @@ class Simulator {
 
   /// Runs until the event queue is empty (or stop() / budget exhaustion).
   void run() {
-    while (!queue_.empty() && !stopped_ && !budget_exhausted()) {
-      auto ev = queue_.pop();
-      now_ = ev.when;
-      ev.fn();
+    while (!stopped_ && !budget_exhausted() && queue_.run_one(kTimeInf, now_)) {
       ++events_executed_;
     }
   }
@@ -81,9 +81,17 @@ class Simulator {
   [[nodiscard]] std::uint64_t events_executed() const noexcept {
     return events_executed_;
   }
+  /// Live (non-cancelled) events still queued — what watchdog diagnostics
+  /// should report.
   [[nodiscard]] std::size_t pending_events() const noexcept {
     return queue_.size();
   }
+  /// Occupied event-pool slots including lazily-cancelled dead entries.
+  [[nodiscard]] std::size_t pending_events_raw() const noexcept {
+    return queue_.raw_size();
+  }
+  /// Pre-sizes the event pool (see EventQueue::reserve).
+  void reserve_events(std::size_t n) { queue_.reserve(n); }
 
  private:
   EventQueue queue_;

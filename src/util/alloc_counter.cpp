@@ -1,0 +1,133 @@
+// Replacement global allocation functions that count every call.
+// See alloc_counter.hpp for how and when this TU is linked.
+
+#include "util/alloc_counter.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#if defined(__GLIBC__)
+#include <execinfo.h>
+#include <unistd.h>
+#endif
+
+namespace {
+
+std::atomic<std::uint64_t> g_news{0};
+std::atomic<std::uint64_t> g_deletes{0};
+std::atomic<std::uint64_t> g_bytes{0};
+std::atomic<bool> g_trap{false};
+
+// Dumps the call stack without allocating (backtrace_symbols_fd writes
+// straight to the fd) and aborts; resolve the printed offsets with
+// addr2line. Used only via allocs::set_trap.
+[[noreturn]] void trap_fired() noexcept {
+#if defined(__GLIBC__)
+  void* frames[64];
+  const int n = backtrace(frames, 64);
+  backtrace_symbols_fd(frames, n, 2);
+#endif
+  std::abort();
+}
+
+void* counted_alloc(std::size_t size) noexcept {
+  if (g_trap.load(std::memory_order_relaxed)) trap_fired();
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
+  // malloc(0) may return null legitimately; allocate at least one byte so a
+  // null return always means exhaustion.
+  return std::malloc(size ? size : 1);
+}
+
+void* counted_alloc_aligned(std::size_t size, std::size_t align) noexcept {
+  if (g_trap.load(std::memory_order_relaxed)) trap_fired();
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (align < sizeof(void*)) align = sizeof(void*);
+  if (posix_memalign(&p, align, size ? size : 1) != 0) return nullptr;
+  return p;
+}
+
+void counted_free(void* p) noexcept {
+  if (p == nullptr) return;
+  g_deletes.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+}  // namespace
+
+namespace bbrnash::allocs {
+
+std::uint64_t news() noexcept {
+  return g_news.load(std::memory_order_relaxed);
+}
+std::uint64_t deletes() noexcept {
+  return g_deletes.load(std::memory_order_relaxed);
+}
+std::uint64_t bytes() noexcept {
+  return g_bytes.load(std::memory_order_relaxed);
+}
+void set_trap(bool armed) noexcept {
+  g_trap.store(armed, std::memory_order_relaxed);
+}
+
+}  // namespace bbrnash::allocs
+
+// --- Global replacement functions ([new.delete.single] / [.array]) --------
+
+void* operator new(std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = counted_alloc_aligned(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}

@@ -1,0 +1,38 @@
+// Counting-allocator hook: process-wide tallies of every global
+// operator new / delete call.
+//
+// The counters are defined in alloc_counter.cpp, which also *replaces* the
+// global allocation functions. That translation unit is deliberately kept
+// out of bbrnash_util and built into its own static library
+// (`bbrnash_alloccount`): only binaries that opt in (the perf harness and
+// the zero-allocation assertion test) link it, so ordinary builds keep the
+// stock allocator. Linking the library is what arms the hook — there is no
+// runtime switch, and the counters start at zero at process start.
+//
+// The counts are exact call counts (not net live objects): `news()` is the
+// number of allocation calls, `deletes()` the number of deallocation calls
+// with a non-null pointer, `bytes()` the sum of requested sizes. Relaxed
+// atomics keep the hook cheap and thread-safe (the parallel sweep engine
+// allocates from many workers).
+#pragma once
+
+#include <cstdint>
+
+namespace bbrnash::allocs {
+
+/// Number of global operator new / new[] calls since process start.
+[[nodiscard]] std::uint64_t news() noexcept;
+
+/// Number of global operator delete / delete[] calls (non-null pointer).
+[[nodiscard]] std::uint64_t deletes() noexcept;
+
+/// Total bytes requested from operator new since process start.
+[[nodiscard]] std::uint64_t bytes() noexcept;
+
+/// Debugging trap: while armed, the very next operator new aborts the
+/// process. Run the binary under a debugger with the trap armed across a
+/// supposedly allocation-free region and the backtrace names the
+/// offender. Not for production paths.
+void set_trap(bool armed) noexcept;
+
+}  // namespace bbrnash::allocs

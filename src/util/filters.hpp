@@ -1,15 +1,17 @@
 // Windowed extremum filters used by BBR-family congestion controls.
 //
 // Two implementations are provided:
-//   * WindowedFilter     — exact, deque-based; O(1) amortized.
+//   * WindowedFilter     — exact, monotone-ring-based; O(1) amortized and
+//                          allocation-free once the ring reaches its
+//                          high-water size.
 //   * KernelMinmaxFilter — the Linux kernel's 3-slot approximation
 //                          (lib/minmax.c), kept for fidelity experiments.
 // BBR in this repo uses WindowedFilter; a test cross-checks the two.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 
+#include "util/ring_deque.hpp"
 #include "util/units.hpp"
 
 namespace bbrnash {
@@ -57,6 +59,10 @@ class WindowedFilter {
 
   void reset() { samples_.clear(); }
 
+  /// Pre-sizes the sample ring (a perf knob: pools reach their high-water
+  /// capacity before measurement instead of growing mid-run).
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
   void set_window(TimeNs window) {
     window_ = window;
     expire(now_);
@@ -84,7 +90,7 @@ class WindowedFilter {
   TimeNs window_;
   T default_;
   TimeNs now_ = 0;
-  std::deque<Sample> samples_;
+  RingDeque<Sample> samples_;
 };
 
 /// The Linux kernel's 3-slot windowed max estimator (lib/minmax.c),

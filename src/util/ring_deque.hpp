@@ -1,0 +1,110 @@
+// RingDeque: a flat circular buffer with deque semantics for the
+// simulator's per-packet hot paths.
+//
+// std::deque allocates a node per block (and libstdc++'s 512-byte blocks
+// mean roughly one allocation per handful of packets), and std::map /
+// std::set allocate a node per element. On the packet hot path those node
+// allocations dominate the profile. RingDeque keeps elements in one
+// contiguous power-of-two array indexed modulo capacity: push/pop at
+// either end are O(1) with no allocation once the buffer has reached its
+// high-water size, and operator[] is a single masked index (the sender's
+// seq -> record lookup). Growth doubles the buffer and linearizes the
+// contents, amortized O(1).
+//
+// Restricted to trivially-copyable T on purpose: relocation is plain
+// assignment, destruction is a no-op, and pop_front is just a head bump —
+// exactly the packet/record/sample types the simulator stores.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+namespace bbrnash {
+
+template <typename T>
+class RingDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "RingDeque is specialized for trivially-copyable elements");
+
+ public:
+  RingDeque() = default;
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+
+  /// Element i positions from the front. Pre: i < size().
+  [[nodiscard]] T& operator[](std::size_t i) {
+    assert(i < size_);
+    return buf_[(head_ + i) & mask_];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return buf_[(head_ + i) & mask_];
+  }
+
+  [[nodiscard]] T& front() { return (*this)[0]; }
+  [[nodiscard]] const T& front() const { return (*this)[0]; }
+  [[nodiscard]] T& back() { return (*this)[size_ - 1]; }
+  [[nodiscard]] const T& back() const { return (*this)[size_ - 1]; }
+
+  void push_back(const T& v) {
+    if (size_ == buf_.size()) grow();
+    buf_[(head_ + size_) & mask_] = v;
+    ++size_;
+  }
+
+  void pop_front() {
+    assert(size_ > 0);
+    head_ = (head_ + 1) & mask_;
+    --size_;
+  }
+
+  void pop_back() {
+    assert(size_ > 0);
+    --size_;
+  }
+
+  /// Drops all elements; keeps the buffer (no allocation on refill).
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Pre-sizes the buffer to hold at least `n` elements.
+  void reserve(std::size_t n) {
+    if (n > buf_.size()) grow_to(ceil_pow2(n));
+  }
+
+ private:
+  static std::size_t ceil_pow2(std::size_t n) {
+    std::size_t p = kMinCapacity;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  void grow() { grow_to(buf_.empty() ? kMinCapacity : buf_.size() * 2); }
+
+  // Rebuilds the buffer at `cap` slots with the contents linearized at
+  // index 0 (so the head wrap restarts from a clean offset).
+  void grow_to(std::size_t cap) {
+    std::vector<T> next(cap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      next[i] = buf_[(head_ + i) & mask_];
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+    mask_ = buf_.size() - 1;
+  }
+
+  static constexpr std::size_t kMinCapacity = 16;
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace bbrnash

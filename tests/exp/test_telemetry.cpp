@@ -86,6 +86,65 @@ TEST(Telemetry, CsvHasHeaderAndRows) {
   EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 11);
 }
 
+// Pins full round-trip precision for the double-valued CSV columns. The
+// old default ostream precision (6 significant digits) quantized t_sec to
+// 100 ms once a run passed t = 100 s and collapsed nearby pacing rates.
+TEST(Telemetry, CsvWritesFullRoundTripPrecision) {
+  SnapshotLog log;
+  Snapshot s;
+  s.t = from_sec(100) + 1;  // 100.000000001 s: dies at 6 digits
+  FlowSnapshot fs;
+  fs.pacing_rate = 12345678.901234567;
+  fs.smoothed_rtt = 12345678;  // 12.345678 ms
+  s.flows.push_back(fs);
+  log.sink()(s);
+
+  std::ostringstream os;
+  log.write_csv(os);
+  const std::string out = os.str();
+  const std::string row = out.substr(out.find('\n') + 1);
+  ASSERT_FALSE(row.empty());
+
+  // Column 0: t_sec. Parse it back and require exact equality with the
+  // original double — %.17g round-trips any IEEE-754 value.
+  const std::string t_field = row.substr(0, row.find(','));
+  EXPECT_EQ(std::stod(t_field), to_sec(s.t));
+  EXPECT_NE(t_field, "100");  // the 6-digit output this test pins against
+
+  // Column 4: pacing_bps.
+  std::vector<std::string> fields;
+  std::istringstream is(row);
+  for (std::string f; std::getline(is, f, ',');) fields.push_back(f);
+  ASSERT_GE(fields.size(), 11u);
+  EXPECT_EQ(std::stod(fields[4]), fs.pacing_rate);
+  // Column 10: srtt_ms.
+  EXPECT_EQ(std::stod(fields[10]), to_ms(fs.smoothed_rtt));
+}
+
+// A delivered counter that decreases between snapshots (flow restart,
+// corrupt log) must be an explicit error — the old unsigned subtraction
+// wrapped it into an astronomically large goodput.
+TEST(Telemetry, GoodputBetweenRejectsCounterDecrease) {
+  SnapshotLog log;
+  Snapshot a;
+  a.t = from_sec(1);
+  a.flows.push_back(FlowSnapshot{});
+  a.flows[0].delivered = 1'000'000;
+  Snapshot b = a;
+  b.t = from_sec(2);
+  b.flows[0].delivered = 500;  // restarted flow: counter went backwards
+  log.sink()(a);
+  log.sink()(b);
+  EXPECT_THROW((void)log.goodput_between(1, 0), std::invalid_argument);
+
+  // And the non-decreasing case still computes in double space.
+  SnapshotLog ok;
+  b.flows[0].delivered = 3'000'000;
+  ok.sink()(a);
+  ok.sink()(b);
+  EXPECT_DOUBLE_EQ(ok.goodput_between(1, 0), 2'000'000.0);
+}
+
 TEST(Telemetry, SnapshotsSeeBothCcKinds) {
   Scenario s = sampled_scenario(from_sec(5));
   SnapshotLog log;

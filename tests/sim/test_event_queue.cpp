@@ -123,5 +123,129 @@ TEST(EventQueue, LargeVolumeStaysOrdered) {
   }
 }
 
+// Regression for the std::priority_queue-era pop(): it const_cast the
+// container's top() and moved out of it (UB). The replacement heap must
+// survive a dense interleaving of cancellable and non-cancellable events —
+// including cancellations that leave dead entries at the heap top — with
+// clean ASan/UBSan runs (the sanitize preset executes this test).
+TEST(EventQueue, InterleavedCancellablePopsCleanly) {
+  EventQueue q;
+  std::vector<int> fired;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 200; ++i) {
+    const TimeNs when = (i * 37) % 50;
+    if (i % 2 == 0) {
+      ids.push_back(q.schedule_cancellable(when, [&fired, i] {
+        fired.push_back(i);
+      }));
+    } else {
+      q.schedule(when, [&fired, i] { fired.push_back(i); });
+    }
+  }
+  // Cancel every other cancellable event, including ones at the heap top.
+  for (std::size_t k = 0; k < ids.size(); k += 2) q.cancel(ids[k]);
+
+  TimeNs last = -1;
+  while (!q.empty()) {
+    auto ev = q.pop();
+    EXPECT_GE(ev.when, last);
+    last = ev.when;
+    ev.fn();
+  }
+  // 100 non-cancellable + 50 surviving cancellable events fire.
+  EXPECT_EQ(fired.size(), 150u);
+  for (const int i : fired) {
+    if (i % 2 == 0) {
+      EXPECT_EQ((i / 2) % 2, 1) << "cancelled event " << i << " fired";
+    }
+  }
+}
+
+// size() must report only live events — watchdog diagnostics were
+// overreporting the backlog by counting lazily-cancelled dead entries.
+// raw_size() keeps the old occupied-slots meaning.
+TEST(EventQueue, SizeExcludesCancelledRawSizeIncludes) {
+  EventQueue q;
+  const EventId a = q.schedule_cancellable(10, [] {});
+  q.schedule_cancellable(20, [] {});
+  q.schedule(30, [] {});
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.raw_size(), 3u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 2u);      // live events only
+  EXPECT_EQ(q.raw_size(), 3u);  // the dead record still occupies a slot
+  // Popping past the dead entry reconciles both counts.
+  q.pop().fn();
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.raw_size(), 1u);
+}
+
+TEST(EventQueue, RunOneRespectsDeadline) {
+  EventQueue q;
+  int fired = 0;
+  TimeNs clock = 0;
+  q.schedule(10, [&] { ++fired; });
+  q.schedule(30, [&] { fired += 10; });
+  EXPECT_TRUE(q.run_one(20, clock));
+  EXPECT_EQ(clock, 10);
+  EXPECT_EQ(fired, 1);
+  // The 30ns event is past the deadline: untouched, clock unchanged.
+  EXPECT_FALSE(q.run_one(20, clock));
+  EXPECT_EQ(clock, 10);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.run_one(30, clock));
+  EXPECT_EQ(clock, 30);
+  EXPECT_EQ(fired, 11);
+}
+
+TEST(EventQueue, RunOneSkipsCancelledHead) {
+  EventQueue q;
+  int fired = 0;
+  TimeNs clock = 0;
+  const EventId id = q.schedule_cancellable(5, [&] { fired = -1; });
+  q.schedule(10, [&] { fired = 1; });
+  q.cancel(id);
+  EXPECT_TRUE(q.run_one(kTimeInf, clock));
+  EXPECT_EQ(clock, 10);
+  EXPECT_EQ(fired, 1);
+}
+
+// Callables that are too large or not trivially copyable fall back to the
+// boxed (heap-allocated) path; they must fire and be released both when
+// invoked and when destroyed unfired (no leaks under ASan).
+TEST(EventQueue, BoxedCallablesFireAndRelease) {
+  std::vector<int> sink;
+  {
+    EventQueue q;
+    std::vector<int> payload{1, 2, 3};  // not trivially copyable
+    q.schedule(1, [payload, &sink] { sink = payload; });
+    q.schedule(2, [payload, &sink] { sink.push_back(99); });
+    q.pop().fn();
+    // The second boxed event is dropped unfired: its dtor must free the box.
+  }
+  EXPECT_EQ(sink, (std::vector<int>{1, 2, 3}));
+}
+
+// Steady-state schedule/pop cycles recycle pooled slots instead of growing:
+// raw_size() returns to zero and ordering stays exact across many refills.
+TEST(EventQueue, PoolRecyclingKeepsOrderingExact) {
+  EventQueue q;
+  TimeNs now = 0;
+  std::vector<TimeNs> fired;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 16; ++i) {
+      q.schedule(now + 1 + (i * 13) % 7, [&fired] { fired.push_back(0); });
+    }
+    while (!q.empty()) {
+      auto ev = q.pop();
+      EXPECT_GE(ev.when, now);
+      now = ev.when;
+      ev.fn();
+    }
+    EXPECT_EQ(q.raw_size(), 0u);
+  }
+  EXPECT_EQ(fired.size(), 50u * 16u);
+}
+
 }  // namespace
 }  // namespace bbrnash
