@@ -14,6 +14,7 @@ namespace bbrnash::bench {
 
 /// Parsed command line common to all benches:
 ///   [--csv] [--seed N] [--fidelity quick|default|full] [--jobs N]
+///   [--audit] [--chaos SEED]
 struct BenchOptions {
   bool csv = false;
   std::uint64_t seed = 1;
@@ -21,8 +22,19 @@ struct BenchOptions {
   /// Sweep workers: 0 (default) = one per hardware thread, 1 = serial.
   /// Output is bit-identical for every value (see exp/parallel.hpp).
   int jobs = 0;
+  /// Conservation audit on every trial (--audit). Read-only sampling, so
+  /// the figures are identical with or without it.
+  bool audit = false;
+  /// Deterministic fault injection (--chaos SEED); 0 = off. Every fault
+  /// is retried with the same trial seed, so figures stay bit-identical.
+  bool chaos = false;
+  std::uint64_t chaos_seed = 0;
 };
 
+/// Strict parser: an unknown flag or malformed value prints a diagnosis
+/// and exits 2 — a typo'd knob must never silently run the default sweep.
+/// `--checkpoint PATH` is recognised (and skipped) here because some
+/// benches parse it themselves from the raw argv.
 BenchOptions parse_options(int argc, char** argv);
 
 /// Prints the figure banner: what is being reproduced and at what fidelity.

@@ -27,6 +27,13 @@
 //               debugger: the backtrace names the allocating code path)
 //     --json    write the measurements as JSON (BENCH_simcore.json schema,
 //               documented in EXPERIMENTS.md)
+//     --write-baseline FILE
+//               record per-case events/sec as a JSONL baseline
+//     --baseline FILE [--tolerance F]
+//               compare against a recorded baseline: exit non-zero when any
+//               case regresses below (1 - F) x baseline events/sec
+//               (default F = 0.01). Timing-dependent — for perf triage on a
+//               quiet machine, not for CI (CI uses the timing-free --check).
 
 #include <algorithm>
 #include <chrono>
@@ -34,7 +41,9 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -44,8 +53,10 @@
 #include "net/bottleneck_link.hpp"
 #include "net/delay_line.hpp"
 #include "net/impairment.hpp"
+#include "exp/cli_flags.hpp"
 #include "sim/simulator.hpp"
 #include "util/alloc_counter.hpp"
+#include "util/jsonl.hpp"
 #include "util/units.hpp"
 
 namespace bbrnash {
@@ -290,6 +301,72 @@ void write_json(const std::string& path, bool quick,
   os << "  ]\n}\n";
 }
 
+/// One JSONL record per case; overwritten wholesale (a baseline is a
+/// snapshot, not an append log).
+void write_baseline(const std::string& path, bool quick,
+                    const std::vector<PerfCase>& cases,
+                    const std::vector<Measurement>& results) {
+  std::ofstream os{path, std::ios::trunc};
+  if (!os) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    JsonlRecord rec;
+    rec.set("schema", "bbrnash-simcore-baseline-v1");
+    rec.set("name", cases[i].name);
+    rec.set("quick", static_cast<std::uint64_t>(quick ? 1 : 0));
+    rec.set("events_per_sec", results[i].events_per_sec());
+    rec.set("ns_per_event", results[i].ns_per_event());
+    rec.set("steady_events", results[i].steady_events);
+    os << rec.encode() << '\n';
+  }
+  std::printf("baseline written to %s (%zu cases)\n", path.c_str(),
+              cases.size());
+}
+
+/// Returns the number of cases that regressed below (1 - tolerance) x
+/// their baseline events/sec. Cases without a baseline entry are reported
+/// but don't fail the run (a new case has nothing to regress against).
+int compare_baseline(const std::string& path, double tolerance,
+                     const std::vector<PerfCase>& cases,
+                     const std::vector<Measurement>& results) {
+  std::size_t skipped = 0;
+  const std::vector<JsonlRecord> records = read_jsonl(path, &skipped);
+  if (skipped > 0) {
+    std::fprintf(stderr, "warning: %zu unparseable line(s) in %s\n", skipped,
+                 path.c_str());
+  }
+  if (records.empty()) {
+    std::fprintf(stderr,
+                 "error: no baseline records in %s (run with "
+                 "--write-baseline first)\n",
+                 path.c_str());
+    return -1;
+  }
+  std::map<std::string, double> base;
+  for (const JsonlRecord& r : records) {
+    base[r.get_string("name")] = r.get_double("events_per_sec");
+  }
+  int regressions = 0;
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const auto it = base.find(cases[i].name);
+    if (it == base.end() || it->second <= 0.0) {
+      std::printf("baseline %-12s (no baseline entry)\n",
+                  cases[i].name.c_str());
+      continue;
+    }
+    const double measured = results[i].events_per_sec();
+    const double floor = (1.0 - tolerance) * it->second;
+    const bool ok = measured >= floor;
+    if (!ok) ++regressions;
+    std::printf("baseline %-12s %12.0f ev/s vs %12.0f recorded (%+.2f%%) %s\n",
+                cases[i].name.c_str(), measured, it->second,
+                100.0 * (measured / it->second - 1.0), ok ? "ok" : "REGRESSED");
+  }
+  return regressions;
+}
+
 }  // namespace
 }  // namespace bbrnash
 
@@ -298,28 +375,51 @@ int main(int argc, char** argv) {
   bool quick = false;
   bool check = false;
   int repeat = 1;
+  double tolerance = 0.01;
   std::string json_path;
   std::string only;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--quick") {
-      quick = true;
-    } else if (arg == "--check") {
-      check = true;
-    } else if (arg == "--repeat" && i + 1 < argc) {
-      repeat = std::max(1, std::atoi(argv[++i]));
-    } else if (arg == "--json" && i + 1 < argc) {
-      json_path = argv[++i];
-    } else if (arg == "--trap") {
-      g_trap_steady = true;
-    } else if (arg == "--only" && i + 1 < argc) {
-      only = argv[++i];
-    } else {
-      std::fprintf(stderr,
-                   "usage: bench_perf_simcore [--quick] [--repeat N] "
-                   "[--check] [--trap] [--only CASE] [--json PATH]\n");
-      return 2;
+  std::string baseline_in;
+  std::string baseline_out;
+  const auto usage = [] {
+    std::fprintf(stderr,
+                 "usage: bench_perf_simcore [--quick] [--repeat N] "
+                 "[--check] [--trap] [--only CASE] [--json PATH]\n"
+                 "                          [--write-baseline FILE] "
+                 "[--baseline FILE] [--tolerance F]\n");
+    return 2;
+  };
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--quick") {
+        quick = true;
+      } else if (arg == "--check") {
+        check = true;
+      } else if (arg == "--repeat" && i + 1 < argc) {
+        repeat = std::max(1, parse_int_strict("--repeat", argv[++i]));
+      } else if (arg == "--json" && i + 1 < argc) {
+        json_path = argv[++i];
+      } else if (arg == "--trap") {
+        g_trap_steady = true;
+      } else if (arg == "--only" && i + 1 < argc) {
+        only = argv[++i];
+      } else if (arg == "--write-baseline" && i + 1 < argc) {
+        baseline_out = argv[++i];
+      } else if (arg == "--baseline" && i + 1 < argc) {
+        baseline_in = argv[++i];
+      } else if (arg == "--tolerance" && i + 1 < argc) {
+        tolerance = parse_double_strict("--tolerance", argv[++i]);
+        if (tolerance < 0.0 || tolerance >= 1.0) {
+          std::fprintf(stderr, "--tolerance must be in [0, 1)\n");
+          return usage();
+        }
+      } else {
+        return usage();
+      }
     }
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "invalid flag value: %s\n", e.what());
+    return usage();
   }
 
   std::vector<PerfCase> cases = make_cases(quick);
@@ -355,6 +455,12 @@ int main(int argc, char** argv) {
     results.push_back(best);
   }
   if (!json_path.empty()) write_json(json_path, quick, cases, results);
+  if (!baseline_out.empty()) write_baseline(baseline_out, quick, cases, results);
+  if (!baseline_in.empty()) {
+    const int regressions =
+        compare_baseline(baseline_in, tolerance, cases, results);
+    if (regressions != 0) return 1;
+  }
   if (check && !clean) {
     std::fprintf(stderr,
                  "FAIL: steady-state allocations detected on the packet "

@@ -2,8 +2,11 @@
 
 #include <cstddef>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <utility>
+
+#include "exp/chaos.hpp"
 
 namespace bbrnash {
 
@@ -55,10 +58,18 @@ void append_impairments(std::string& out, const std::string& tag,
 
 }  // namespace
 
-CheckpointLog::CheckpointLog(std::string path) : path_(std::move(path)) {
-  for (auto& rec : read_jsonl(path_)) {
+CheckpointLog::CheckpointLog(std::string path, ChaosInjector* chaos)
+    : path_(std::move(path)), chaos_(chaos) {
+  for (auto& rec : read_jsonl(path_, &skipped_lines_)) {
     const std::string key = rec.get_string(kKeyField);
     if (!key.empty()) entries_[key] = std::move(rec);
+  }
+  if (skipped_lines_ > 0) {
+    std::fprintf(stderr,
+                 "checkpoint: skipped %zu unparseable line(s) in %s (torn "
+                 "write from a crashed run?); resuming from the last "
+                 "complete record — affected cells will re-run\n",
+                 skipped_lines_, path_.c_str());
   }
 }
 
@@ -118,7 +129,37 @@ void CheckpointLog::writer_main() {
     std::vector<std::string> batch;
     batch.swap(pending_);
     lk.unlock();  // file I/O happens outside the lock
-    for (const std::string& line : batch) append_jsonl_line(path_, line);
+    for (const std::string& line : batch) {
+      // Chaos drills: simulate the two write-path failures the resume
+      // logic claims to survive. Neither touches the in-memory map, so the
+      // current run's numbers are unaffected; only a *resumed* run sees
+      // the damage — and recovers by re-running the lost cells.
+      if (chaos_ != nullptr &&
+          chaos_->should_fire(ChaosClass::kCheckpointWriteFail,
+                              "checkpoint-write-fail " + path_)) {
+        std::fprintf(stderr,
+                     "checkpoint: chaos dropped one append to %s\n",
+                     path_.c_str());
+        continue;
+      }
+      if (chaos_ != nullptr &&
+          chaos_->should_fire(ChaosClass::kCheckpointTorn,
+                              "checkpoint-torn " + path_)) {
+        // A torn write: half the record, no terminating newline — exactly
+        // what a crash mid-append leaves behind. append_jsonl_line
+        // self-heals by starting the next record on a fresh line.
+        std::ofstream torn{path_, std::ios::app};
+        if (torn) {
+          torn << line.substr(0, line.size() / 2);
+          torn.flush();
+        }
+        std::fprintf(stderr,
+                     "checkpoint: chaos tore one append to %s\n",
+                     path_.c_str());
+        continue;
+      }
+      append_jsonl_line(path_, line);
+    }
     lk.lock();
     written_ += batch.size();
     drained_cv_.notify_all();

@@ -40,8 +40,11 @@ class CheckpointLog {
  public:
   /// Opens (and replays) the log at `path`; the file need not exist yet.
   /// On duplicate keys the last record wins, so re-recording a key is
-  /// harmless.
-  explicit CheckpointLog(std::string path);
+  /// harmless. Unparseable lines (a torn trailing write from a crash
+  /// mid-append) are skipped with a warning — see skipped_lines() — and
+  /// their cells simply re-run. A non-null `chaos` injects write failures
+  /// and torn records into the writer thread (--chaos drills).
+  explicit CheckpointLog(std::string path, ChaosInjector* chaos = nullptr);
   ~CheckpointLog();
   CheckpointLog(const CheckpointLog&) = delete;
   CheckpointLog& operator=(const CheckpointLog&) = delete;
@@ -57,11 +60,17 @@ class CheckpointLog {
   void record(const std::string& key, JsonlRecord rec);
   /// Blocks until every record() accepted so far has reached the file.
   void flush();
+  /// Unparseable lines skipped while replaying the log at construction.
+  [[nodiscard]] std::size_t skipped_lines() const noexcept {
+    return skipped_lines_;
+  }
 
  private:
   void writer_main();
 
   std::string path_;
+  ChaosInjector* chaos_ = nullptr;
+  std::size_t skipped_lines_ = 0;
   mutable std::mutex mu_;  ///< guards everything below
   std::map<std::string, JsonlRecord> entries_;
   std::condition_variable queue_cv_;    ///< wakes the writer

@@ -1,0 +1,69 @@
+#include "exp/cli_flags.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+namespace bbrnash {
+
+namespace {
+
+[[noreturn]] void fail(std::string_view flag, const std::string& value,
+                       const char* why) {
+  throw std::invalid_argument{std::string{flag} + ": " + why + " ('" + value +
+                              "')"};
+}
+
+}  // namespace
+
+double parse_double_strict(std::string_view flag, const std::string& value) {
+  if (value.empty()) fail(flag, value, "expected a number, got empty string");
+  // strtod silently skips leading whitespace; whole-token means no padding.
+  if (std::isspace(static_cast<unsigned char>(value[0]))) {
+    fail(flag, value, "not a valid number");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end != value.c_str() + value.size()) {
+    fail(flag, value, "not a valid number");
+  }
+  if (errno == ERANGE || !std::isfinite(v)) {
+    fail(flag, value, "number out of range");
+  }
+  return v;
+}
+
+std::uint64_t parse_u64_strict(std::string_view flag,
+                               const std::string& value) {
+  if (value.empty()) fail(flag, value, "expected an integer, got empty string");
+  // strtoull silently accepts a leading '-' (wrapping the value) and skips
+  // leading whitespace; reject both.
+  if (value[0] == '-' || value[0] == '+') {
+    fail(flag, value, "expected a non-negative integer");
+  }
+  if (std::isspace(static_cast<unsigned char>(value[0]))) {
+    fail(flag, value, "not a valid integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(value.c_str(), &end, 10);
+  if (end != value.c_str() + value.size()) {
+    fail(flag, value, "not a valid integer");
+  }
+  if (errno == ERANGE) fail(flag, value, "integer out of range");
+  return v;
+}
+
+int parse_int_strict(std::string_view flag, const std::string& value) {
+  const std::uint64_t v = parse_u64_strict(flag, value);
+  if (v > static_cast<std::uint64_t>(std::numeric_limits<int>::max())) {
+    fail(flag, value, "integer out of range");
+  }
+  return static_cast<int>(v);
+}
+
+}  // namespace bbrnash

@@ -1,0 +1,33 @@
+// Strict CLI flag parsing shared by the bbrnash tool and the bench
+// drivers.
+//
+// The original parsers used atof/atoll, which silently turn garbage into 0
+// — a mistyped `--buffer-bdp 1O` (letter O) would run a nonsense
+// experiment instead of failing. These helpers throw std::invalid_argument
+// with the flag name on anything that is not a complete, in-range number;
+// callers turn that into the standard invalid-configuration exit (2).
+// Fuzzed by tests/exp/test_scenario_fuzz.cpp: invalid input must always
+// produce the clean diagnostic, never a crash or a silent acceptance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace bbrnash {
+
+/// Parses a double, requiring the whole token to be consumed and the value
+/// to be finite. Throws std::invalid_argument naming `flag`.
+[[nodiscard]] double parse_double_strict(std::string_view flag,
+                                         const std::string& value);
+
+/// Parses a non-negative integer (decimal). Throws std::invalid_argument
+/// naming `flag` on sign, garbage, overflow, or empty input.
+[[nodiscard]] std::uint64_t parse_u64_strict(std::string_view flag,
+                                             const std::string& value);
+
+/// As parse_u64_strict but bounded to int range.
+[[nodiscard]] int parse_int_strict(std::string_view flag,
+                                   const std::string& value);
+
+}  // namespace bbrnash

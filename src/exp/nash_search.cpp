@@ -1,12 +1,14 @@
 #include "exp/nash_search.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "exp/chaos.hpp"
 #include "exp/checkpoint.hpp"
 #include "exp/parallel.hpp"
 #include "exp/scenario_runner.hpp"
@@ -18,7 +20,8 @@ namespace {
 /// Checkpoint log for one search, when the config asks for one.
 std::unique_ptr<CheckpointLog> open_checkpoint(const NashSearchConfig& cfg) {
   if (cfg.checkpoint_path.empty()) return nullptr;
-  return std::make_unique<CheckpointLog>(cfg.checkpoint_path);
+  return std::make_unique<CheckpointLog>(cfg.checkpoint_path,
+                                         cfg.trial.guard.chaos.get());
 }
 
 /// A cell whose every trial failed has no measurement; its all-zero
@@ -32,6 +35,29 @@ const MixOutcome& require_measurement(const MixOutcome& m, int num_cubic,
                     " challenger) completed zero trials";
   for (const std::string& f : m.failures) msg += "\n  " + f;
   throw std::runtime_error{msg};
+}
+
+/// One payoff cell, with chaos-injected transient failures retried in
+/// place. A ChaosFault is environmental — the cell's inputs are fine — so
+/// the retry re-runs the identical computation (bit-identical outcome);
+/// fire-once per site bounds the loop, with a small cap as a backstop.
+MixOutcome run_cell(const NetworkParams& net, int num_cubic, int num_other,
+                    const NashSearchConfig& cfg, CheckpointLog* log) {
+  ChaosInjector* chaos = cfg.trial.guard.chaos.get();
+  const std::string site = "ne-cell nc=" + std::to_string(num_cubic) +
+                           " no=" + std::to_string(num_other);
+  for (int redo = 0;; ++redo) {
+    try {
+      if (chaos != nullptr) chaos->maybe_throw(ChaosClass::kNeCell, site);
+      return run_mix_trials_checkpointed(net, num_cubic, num_other,
+                                         cfg.challenger, cfg.trial, log);
+    } catch (const ChaosFault& e) {
+      if (redo >= 2) throw;
+      std::fprintf(stderr,
+                   "nash-search: transient cell failure (%s); retrying\n",
+                   e.what());
+    }
+  }
 }
 
 }  // namespace
@@ -52,9 +78,8 @@ EmpiricalPayoffs measure_payoffs(const NetworkParams& net, int total_flows,
   // numbers are identical to a serial run's.
   std::vector<MixOutcome> measured(cells);
   parallel_for(cfg.trial.jobs, cells, [&](std::size_t k) {
-    measured[k] = run_mix_trials_checkpointed(
-        net, total_flows - static_cast<int>(k), static_cast<int>(k),
-        cfg.challenger, cfg.trial, log.get());
+    measured[k] = run_cell(net, total_flows - static_cast<int>(k),
+                           static_cast<int>(k), cfg, log.get());
   });
 
   // Validate and harvest in k order so an all-failed cell surfaces the
@@ -90,8 +115,7 @@ int find_ne_crossing(const NetworkParams& net, int total_flows,
   const auto outcome_at = [&](int k) -> const MixOutcome& {
     auto it = cache.find(k);
     if (it == cache.end()) {
-      MixOutcome m = run_mix_trials_checkpointed(
-          net, total_flows - k, k, cfg.challenger, cfg.trial, log.get());
+      MixOutcome m = run_cell(net, total_flows - k, k, cfg, log.get());
       require_measurement(m, total_flows - k, k);
       it = cache.emplace(k, std::move(m)).first;
     }

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -17,6 +18,8 @@
 #include "util/units.hpp"
 
 namespace bbrnash {
+
+class ChaosInjector;
 
 enum class RunStatus {
   kOk,
@@ -64,6 +67,12 @@ struct GuardConfig {
   /// scenario seed is listed here reports an invariant violation instead of
   /// its result. The seed-bump retry then proceeds normally.
   std::vector<std::uint64_t> inject_failure_seeds;
+  /// Chaos injection (--chaos SEED). Chaos faults are environmental, so the
+  /// guarded runner redoes the attempt with the SAME seed and does not
+  /// consume a retry attempt — recovered results stay bit-identical to a
+  /// fault-free run. Shared because sweeps copy GuardConfig per trial but
+  /// the fire-once bookkeeping must be global to the experiment.
+  std::shared_ptr<ChaosInjector> chaos;
 };
 
 struct RunOutcome {

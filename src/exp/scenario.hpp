@@ -11,6 +11,7 @@
 #include "model/network_params.hpp"
 #include "net/impairment.hpp"
 #include "net/packet.hpp"
+#include "sim/audit.hpp"
 #include "util/units.hpp"
 
 namespace bbrnash {
@@ -87,6 +88,11 @@ struct Scenario {
   /// Bottleneck rate schedule; empty = constant `capacity`. Entries are
   /// applied at their absolute times (need not be sorted).
   std::vector<RateChange> capacity_schedule;
+
+  /// Conservation audit + crash flight recorder (--audit). Instrumentation
+  /// is installed only when audit.active(), so the default leaves the
+  /// zero-allocation hot path untouched.
+  AuditConfig audit;
 
   [[nodiscard]] int count(CcKind kind) const {
     int n = 0;

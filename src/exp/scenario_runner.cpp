@@ -4,18 +4,23 @@
 #include <cassert>
 #include <chrono>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "exp/chaos.hpp"
 #include "flow/receiver.hpp"
 #include "flow/sender.hpp"
 #include "net/aqm.hpp"
 #include "net/bottleneck_link.hpp"
 #include "net/delay_line.hpp"
 #include "net/impairment.hpp"
+#include "sim/audit.hpp"
+#include "sim/flight_recorder.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -118,6 +123,7 @@ void Scenario::validate() const {
   }
   impairments.validate();
   ack_impairments.validate();
+  audit.validate();
   for (const RateChange& c : capacity_schedule) {
     if (c.at < 0) {
       throw std::invalid_argument{"capacity_schedule times must be >= 0"};
@@ -177,13 +183,70 @@ struct ExecOutcome {
   RunStatus status = RunStatus::kOk;
   RunResult result;
   RunDiagnostics diagnostics;
+  /// True when a chaos fault fired inside this attempt. Chaos faults are
+  /// environmental, so the guarded runner redoes the attempt with the SAME
+  /// seed instead of consuming a seed-bump retry.
+  bool chaos_injected = false;
 };
 
 ExecOutcome execute_scenario(const Scenario& scenario,
-                             const WatchdogConfig& watchdog) {
+                             const WatchdogConfig& watchdog,
+                             ChaosInjector* chaos, FlightRecorder* recorder) {
   const auto n = static_cast<std::uint32_t>(scenario.flows.size());
   Simulator sim;
   Rng rng{scenario.seed};
+
+  ExecOutcome out;
+
+  // Conservation-audit ledger (only when the scenario asks for it; the
+  // disabled path below is byte-for-byte the uninstrumented simulation).
+  std::unique_ptr<ConservationAudit> audit;
+  if (scenario.audit.enabled) {
+    audit = std::make_unique<ConservationAudit>(scenario.audit, n);
+  }
+  ConservationAudit* audit_p = audit.get();
+  const bool instrumented = audit_p != nullptr || recorder != nullptr;
+
+  // Chaos: forced trial exception / event-loop stall / wall stall, planned
+  // up front so the fault schedule is a pure function of (chaos seed,
+  // scenario seed). At most ONE class arms per attempt: each fault must
+  // actually reach its own recovery mechanism (the stalls must genuinely
+  // trip the watchdogs), which an earlier-in-the-run exception would mask.
+  // Fire-once per site means the retry after each fault arms the next
+  // class, so one guarded run walks every eligible class and then a clean
+  // attempt.
+  const std::string chaos_site = "seed=" + std::to_string(scenario.seed);
+  const TimeNs chaos_at =
+      std::max<TimeNs>(1, (scenario.warmup > 0 ? scenario.warmup
+                                               : scenario.duration) /
+                              2);
+  std::function<void()> chaos_spinner;  // outlives every scheduled copy
+  bool chaos_wall_stall = false;
+  if (chaos != nullptr) {
+    if (chaos->should_fire(ChaosClass::kTrialException,
+                           "trial-exception " + chaos_site)) {
+      out.chaos_injected = true;
+      sim.schedule_at(chaos_at, [site = chaos_site] {
+        throw ChaosFault{ChaosClass::kTrialException,
+                         "trial-exception " + site};
+      });
+    } else if (watchdog.max_events > 0 &&
+               chaos->should_fire(ChaosClass::kEventStall,
+                                  "event-stall " + chaos_site)) {
+      // An event stall is only injected when an event budget exists to
+      // trip — otherwise it would spin forever.
+      out.chaos_injected = true;
+      chaos_spinner = [&sim, &chaos_spinner] {
+        sim.schedule_in(1, chaos_spinner);
+      };
+      sim.schedule_at(chaos_at, chaos_spinner);
+    } else if (watchdog.max_wall_seconds > 0.0 &&
+               chaos->should_fire(ChaosClass::kWallStall,
+                                  "wall-stall " + chaos_site)) {
+      chaos_wall_stall = true;
+      out.chaos_injected = true;
+    }
+  }
 
   BottleneckLink link{sim, scenario.capacity, scenario.buffer_bytes, n};
   switch (scenario.aqm) {
@@ -202,7 +265,15 @@ ExecOutcome execute_scenario(const Scenario& scenario,
 
   // Bottleneck rate schedule (link flaps / capacity steps).
   for (const RateChange& c : scenario.capacity_schedule) {
-    sim.schedule_at(c.at, [&link, rate = c.rate] { link.set_rate(rate); });
+    if (recorder != nullptr) {
+      sim.schedule_at(c.at, [&link, &sim, recorder, rate = c.rate] {
+        recorder->note(sim.now(), FlightEventKind::kRateChange, 0,
+                       static_cast<std::uint64_t>(rate));
+        link.set_rate(rate);
+      });
+    } else {
+      sim.schedule_at(c.at, [&link, rate = c.rate] { link.set_rate(rate); });
+    }
   }
 
   std::vector<std::unique_ptr<Sender>> senders;
@@ -270,29 +341,67 @@ ExecOutcome execute_scenario(const Scenario& scenario,
     snd_cfg.mss = scenario.mss;
     snd_cfg.transfer_bytes = spec.transfer_bytes;
     ImpairmentStage<Packet>* data_stage = data_stages[i].get();
-    senders.push_back(std::make_unique<Sender>(
-        sim, i, snd_cfg, std::move(cc),
-        [&sim, &link, &access, data_stage, i](const Packet& pkt) {
-          // Access-path jitter with a monotonicity guard so a flow's own
-          // packets are never reordered (deliberate reordering is the
-          // impairment stage's job).
-          access[i].last_arrival = std::max(
-              access[i].last_arrival + 1,
-              sim.now() + static_cast<TimeNs>(access[i].rng.next_below(
-                              static_cast<std::uint64_t>(access[i].jitter))));
-          sim.schedule_at(access[i].last_arrival, [&link, data_stage, pkt] {
-            if (data_stage != nullptr) {
-              data_stage->send(pkt);
-            } else {
-              link.send(pkt);
+    if (instrumented) {
+      // Audit/recorder wrapper: identical transmit logic plus the ledger's
+      // independent injection count and the flight-recorder note. Installed
+      // as a *separate* lambda so the uninstrumented path pays nothing.
+      senders.push_back(std::make_unique<Sender>(
+          sim, i, snd_cfg, std::move(cc),
+          [&sim, &link, &access, data_stage, audit_p, recorder,
+           i](const Packet& pkt) {
+            if (audit_p != nullptr) audit_p->note_injected(i);
+            if (recorder != nullptr) {
+              recorder->note(sim.now(), FlightEventKind::kInject, i, pkt.seq,
+                             pkt.is_retransmit ? 1 : 0);
             }
-          });
-        }));
+            access[i].last_arrival = std::max(
+                access[i].last_arrival + 1,
+                sim.now() + static_cast<TimeNs>(access[i].rng.next_below(
+                                static_cast<std::uint64_t>(access[i].jitter))));
+            sim.schedule_at(access[i].last_arrival,
+                            [&link, data_stage, audit_p, i, pkt] {
+                              if (audit_p != nullptr) {
+                                audit_p->note_access_exit(i);
+                              }
+                              if (data_stage != nullptr) {
+                                data_stage->send(pkt);
+                              } else {
+                                link.send(pkt);
+                              }
+                            });
+          }));
+    } else {
+      senders.push_back(std::make_unique<Sender>(
+          sim, i, snd_cfg, std::move(cc),
+          [&sim, &link, &access, data_stage, i](const Packet& pkt) {
+            // Access-path jitter with a monotonicity guard so a flow's own
+            // packets are never reordered (deliberate reordering is the
+            // impairment stage's job).
+            access[i].last_arrival = std::max(
+                access[i].last_arrival + 1,
+                sim.now() + static_cast<TimeNs>(access[i].rng.next_below(
+                                static_cast<std::uint64_t>(access[i].jitter))));
+            sim.schedule_at(access[i].last_arrival, [&link, data_stage, pkt] {
+              if (data_stage != nullptr) {
+                data_stage->send(pkt);
+              } else {
+                link.send(pkt);
+              }
+            });
+          }));
+    }
 
     // Bottleneck exit -> forward propagation -> receiver.
-    fwd_lines[i]->set_sink([&receivers, i](const Delivery& d) {
-      receivers[i]->on_packet(d.pkt, d.sojourn);
-    });
+    if (recorder != nullptr) {
+      fwd_lines[i]->set_sink([&receivers, &sim, recorder, i](const Delivery& d) {
+        recorder->note(sim.now(), FlightEventKind::kDeliver, i, d.pkt.seq);
+        receivers[i]->on_packet(d.pkt, d.sojourn);
+      });
+    } else {
+      fwd_lines[i]->set_sink([&receivers, i](const Delivery& d) {
+        receivers[i]->on_packet(d.pkt, d.sojourn);
+      });
+    }
     // Receiver -> (ACK impairments) -> reverse propagation -> sender.
     if (ack_stages[i] != nullptr) {
       ack_stages[i]->set_sink(
@@ -313,6 +422,12 @@ ExecOutcome execute_scenario(const Scenario& scenario,
         pkt.enqueued_at == kTimeNone ? 0 : sim.now() - pkt.enqueued_at;
     fwd_lines[pkt.flow]->send(Delivery{pkt, sojourn});
   });
+  if (recorder != nullptr) {
+    link.set_drop_hook([&sim, recorder](const Packet& pkt) {
+      recorder->note(sim.now(), FlightEventKind::kQueueDrop, pkt.flow,
+                     pkt.seq);
+    });
+  }
 
   // Group instrumentation: aggregate CUBIC occupancy drives the model's
   // b_cmin / b_cmax validation, aggregate non-CUBIC occupancy is b_b.
@@ -365,6 +480,74 @@ ExecOutcome execute_scenario(const Scenario& scenario,
     }
   }
 
+  // Audit sampling: read-only ledger checks at a fixed cadence. The sample
+  // events never mutate simulation state, so an audited run produces
+  // results bit-identical to an unaudited one.
+  if (audit_p != nullptr) {
+    for (TimeNs t = scenario.audit.sample_period; t <= scenario.duration;
+         t += scenario.audit.sample_period) {
+      sim.schedule_at(t, [&, t] {
+        AuditSample& smp = audit_p->sample_buffer();
+        smp.t = t;
+        smp.queue_bytes = link.queue().occupied_bytes();
+        smp.buffer_bytes = scenario.buffer_bytes;
+        smp.bytes_served = link.bytes_served();
+        Bytes flow_bytes_sum = 0;
+        for (std::uint32_t i = 0; i < n; ++i) {
+          FlowAuditSample& f = smp.flows[i];
+          f = FlowAuditSample{};
+          f.injected = audit_p->injected(i);
+          f.access_pending = audit_p->access_pending(i);
+          if (data_stages[i] != nullptr) {
+            const ImpairmentCounters& c = data_stages[i]->counters();
+            f.stage_dropped = c.dropped;
+            f.stage_duplicated = c.duplicated;
+            f.stage_pending = data_stages[i]->pending();
+          }
+          f.queue_packets = link.queue().flow_packets(i);
+          f.queue_dropped = link.queue().drops(i);
+          f.fwd_pending = fwd_lines[i]->pending();
+          f.delivered = receivers[i]->packets_received();
+          f.acks_emitted = receivers[i]->packets_received();
+          if (ack_stages[i] != nullptr) {
+            const ImpairmentCounters& c = ack_stages[i]->counters();
+            f.ack_stage_dropped = c.dropped;
+            f.ack_stage_duplicated = c.duplicated;
+            f.ack_stage_pending = ack_stages[i]->pending();
+          }
+          f.rev_pending = rev_lines[i]->pending();
+          f.acks_received = senders[i]->acks_received();
+          f.cwnd = senders[i]->cc().cwnd();
+          f.pacing_rate = senders[i]->cc().pacing_rate();
+          f.srtt = senders[i]->smoothed_rtt();
+          f.base_rtt = scenario.flows[i].base_rtt;
+          f.cum_next = receivers[i]->cumulative_next();
+          f.delivered_bytes = senders[i]->delivered_bytes();
+          f.retransmits = senders[i]->retransmit_count();
+          f.rtos = senders[i]->rto_count();
+          flow_bytes_sum += link.queue().flow_occupancy(i);
+          if (recorder != nullptr) {
+            recorder->note(t, FlightEventKind::kCcSnapshot, i,
+                           static_cast<std::uint64_t>(f.cwnd),
+                           f.srtt == kTimeNone
+                               ? ~std::uint64_t{0}
+                               : static_cast<std::uint64_t>(f.srtt));
+          }
+        }
+        smp.queue_flow_bytes_sum = flow_bytes_sum;
+        if (audit_p->check()) {
+          if (recorder != nullptr) {
+            recorder->note(t, FlightEventKind::kViolation, 0,
+                           audit_p->violations().size());
+          }
+          // Stop promptly: the ledger is already inconsistent, so further
+          // simulation adds noise, not information.
+          sim.stop();
+        }
+      });
+    }
+  }
+
   // Begin measurement after warm-up.
   Bytes served_at_warmup = 0;
   sim.schedule_at(scenario.warmup, [&] {
@@ -376,13 +559,24 @@ ExecOutcome execute_scenario(const Scenario& scenario,
   // Watchdog-sliced run loop. Slicing is observationally identical to one
   // run_until(duration) call — no event is added or reordered — it only
   // creates safe points to stop at.
-  ExecOutcome out;
   sim.set_event_budget(watchdog.max_events);
   const auto wall_start = std::chrono::steady_clock::now();
   const TimeNs slice = from_ms(500);
   for (TimeNs t = 0; t < scenario.duration;) {
     t = std::min<TimeNs>(t + slice, scenario.duration);
     sim.run_until(t);
+    if (chaos_wall_stall) {
+      // One-time injected wall stall: sleep past the watchdog deadline so
+      // the wall-clock backstop below must fire.
+      chaos_wall_stall = false;
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          watchdog.max_wall_seconds * 1.25 + 0.05));
+    }
+    if (audit_p != nullptr && audit_p->violated()) {
+      out.status = RunStatus::kInvariantViolation;
+      out.diagnostics.message = audit_p->first_violation();
+      break;
+    }
     if (sim.budget_exhausted()) {
       out.status = RunStatus::kAbortedEventBudget;
       out.diagnostics.message =
@@ -483,6 +677,19 @@ ExecOutcome execute_scenario(const Scenario& scenario,
   out.diagnostics.events_executed = sim.events_executed();
   out.diagnostics.sim_time_reached = sim.now();
 
+  // End-of-run audit: per-flow goodput bounded by the peak bottleneck rate.
+  if (audit_p != nullptr && out.status == RunStatus::kOk) {
+    const double peak_bps = scenario.peak_capacity();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      audit_p->check_final_goodput(i, res.flows[i].stats.goodput_bps,
+                                   peak_bps);
+    }
+    if (audit_p->violated()) {
+      out.status = RunStatus::kInvariantViolation;
+      out.diagnostics.message = audit_p->first_violation();
+    }
+  }
+
   // Always-on invariant guards (promoted from test-only assertions).
   // Checked only for runs that completed: an aborted run is legitimately
   // partial and already carries its own diagnosis.
@@ -521,10 +728,34 @@ ExecOutcome execute_scenario(const Scenario& scenario,
 
 }  // namespace
 
+namespace {
+
+/// Per-attempt flight recorder, created only when the scenario asks for one.
+std::unique_ptr<FlightRecorder> make_recorder(const Scenario& scenario) {
+  if (scenario.audit.recorder_events == 0) return nullptr;
+  return std::make_unique<FlightRecorder>(scenario.audit.recorder_events,
+                                          scenario.audit.recorder_path);
+}
+
+}  // namespace
+
 RunResult run_scenario(const Scenario& scenario) {
   scenario.validate();
-  ExecOutcome out = execute_scenario(scenario, WatchdogConfig{});
+  std::unique_ptr<FlightRecorder> recorder = make_recorder(scenario);
+  ExecOutcome out;
+  try {
+    out = execute_scenario(scenario, WatchdogConfig{}, nullptr,
+                           recorder.get());
+  } catch (const std::exception& e) {
+    if (recorder != nullptr) recorder->dump("exception", e.what(),
+                                            scenario.seed);
+    throw;
+  }
   if (out.status == RunStatus::kInvariantViolation) {
+    if (recorder != nullptr) {
+      recorder->dump(to_string(out.status), out.diagnostics.message,
+                     scenario.seed);
+    }
     throw InvariantViolation{out.diagnostics.message};
   }
   return std::move(out.result);
@@ -543,9 +774,15 @@ RunOutcome run_scenario_guarded(const Scenario& scenario,
     return outcome;
   }
 
+  ChaosInjector* chaos = guard.chaos.get();
   const int max_attempts = std::max(1, guard.max_attempts);
+  // Chaos redos are bounded by fire-once-per-site, but cap them anyway so a
+  // future fault class that breaks that contract cannot loop forever.
+  constexpr int kMaxChaosRedos = 16;
+  int chaos_redos = 0;
+
   Scenario attempt = scenario;
-  for (int i = 0; i < max_attempts; ++i) {
+  for (int i = 0; i < max_attempts;) {
     attempt.seed = scenario.seed + static_cast<std::uint64_t>(i) *
                                        guard.seed_bump;
     outcome.attempts = i + 1;
@@ -559,11 +796,20 @@ RunOutcome run_scenario_guarded(const Scenario& scenario,
       outcome.diagnostics = RunDiagnostics{};
       outcome.diagnostics.message =
           "injected failure for seed " + std::to_string(attempt.seed);
+      ++i;
       continue;
     }
+    std::unique_ptr<FlightRecorder> recorder = make_recorder(attempt);
+    // Chaos faults are environmental (the experiment seed did nothing
+    // wrong), so the attempt is redone with the SAME seed and without
+    // consuming a retry: recovered outcomes — including the attempts
+    // counter sweeps aggregate into trials_retried — stay bit-identical to
+    // a fault-free run. Termination: each chaos site fires at most once.
+    bool chaos_redo = false;
     try {
       const auto wall_start = std::chrono::steady_clock::now();
-      ExecOutcome exec = execute_scenario(attempt, guard.watchdog);
+      ExecOutcome exec =
+          execute_scenario(attempt, guard.watchdog, chaos, recorder.get());
       outcome.status = exec.status;
       outcome.result = std::move(exec.result);
       outcome.diagnostics = std::move(exec.diagnostics);
@@ -571,12 +817,30 @@ RunOutcome run_scenario_guarded(const Scenario& scenario,
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         wall_start)
               .count();
+      chaos_redo =
+          exec.status != RunStatus::kOk && exec.chaos_injected;
+    } catch (const ChaosFault& e) {
+      outcome.status = RunStatus::kError;
+      outcome.diagnostics = RunDiagnostics{};
+      outcome.diagnostics.message = e.what();
+      chaos_redo = true;
     } catch (const std::exception& e) {
       outcome.status = RunStatus::kError;
       outcome.diagnostics = RunDiagnostics{};
       outcome.diagnostics.message = e.what();
     }
+    if (!outcome.ok() && recorder != nullptr) {
+      recorder->dump(outcome.status == RunStatus::kError
+                         ? "exception"
+                         : to_string(outcome.status),
+                     outcome.diagnostics.message, attempt.seed);
+    }
+    if (chaos_redo && chaos_redos < kMaxChaosRedos) {
+      ++chaos_redos;
+      continue;  // same seed, same attempt index
+    }
     if (outcome.ok()) break;
+    ++i;
   }
   return outcome;
 }

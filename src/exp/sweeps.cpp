@@ -27,6 +27,7 @@ MixOutcome run_mix_trials(const NetworkParams& net, int num_cubic,
                  s.impairments = cfg.impairments;
                  s.ack_impairments = cfg.ack_impairments;
                  s.capacity_schedule = cfg.capacity_schedule;
+                 s.audit = cfg.audit;
                  outcomes[t] = run_scenario_guarded(s, cfg.guard);
                });
 

@@ -34,6 +34,11 @@ struct TrialConfig {
   ImpairmentConfig ack_impairments;
   std::vector<RateChange> capacity_schedule;
 
+  /// Conservation audit + flight recorder applied to every trial (--audit).
+  /// Audited samples are read-only, so results are identical with or
+  /// without it; excluded from checkpoint keys for that reason.
+  AuditConfig audit;
+
   /// Watchdog + retry policy per trial. The default (one attempt, no
   /// limits) reproduces the unguarded behaviour exactly.
   GuardConfig guard;

@@ -156,6 +156,7 @@ void Sender::transmit_seq(SeqNo seq, bool is_retransmit) {
 
 void Sender::on_ack(const Ack& ack) {
   const TimeNs now = sim_.now();
+  ++acks_received_;
 
   Bytes newly_acked = 0;
   TimeNs rtt_sample = kTimeNone;

@@ -84,6 +84,11 @@ class Sender {
     return retransmits_;
   }
   [[nodiscard]] std::uint64_t rto_count() const noexcept { return rtos_; }
+  /// ACK packets handed to on_ack() — the conservation audit's terminal
+  /// counter for the reverse path.
+  [[nodiscard]] std::uint64_t acks_received() const noexcept {
+    return acks_received_;
+  }
   /// True once every application byte has been delivered (finite flows).
   [[nodiscard]] bool completed() const noexcept {
     return cfg_.transfer_bytes > 0 && delivered_ >= cfg_.transfer_bytes;
@@ -235,6 +240,7 @@ class Sender {
   // Counters and measurement.
   std::uint64_t retransmits_ = 0;
   std::uint64_t rtos_ = 0;
+  std::uint64_t acks_received_ = 0;
   RunningStats rtt_stats_;
   TimeWeightedAverage inflight_avg_;
   bool measuring_ = false;

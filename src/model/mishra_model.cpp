@@ -47,12 +47,13 @@ std::optional<MishraPrediction> solve_mishra(const NetworkParams& net,
   if (!root) return std::nullopt;
 
   MishraPrediction out;
-  out.bbr_buffer_bytes = *root;
-  out.cubic_min_buffer = b_cmin;
+  out.bbr_buffer_bytes = ensure_finite(*root, "mishra b_b root");
+  out.cubic_min_buffer = ensure_finite(b_cmin, "mishra b_cmin");
   out.kappa = kappa;
   // Eq. 19 with b_c = B - b_b (the buffer-full approximation used to get
   // Eq. 18 from Eq. 17).
-  const double lambda_c = (b - *root) / (rtt + 2.0 * b_cmin / c);
+  const double lambda_c =
+      ensure_finite((b - *root) / (rtt + 2.0 * b_cmin / c), "mishra lambda_c");
   out.lambda_cubic = std::clamp(lambda_c, 0.0, c);
   out.lambda_bbr = c - out.lambda_cubic;  // Eq. 20
   return out;

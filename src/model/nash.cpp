@@ -24,7 +24,7 @@ std::optional<double> per_flow_bbr(const NetworkParams& net, double total,
   }
   const auto agg = solve_mishra(net, kappa);
   if (!agg) return std::nullopt;
-  return agg->lambda_bbr / nb;
+  return ensure_finite(agg->lambda_bbr / nb, "nash per-flow BBR payoff");
 }
 
 }  // namespace
@@ -61,7 +61,7 @@ std::optional<NashPoint> predict_nash(const NetworkParams& net,
         [&](double nb) { return advantage(nb).value_or(0.0); }, lo, hi,
         RootOptions{1e-6, 200});
     if (!root) return std::nullopt;
-    out.num_bbr = *root;
+    out.num_bbr = ensure_finite(*root, "nash AB-line crossing");
   }
   out.num_cubic = n - out.num_bbr;
   return out;

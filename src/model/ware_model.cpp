@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/math.hpp"
+
 namespace bbrnash {
 
 WarePrediction ware_prediction(const NetworkParams& net, const WareInputs& in) {
@@ -14,14 +16,18 @@ WarePrediction ware_prediction(const NetworkParams& net, const WareInputs& in) {
   const double d = in.duration_sec;
 
   WarePrediction out;
-  double p = 0.5 - 1.0 / (2.0 * x) -
-             4.0 * static_cast<double>(in.num_bbr_flows) / q_pkts;
+  double p = ensure_finite(0.5 - 1.0 / (2.0 * x) -
+                               4.0 * static_cast<double>(in.num_bbr_flows) /
+                                   q_pkts,
+                           "ware cubic fraction p");
   p = std::clamp(p, 0.0, 1.0);
   out.cubic_fraction = p;
 
-  out.probe_time_sec = (q_bytes / c + 0.2 + l) * (d / 10.0);
+  out.probe_time_sec =
+      ensure_finite((q_bytes / c + 0.2 + l) * (d / 10.0), "ware probe time");
   const double active = std::max(0.0, d - out.probe_time_sec);
-  out.bbr_fraction = std::clamp((1.0 - p) * active / d, 0.0, 1.0);
+  out.bbr_fraction = std::clamp(
+      ensure_finite((1.0 - p) * active / d, "ware bbr fraction"), 0.0, 1.0);
   out.lambda_bbr = out.bbr_fraction * c;
   out.lambda_cubic = c - out.lambda_bbr;
   return out;

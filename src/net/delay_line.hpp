@@ -5,6 +5,7 @@
 // bottleneck to each receiver and for the entire reverse (ACK) path.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <utility>
 
@@ -24,15 +25,22 @@ class DelayLine {
   [[nodiscard]] TimeNs delay() const noexcept { return delay_; }
 
   void send(T item) {
+    ++pending_;
     sim_.schedule_in(delay_, [this, item = std::move(item)] {
+      --pending_;
       if (sink_) sink_(item);
     });
   }
+
+  /// Items currently inside the pipe — the conservation audit's in-flight
+  /// term for this path segment.
+  [[nodiscard]] std::uint64_t pending() const noexcept { return pending_; }
 
  private:
   Simulator& sim_;
   TimeNs delay_;
   Sink sink_;
+  std::uint64_t pending_ = 0;
 };
 
 }  // namespace bbrnash

@@ -8,6 +8,7 @@ namespace bbrnash {
 DropTailQueue::DropTailQueue(Bytes capacity, std::uint32_t num_flows)
     : capacity_(capacity),
       per_flow_bytes_(num_flows, 0),
+      per_flow_packets_(num_flows, 0),
       per_flow_min_(num_flows, 0),
       per_flow_max_(num_flows, 0),
       per_flow_drops_(num_flows, 0),
@@ -36,6 +37,7 @@ bool DropTailQueue::enqueue(Packet pkt, TimeNs now) {
   occupied_ += pkt.wire_bytes;
   max_occupied_ = std::max(max_occupied_, occupied_);
   per_flow_bytes_[pkt.flow] += pkt.wire_bytes;
+  ++per_flow_packets_[pkt.flow];
   bump_extremes(pkt.flow);
   if (group_active_ && in_group_[pkt.flow]) {
     group_bytes_ += pkt.wire_bytes;
@@ -53,6 +55,7 @@ Packet DropTailQueue::dequeue(TimeNs now) {
   packets_.pop_front();
   occupied_ -= pkt.wire_bytes;
   per_flow_bytes_[pkt.flow] -= pkt.wire_bytes;
+  --per_flow_packets_[pkt.flow];
   bump_extremes(pkt.flow);
   if (group_active_ && in_group_[pkt.flow]) {
     group_bytes_ -= pkt.wire_bytes;

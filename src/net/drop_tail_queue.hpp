@@ -44,6 +44,11 @@ class DropTailQueue {
   [[nodiscard]] Bytes flow_occupancy(FlowId flow) const {
     return per_flow_bytes_.at(flow);
   }
+  /// Packets (not bytes) of one flow currently queued — the conservation
+  /// audit's in-flight term for the bottleneck buffer.
+  [[nodiscard]] std::uint32_t flow_packets(FlowId flow) const {
+    return per_flow_packets_.at(flow);
+  }
 
   // --- Instrumentation -------------------------------------------------
   // Occupancy averages are time-weighted and only meaningful after at
@@ -104,6 +109,7 @@ class DropTailQueue {
   PacketRing packets_;  ///< recycled slots: no allocation at steady state
 
   std::vector<Bytes> per_flow_bytes_;
+  std::vector<std::uint32_t> per_flow_packets_;
   std::vector<Bytes> per_flow_min_;
   std::vector<Bytes> per_flow_max_;
   std::vector<std::uint64_t> per_flow_drops_;

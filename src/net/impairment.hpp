@@ -173,13 +173,19 @@ class ImpairmentStage {
     return counters_;
   }
 
+  /// Items delayed inside the stage and not yet forwarded — the
+  /// conservation audit's in-flight term for this stage.
+  [[nodiscard]] std::uint64_t pending() const noexcept { return pending_; }
+
  private:
   void forward(const T& item, TimeNs extra) {
     if (extra <= 0) {
       if (sink_) sink_(item);
       return;
     }
+    ++pending_;
     sim_.schedule_in(extra, [this, item] {
+      --pending_;
       if (sink_) sink_(item);
     });
   }
@@ -188,6 +194,7 @@ class ImpairmentStage {
   ImpairmentDice dice_;
   Sink sink_;
   ImpairmentCounters counters_;
+  std::uint64_t pending_ = 0;
 };
 
 }  // namespace bbrnash

@@ -1,0 +1,197 @@
+#include "sim/audit.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+namespace bbrnash {
+
+namespace {
+
+/// Violations past this cap add nothing to a diagnosis (the first one is
+/// what trips the run) but could balloon memory on a badly broken build.
+constexpr std::size_t kMaxViolations = 16;
+
+std::string flow_prefix(TimeNs t, std::size_t flow) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "audit t=%.3fs flow %zu: ", to_sec(t), flow);
+  return buf;
+}
+
+}  // namespace
+
+void AuditConfig::validate() const {
+  if (enabled && sample_period <= 0) {
+    throw std::invalid_argument{"audit sample_period must be > 0"};
+  }
+  if (goodput_slack < 1.0) {
+    throw std::invalid_argument{"audit goodput_slack must be >= 1"};
+  }
+  if (fail_at != kTimeNone && fail_at < 0) {
+    throw std::invalid_argument{"audit fail_at must be >= 0 (or kTimeNone)"};
+  }
+}
+
+ConservationAudit::ConservationAudit(const AuditConfig& cfg,
+                                     std::size_t num_flows)
+    : cfg_(cfg),
+      num_flows_(num_flows),
+      injected_(num_flows, 0),
+      access_pending_(num_flows, 0),
+      prev_flows_(num_flows) {
+  cfg_.validate();
+  sample_.flows.resize(num_flows);
+}
+
+const std::string& ConservationAudit::first_violation() const {
+  static const std::string empty;
+  return violations_.empty() ? empty : violations_.front();
+}
+
+void ConservationAudit::add_violation(std::string message) {
+  if (violations_.size() < kMaxViolations) {
+    violations_.push_back(std::move(message));
+  }
+}
+
+bool ConservationAudit::check() {
+  const AuditSample& s = sample_;
+  const std::size_t before = violations_.size();
+  ++samples_checked_;
+
+  if (cfg_.fail_at != kTimeNone && !self_test_fired_ && s.t >= cfg_.fail_at) {
+    self_test_fired_ = true;
+    add_violation("audit self-test: injected violation at t=" +
+                  std::to_string(s.t) + " ns (fail_at=" +
+                  std::to_string(cfg_.fail_at) + ")");
+  }
+
+  // Clock monotonicity: samples are scheduled at strictly increasing times.
+  if (prev_t_ != kTimeNone && s.t <= prev_t_) {
+    add_violation("audit: non-monotone sample clock (t=" +
+                  std::to_string(s.t) + " after t=" + std::to_string(prev_t_) +
+                  ")");
+  }
+  if (s.bytes_served < prev_bytes_served_) {
+    add_violation("audit: link bytes_served decreased (" +
+                  std::to_string(s.bytes_served) + " after " +
+                  std::to_string(prev_bytes_served_) + ")");
+  }
+
+  // Queue bounds and internal consistency.
+  if (s.queue_bytes > s.buffer_bytes) {
+    add_violation("audit t=" + std::to_string(s.t) +
+                  ": queue occupancy exceeds buffer (" +
+                  std::to_string(s.queue_bytes) + " > " +
+                  std::to_string(s.buffer_bytes) + " bytes)");
+  }
+  if (s.queue_bytes < 0) {
+    add_violation("audit: negative queue occupancy (" +
+                  std::to_string(s.queue_bytes) + ")");
+  }
+  if (s.queue_flow_bytes_sum != s.queue_bytes) {
+    add_violation("audit t=" + std::to_string(s.t) +
+                  ": per-flow queue occupancies do not sum to the total (" +
+                  std::to_string(s.queue_flow_bytes_sum) +
+                  " != " + std::to_string(s.queue_bytes) + ")");
+  }
+
+  for (std::size_t i = 0; i < s.flows.size(); ++i) {
+    const FlowAuditSample& f = s.flows[i];
+    const FlowAuditSample& p = prev_flows_[i];
+
+    // Data-path conservation: every packet the sender injected is exactly
+    // one of {delivered, dropped, still in flight somewhere}, and every
+    // duplicate adds one to the right-hand side.
+    const std::uint64_t data_in = f.injected + f.stage_duplicated;
+    const std::uint64_t data_out = f.delivered + f.stage_dropped +
+                                   f.queue_dropped + f.access_pending +
+                                   f.stage_pending + f.queue_packets +
+                                   f.fwd_pending;
+    if (data_in != data_out) {
+      add_violation(flow_prefix(s.t, i) + "data-path conservation broken: " +
+                    "injected+dup=" + std::to_string(data_in) +
+                    " != delivered+dropped+in_flight=" +
+                    std::to_string(data_out) + " (injected=" +
+                    std::to_string(f.injected) + " dup=" +
+                    std::to_string(f.stage_duplicated) + " delivered=" +
+                    std::to_string(f.delivered) + " stage_drop=" +
+                    std::to_string(f.stage_dropped) + " queue_drop=" +
+                    std::to_string(f.queue_dropped) + " access=" +
+                    std::to_string(f.access_pending) + " stage_pend=" +
+                    std::to_string(f.stage_pending) + " queued=" +
+                    std::to_string(f.queue_packets) + " fwd_pend=" +
+                    std::to_string(f.fwd_pending) + ")");
+    }
+
+    // ACK-path conservation.
+    const std::uint64_t ack_in = f.acks_emitted + f.ack_stage_duplicated;
+    const std::uint64_t ack_out = f.acks_received + f.ack_stage_dropped +
+                                  f.ack_stage_pending + f.rev_pending;
+    if (ack_in != ack_out) {
+      add_violation(flow_prefix(s.t, i) + "ACK-path conservation broken: " +
+                    "emitted+dup=" + std::to_string(ack_in) +
+                    " != received+dropped+in_flight=" +
+                    std::to_string(ack_out));
+    }
+    if (f.acks_emitted != f.delivered) {
+      add_violation(flow_prefix(s.t, i) +
+                    "receiver emitted " + std::to_string(f.acks_emitted) +
+                    " ACKs for " + std::to_string(f.delivered) + " packets");
+    }
+
+    // Control-state sanity: NaN/Inf guards and physical bounds.
+    if (f.cwnd <= 0) {
+      add_violation(flow_prefix(s.t, i) + "cwnd is not positive (" +
+                    std::to_string(f.cwnd) + ")");
+    }
+    if (!std::isfinite(f.pacing_rate) || f.pacing_rate < 0.0) {
+      add_violation(flow_prefix(s.t, i) + "pacing rate is not finite/>=0 (" +
+                    std::to_string(f.pacing_rate) + ")");
+    }
+    // sRTT can never undercut the propagation floor: every sample it
+    // averages is base_rtt (2x one-way delay) plus queueing/jitter.
+    if (f.srtt != kTimeNone && f.srtt < f.base_rtt) {
+      add_violation(flow_prefix(s.t, i) + "sRTT below the propagation floor (" +
+                    std::to_string(f.srtt) + " < " +
+                    std::to_string(f.base_rtt) + " ns)");
+    }
+
+    // Monotone counters: cumulative quantities never decrease.
+    if (f.cum_next < p.cum_next) {
+      add_violation(flow_prefix(s.t, i) + "cumulative sequence went backwards");
+    }
+    if (f.delivered_bytes < p.delivered_bytes) {
+      add_violation(flow_prefix(s.t, i) + "delivered bytes decreased");
+    }
+    if (f.delivered < p.delivered || f.queue_dropped < p.queue_dropped ||
+        f.retransmits < p.retransmits || f.rtos < p.rtos) {
+      add_violation(flow_prefix(s.t, i) + "a cumulative counter decreased");
+    }
+    prev_flows_[i] = f;
+  }
+
+  prev_t_ = s.t;
+  prev_bytes_served_ = s.bytes_served;
+  return violations_.size() > before;
+}
+
+void ConservationAudit::check_final_goodput(std::uint32_t flow,
+                                            double goodput_bps,
+                                            double peak_bps) {
+  if (!std::isfinite(goodput_bps) || goodput_bps < 0.0) {
+    add_violation("audit: flow " + std::to_string(flow) +
+                  " goodput is not finite/>=0 (" +
+                  std::to_string(goodput_bps) + ")");
+    return;
+  }
+  if (goodput_bps > peak_bps * cfg_.goodput_slack + 1e-9) {
+    add_violation("audit: flow " + std::to_string(flow) +
+                  " goodput exceeds the peak bottleneck rate (" +
+                  std::to_string(goodput_bps) + " > " +
+                  std::to_string(peak_bps * cfg_.goodput_slack) + " B/s)");
+  }
+}
+
+}  // namespace bbrnash

@@ -1,0 +1,178 @@
+// Conservation-audit engine: a per-simulation byte/packet ledger.
+//
+// The paper's headline claim (model-vs-measured shares agreeing to ~5%)
+// is only as trustworthy as the simulator's accounting, so the audit
+// cross-checks *independent* counters kept by different modules against
+// each other at a configurable sampling interval:
+//
+//   data path, per flow, in packets:
+//     injected + stage_duplicated ==
+//         delivered + stage_dropped + queue_dropped
+//         + access_pending + stage_pending + queued + fwd_pending
+//   ACK path, per flow, in packets:
+//     acks_emitted + ack_stage_duplicated ==
+//         acks_received + ack_stage_dropped + ack_stage_pending + rev_pending
+//
+// where `injected` is counted by an audit wrapper at the sender's transmit
+// hook, `delivered` by the receiver, `queue_dropped`/`queued` by the
+// drop-tail queue, the stage_* counters by the impairment stages, and the
+// *_pending counters by the delay lines / access path — five modules that
+// share no accounting code. Any double-count, lost packet, or phantom
+// delivery breaks one of the equations.
+//
+// On top of conservation, each sample asserts: queue occupancy <= buffer
+// (and internal per-flow/total consistency), sRTT >= the flow's base RTT
+// (= 2x one-way propagation delay), monotone clock / cumulative sequence /
+// delivered counters, cwnd > 0, and NaN/Inf guards on every floating-point
+// control variable. End-of-run checks bound per-flow goodput by the peak
+// bottleneck rate.
+//
+// Zero-cost when disabled: the experiment layer installs the counting
+// wrappers and sampling events only when an audit is active, so a disabled
+// audit leaves the PR 3 zero-allocation hot path untouched (asserted by
+// tests/perf/test_zero_alloc.cpp and bench_perf_simcore --check).
+//
+// This header lives in sim/ (depends only on util/) so the ledger logic is
+// unit-testable without the network stack; the experiment layer owns the
+// glue that fills samples from live components.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace bbrnash {
+
+struct AuditConfig {
+  bool enabled = false;
+  /// Simulated time between ledger checks.
+  TimeNs sample_period = from_ms(100);
+  /// Slack on the per-flow goodput <= peak-capacity bound (measurement
+  /// windows are finite, so momentary bursts can exceed the long-run rate).
+  double goodput_slack = 1.05;
+  /// Self-test hook: at the first sample at or after this time the audit
+  /// reports a synthetic violation, exercising the invariant-trip path
+  /// (flight-recorder dump, RunStatus::kInvariantViolation) end to end.
+  /// kTimeNone disables it. Mirrors GuardConfig::inject_failure_seeds.
+  TimeNs fail_at = kTimeNone;
+
+  /// Crash flight recorder: ring capacity in events (0 = off) and the dump
+  /// target (empty = stderr). The recorder can run without the ledger
+  /// (enabled == false) and vice versa.
+  std::size_t recorder_events = 0;
+  std::string recorder_path;
+
+  /// True when the experiment layer must install instrumentation.
+  [[nodiscard]] bool active() const noexcept {
+    return enabled || recorder_events > 0;
+  }
+
+  /// Throws std::invalid_argument naming the offending knob.
+  void validate() const;
+};
+
+/// Everything the audit needs to know about one flow at one sample point.
+/// All counters are cumulative since t = 0.
+struct FlowAuditSample {
+  // Data path (packets).
+  std::uint64_t injected = 0;         ///< audit wrapper at sender transmit
+  std::uint64_t access_pending = 0;   ///< scheduled on the access path
+  std::uint64_t stage_dropped = 0;    ///< impairment stage
+  std::uint64_t stage_duplicated = 0;
+  std::uint64_t stage_pending = 0;
+  std::uint64_t queue_packets = 0;    ///< drop-tail queue occupancy
+  std::uint64_t queue_dropped = 0;    ///< tail + AQM policy drops
+  std::uint64_t fwd_pending = 0;      ///< forward delay line
+  std::uint64_t delivered = 0;        ///< receiver packets_received
+  // ACK path (packets). acks_emitted == delivered by construction (the
+  // receiver ACKs every packet); kept separate so the equation reads off
+  // the receiver's own counter.
+  std::uint64_t acks_emitted = 0;
+  std::uint64_t ack_stage_dropped = 0;
+  std::uint64_t ack_stage_duplicated = 0;
+  std::uint64_t ack_stage_pending = 0;
+  std::uint64_t rev_pending = 0;      ///< reverse delay line
+  std::uint64_t acks_received = 0;    ///< sender
+  // Control state.
+  Bytes cwnd = 0;
+  double pacing_rate = 0.0;
+  TimeNs srtt = kTimeNone;
+  TimeNs base_rtt = 0;
+  std::uint64_t cum_next = 0;         ///< receiver cumulative sequence
+  Bytes delivered_bytes = 0;          ///< sender delivered-byte counter
+  std::uint64_t retransmits = 0;
+  std::uint64_t rtos = 0;
+};
+
+/// One sample point. The audit owns a reusable instance (sample_buffer())
+/// pre-sized for the flow count, so sampling does not allocate per check.
+struct AuditSample {
+  TimeNs t = 0;
+  Bytes queue_bytes = 0;            ///< total occupancy from the queue
+  Bytes queue_flow_bytes_sum = 0;   ///< sum of per-flow occupancies
+  Bytes buffer_bytes = 0;           ///< configured capacity B
+  Bytes bytes_served = 0;           ///< link lifetime served bytes
+  std::vector<FlowAuditSample> flows;
+};
+
+class ConservationAudit {
+ public:
+  ConservationAudit(const AuditConfig& cfg, std::size_t num_flows);
+
+  // --- Counting hooks (called from the experiment layer's wrappers) -----
+  void note_injected(std::uint32_t flow) {
+    ++injected_[flow];
+    ++access_pending_[flow];
+  }
+  void note_access_exit(std::uint32_t flow) { --access_pending_[flow]; }
+  [[nodiscard]] std::uint64_t injected(std::uint32_t flow) const {
+    return injected_[flow];
+  }
+  [[nodiscard]] std::uint64_t access_pending(std::uint32_t flow) const {
+    return access_pending_[flow];
+  }
+
+  // --- Sampling ---------------------------------------------------------
+  /// The reusable sample to fill before calling check(). `flows` is
+  /// pre-sized to num_flows and value-reset by check().
+  [[nodiscard]] AuditSample& sample_buffer() { return sample_; }
+
+  /// Evaluates every invariant on sample_buffer(). Records violations (up
+  /// to an internal cap) and keeps per-flow state for the monotonicity
+  /// checks. Returns true when this call found a new violation.
+  bool check();
+
+  /// End-of-run bound: per-flow goodput (bps) must not exceed the peak
+  /// bottleneck rate (plus the configured slack).
+  void check_final_goodput(std::uint32_t flow, double goodput_bps,
+                           double peak_bps);
+
+  [[nodiscard]] bool violated() const noexcept { return !violations_.empty(); }
+  [[nodiscard]] const std::vector<std::string>& violations() const noexcept {
+    return violations_;
+  }
+  /// First violation message, or an empty string.
+  [[nodiscard]] const std::string& first_violation() const;
+  [[nodiscard]] std::uint64_t samples_checked() const noexcept {
+    return samples_checked_;
+  }
+
+ private:
+  void add_violation(std::string message);
+
+  AuditConfig cfg_;
+  std::size_t num_flows_;
+  std::vector<std::uint64_t> injected_;
+  std::vector<std::uint64_t> access_pending_;
+  AuditSample sample_;
+  std::vector<FlowAuditSample> prev_flows_;
+  TimeNs prev_t_ = kTimeNone;
+  Bytes prev_bytes_served_ = 0;
+  bool self_test_fired_ = false;
+  std::uint64_t samples_checked_ = 0;
+  std::vector<std::string> violations_;
+};
+
+}  // namespace bbrnash

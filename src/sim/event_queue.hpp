@@ -94,6 +94,17 @@ class EventQueue {
   };
   static_assert(std::is_trivially_copyable_v<Slot>);
 
+  /// Releases a dispatched slot's boxed callable at scope exit, so the box
+  /// is freed even when the callable throws (a throwing event — e.g. an
+  /// injected chaos fault — unwinds through the run loop after its slot
+  /// was already recycled, where no other owner would clean it).
+  struct FireGuard {
+    Slot& s;
+    ~FireGuard() {
+      if (s.cleanup != nullptr) s.cleanup(s.storage);
+    }
+  };
+
  public:
   EventQueue() = default;
   EventQueue(const EventQueue&) = delete;
@@ -178,8 +189,8 @@ class EventQueue {
     void fn() {
       assert(live_ && "event already fired");
       live_ = false;
+      FireGuard guard{slot_};
       slot_.invoke(slot_.storage);
-      if (slot_.cleanup != nullptr) slot_.cleanup(slot_.storage);
     }
 
     TimeNs when = 0;
@@ -222,8 +233,8 @@ class EventQueue {
     Slot local = slots_[slot_of(top)];
     free_.push_back(slot_of(top));
     clock = top.when;
+    FireGuard guard{local};
     local.invoke(local.storage);
-    if (local.cleanup != nullptr) local.cleanup(local.storage);
     return true;
   }
 

@@ -1,0 +1,90 @@
+#include "sim/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "util/jsonl.hpp"
+
+namespace bbrnash {
+
+const char* to_string(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kInject:
+      return "inject";
+    case FlightEventKind::kQueueDrop:
+      return "queue-drop";
+    case FlightEventKind::kDeliver:
+      return "deliver";
+    case FlightEventKind::kCcSnapshot:
+      return "cc-snapshot";
+    case FlightEventKind::kRateChange:
+      return "rate-change";
+    case FlightEventKind::kViolation:
+      return "violation";
+    case FlightEventKind::kNote:
+      return "note";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity, std::string dump_path)
+    : ring_(std::max<std::size_t>(capacity, 1)), path_(std::move(dump_path)) {}
+
+void FlightRecorder::dump(std::string_view trigger, std::string_view reason,
+                          std::uint64_t seed) noexcept {
+  try {
+    std::ofstream file;
+    const bool to_file = !path_.empty();
+    if (to_file) {
+      file.open(path_, std::ios::trunc);
+      if (!file) {
+        std::fprintf(stderr,
+                     "flight-recorder: cannot open %s for writing; dump lost\n",
+                     path_.c_str());
+        return;
+      }
+    }
+    auto emit = [&](const std::string& line) {
+      if (to_file) {
+        file << line << '\n';
+      } else {
+        std::fprintf(stderr, "%s\n", line.c_str());
+      }
+    };
+
+    JsonlRecord meta;
+    meta.set("type", "meta");
+    meta.set("schema", "bbrnash-flight-v1");
+    meta.set("trigger", std::string{trigger});
+    meta.set("reason", std::string{reason});
+    meta.set("seed", seed);
+    meta.set("events_recorded", total_);
+    meta.set("events_dumped", static_cast<std::uint64_t>(size()));
+    meta.set("ring_capacity", static_cast<std::uint64_t>(ring_.size()));
+    emit(meta.encode());
+
+    const std::size_t n = size();
+    const std::uint64_t start = total_ - n;  // oldest retained event index
+    for (std::size_t i = 0; i < n; ++i) {
+      const FlightEvent& e =
+          ring_[static_cast<std::size_t>((start + i) % ring_.size())];
+      JsonlRecord rec;
+      rec.set("type", "event");
+      rec.set("t", static_cast<std::uint64_t>(e.t));
+      rec.set("kind", to_string(e.kind));
+      rec.set("flow", static_cast<std::uint64_t>(e.flow));
+      rec.set("a", e.a);
+      rec.set("b", e.b);
+      emit(rec.encode());
+    }
+    if (to_file) file.flush();
+    dumped_ = true;
+  } catch (...) {
+    // Best effort only: the dump runs on failure paths, often with an
+    // exception already in flight, so swallowing is the safe choice.
+    std::fprintf(stderr, "flight-recorder: dump failed\n");
+  }
+}
+
+}  // namespace bbrnash

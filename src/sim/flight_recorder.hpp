@@ -1,0 +1,82 @@
+// Crash flight recorder: a fixed-size ring of recent simulation events.
+//
+// While a run is instrumented (see AuditConfig::recorder_events) the
+// experiment layer feeds the recorder packet injections, queue drops,
+// deliveries and periodic CC state snapshots. On any failure — invariant
+// trip, watchdog fire, uncaught exception — the ring is dumped as JSONL
+// (one meta line, then the surviving events oldest-first), giving
+// post-mortem context for exactly the failures the chaos suite provokes.
+//
+// The dump never throws: it runs on failure paths, sometimes while an
+// exception is in flight, so I/O errors degrade to a stderr note instead
+// of std::terminate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace bbrnash {
+
+enum class FlightEventKind : std::uint8_t {
+  kInject,      ///< sender handed a packet to the network; a=seq, b=is_retx
+  kQueueDrop,   ///< bottleneck dropped a packet; a=seq
+  kDeliver,     ///< packet reached the receiver; a=seq
+  kCcSnapshot,  ///< periodic CC state; a=cwnd bytes, b=srtt ns (or ~0)
+  kRateChange,  ///< bottleneck rate step; a=new rate (B/s, truncated)
+  kViolation,   ///< audit violation recorded; a=violation count
+  kNote,        ///< free-form marker
+};
+
+[[nodiscard]] const char* to_string(FlightEventKind kind);
+
+struct FlightEvent {
+  TimeNs t = 0;
+  FlightEventKind kind = FlightEventKind::kNote;
+  std::uint32_t flow = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+class FlightRecorder {
+ public:
+  /// `capacity` is the ring size in events (>= 1 enforced); `dump_path`
+  /// empty means dump to stderr.
+  explicit FlightRecorder(std::size_t capacity, std::string dump_path = "");
+
+  void note(TimeNs t, FlightEventKind kind, std::uint32_t flow,
+            std::uint64_t a = 0, std::uint64_t b = 0) {
+    ring_[static_cast<std::size_t>(total_ % ring_.size())] =
+        FlightEvent{t, kind, flow, a, b};
+    ++total_;
+  }
+
+  /// Events ever recorded (>= size(); the ring keeps the newest).
+  [[nodiscard]] std::uint64_t recorded() const noexcept { return total_; }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return total_ < ring_.size() ? static_cast<std::size_t>(total_)
+                                 : ring_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return ring_.size(); }
+  [[nodiscard]] const std::string& dump_path() const noexcept { return path_; }
+  [[nodiscard]] bool dumped() const noexcept { return dumped_; }
+
+  /// Writes the dump: one meta record naming the trigger
+  /// ("invariant-violation", "aborted-event-budget", "aborted-wall-clock",
+  /// "exception", ...), then every retained event oldest-first. Each line
+  /// is a flat JSON object parseable by read_jsonl. Truncates any previous
+  /// dump at the same path. Never throws.
+  void dump(std::string_view trigger, std::string_view reason,
+            std::uint64_t seed) noexcept;
+
+ private:
+  std::vector<FlightEvent> ring_;
+  std::uint64_t total_ = 0;
+  std::string path_;
+  bool dumped_ = false;
+};
+
+}  // namespace bbrnash

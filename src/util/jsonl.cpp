@@ -296,13 +296,20 @@ void append_jsonl_line(const std::string& path, const std::string& line) {
   }
 }
 
-std::vector<JsonlRecord> read_jsonl(const std::string& path) {
+std::vector<JsonlRecord> read_jsonl(const std::string& path,
+                                    std::size_t* skipped) {
   std::vector<JsonlRecord> out;
+  if (skipped != nullptr) *skipped = 0;
   std::ifstream in{path};
   if (!in) return out;
   std::string line;
   while (std::getline(in, line)) {
-    if (auto rec = JsonlRecord::parse(line)) out.push_back(std::move(*rec));
+    if (auto rec = JsonlRecord::parse(line)) {
+      out.push_back(std::move(*rec));
+    } else if (skipped != nullptr &&
+               line.find_first_not_of(" \t\r") != std::string::npos) {
+      ++*skipped;
+    }
   }
   return out;
 }

@@ -73,6 +73,10 @@ void append_jsonl_line(const std::string& path, const std::string& line);
 
 /// Reads every parseable record from `path`. A missing file yields an empty
 /// vector; unparseable lines (including a torn trailing write) are skipped.
-std::vector<JsonlRecord> read_jsonl(const std::string& path);
+/// When `skipped` is non-null it receives the count of non-empty lines that
+/// failed to parse, so callers can warn about torn/corrupt records instead
+/// of silently losing them.
+std::vector<JsonlRecord> read_jsonl(const std::string& path,
+                                    std::size_t* skipped = nullptr);
 
 }  // namespace bbrnash

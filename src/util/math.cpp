@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace bbrnash {
 
@@ -37,6 +39,14 @@ double inverse_lerp(double lo, double hi, double x) {
 bool nearly_equal(double a, double b, double tol) {
   const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
   return std::fabs(a - b) <= tol * scale;
+}
+
+double ensure_finite(double v, const char* what) {
+  if (!std::isfinite(v)) {
+    throw std::domain_error{std::string{"non-finite model value: "} + what +
+                            " = " + std::to_string(v)};
+  }
+  return v;
 }
 
 }  // namespace bbrnash

@@ -28,4 +28,11 @@ double inverse_lerp(double lo, double hi, double x);
 /// True when |a-b| <= tol * max(1, |a|, |b|) (mixed abs/rel comparison).
 bool nearly_equal(double a, double b, double tol = 1e-9);
 
+/// NaN/Inf guard for model outputs: returns `v` unchanged when finite,
+/// otherwise throws std::domain_error naming `what`. A silent NaN from a
+/// model evaluation would propagate into shares and NE payoffs and corrupt
+/// conclusions without any error; failing loudly at the source is cheaper
+/// than auditing downstream.
+double ensure_finite(double v, const char* what);
+
 }  // namespace bbrnash

@@ -1,0 +1,104 @@
+// Audit-enabled golden replay: re-runs the simulator at the operating
+// points the paper's figures sweep (100 Mbps / 40 ms, 1..30 BDP buffers,
+// read from the checked-in golden tables) with the conservation audit on,
+// and requires every run to finish RunStatus::kOk — i.e. zero ledger
+// violations, zero queue-bound breaches, zero NaN/Inf model outputs —
+// across clean, impaired, and capacity-varying scenarios, 1v1 and 5v5.
+//
+// The audit asserts *internal* consistency, so this is the complement of
+// the golden model pins: those freeze outputs, this proves the dynamics
+// that produce them conserve every byte on the way.
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/run_outcome.hpp"
+#include "exp/scenario.hpp"
+#include "exp/scenario_runner.hpp"
+#include "model/network_params.hpp"
+#include "util/jsonl.hpp"
+#include "util/units.hpp"
+
+namespace bbrnash {
+namespace {
+
+constexpr double kCapacityMbps = 100.0;
+constexpr double kRttMs = 40.0;
+
+/// The buffer sizes (in BDP) the golden figure tables sweep, recovered
+/// from the checked-in table itself so replay and pins cannot drift apart.
+std::vector<double> golden_buffer_bdps() {
+  const std::string path =
+      std::string{BBRNASH_GOLDEN_DIR} + "/mishra_two_flow.jsonl";
+  std::vector<double> bdps;
+  for (const JsonlRecord& rec : read_jsonl(path)) {
+    bdps.push_back(rec.get_double("buffer_bdp"));
+  }
+  return bdps;
+}
+
+Scenario audited_scenario(double buffer_bdp, int cubic, int bbr) {
+  const NetworkParams net = make_params(kCapacityMbps, kRttMs, buffer_bdp);
+  Scenario s = make_mix_scenario(net, cubic, bbr);
+  s.duration = from_sec(10);
+  s.warmup = from_sec(2);
+  s.audit.enabled = true;
+  return s;
+}
+
+void expect_clean(const Scenario& s, const std::string& label) {
+  const RunOutcome out = run_scenario_guarded(s);
+  EXPECT_EQ(out.status, RunStatus::kOk) << label << ": "
+                                        << out.diagnostics.message;
+  EXPECT_TRUE(out.diagnostics.message.empty()) << label;
+  EXPECT_EQ(out.attempts, 1) << label;
+}
+
+TEST(AuditReplay, GoldenTableCoversTheFigureSweep) {
+  const std::vector<double> bdps = golden_buffer_bdps();
+  ASSERT_EQ(bdps.size(), 30u);
+  EXPECT_EQ(bdps.front(), 1.0);
+  EXPECT_EQ(bdps.back(), 30.0);
+}
+
+TEST(AuditReplay, OneVsOneCleanAcrossBufferSweep) {
+  const std::vector<double> bdps = golden_buffer_bdps();
+  // Every 6th point plus the deep-buffer edge: shallow, knee, and deep
+  // regimes of the figures without replaying all 30 under sanitizers.
+  for (std::size_t i = 0; i < bdps.size(); i += 6) {
+    expect_clean(audited_scenario(bdps[i], 1, 1),
+                 "1v1 bdp=" + std::to_string(bdps[i]));
+  }
+  expect_clean(audited_scenario(bdps.back(), 1, 1), "1v1 bdp=30");
+}
+
+TEST(AuditReplay, FiveVsFiveCleanAtShallowAndDeepBuffers) {
+  expect_clean(audited_scenario(2.0, 5, 5), "5v5 bdp=2");
+  expect_clean(audited_scenario(16.0, 5, 5), "5v5 bdp=16");
+}
+
+TEST(AuditReplay, ImpairedPathStaysConservative) {
+  // Loss + duplication + jitter on data, loss on ACKs: exercises every
+  // stage counter the ledger folds in (drops, duplicates, in-flight
+  // stage occupancy) plus the reverse-path equation.
+  Scenario s = audited_scenario(3.0, 2, 2);
+  s.impairments.loss_rate = 0.005;
+  s.impairments.duplicate_rate = 0.002;
+  s.impairments.jitter = from_ms(2);
+  s.ack_impairments.loss_rate = 0.01;
+  expect_clean(s, "impaired 2v2 bdp=3");
+}
+
+TEST(AuditReplay, CapacityScheduleRespectsPeakBound) {
+  // Mid-run capacity drop to 40%: the queue bound and the goodput-vs-peak
+  // bound must both hold through the transition.
+  Scenario s = audited_scenario(4.0, 1, 1);
+  s.capacity_schedule.push_back(
+      RateChange{from_sec(5), mbps(0.4 * kCapacityMbps)});
+  expect_clean(s, "rate-change 1v1 bdp=4");
+}
+
+}  // namespace
+}  // namespace bbrnash

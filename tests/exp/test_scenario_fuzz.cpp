@@ -1,0 +1,175 @@
+// Randomized property tests for the two user-facing input surfaces:
+//
+//   * Scenario::validate() — a scenario with any combination of corrupted
+//     knobs must be rejected with std::invalid_argument (the CLI turns
+//     that into a clean exit 2), never accepted and never crash deeper in
+//     the stack.
+//   * the strict CLI parsers (exp/cli_flags.hpp) — arbitrary garbage
+//     tokens must either parse to the exact value strtod/strtoull would
+//     produce for a fully-consumed token, or throw std::invalid_argument;
+//     nothing may crash, and nothing half-numeric may slip through.
+//
+// Seeded std::mt19937_64 throughout: a failure reproduces by seed.
+#include <cmath>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/cli_flags.hpp"
+#include "exp/scenario.hpp"
+#include "model/network_params.hpp"
+
+namespace bbrnash {
+namespace {
+
+Scenario valid_scenario() {
+  const NetworkParams net = make_params(50, 30, 3.0);
+  Scenario s = make_mix_scenario(net, 2, 2);
+  s.duration = from_sec(20);
+  s.warmup = from_sec(5);
+  return s;
+}
+
+/// Applies one randomly chosen corruption to `s`; every branch makes the
+/// scenario invalid in a way validate() documents.
+void corrupt(Scenario& s, std::mt19937_64& rng) {
+  switch (rng() % 12) {
+    case 0:
+      s.duration = 0;
+      break;
+    case 1:
+      s.duration = -from_sec(5);
+      break;
+    case 2:
+      s.warmup = s.duration;  // warmup must be < duration
+      break;
+    case 3:
+      s.capacity = 0;
+      break;
+    case 4:
+      s.buffer_bytes = -1;
+      break;
+    case 5:
+      s.flows.clear();
+      break;
+    case 6:
+      s.mss = 0;
+      break;
+    case 7:
+      s.impairments.loss_rate = 1.5;
+      break;
+    case 8:
+      s.ack_impairments.loss_rate = -0.25;
+      break;
+    case 9:
+      s.capacity_schedule.push_back(RateChange{from_sec(1), 0});
+      break;
+    case 10:
+      s.audit.enabled = true;
+      s.audit.sample_period = 0;
+      break;
+    default:
+      s.audit.goodput_slack = 0.0;
+      break;
+  }
+}
+
+TEST(ScenarioFuzz, CorruptedScenariosAlwaysThrowInvalidArgument) {
+  std::mt19937_64 rng{0xB0B5EEDULL};
+  for (int iter = 0; iter < 500; ++iter) {
+    Scenario s = valid_scenario();
+    // One to three stacked corruptions: combinations must not mask the
+    // rejection or turn it into a different exception type.
+    const int corruptions = 1 + static_cast<int>(rng() % 3);
+    for (int c = 0; c < corruptions; ++c) corrupt(s, rng);
+    try {
+      s.validate();
+      FAIL() << "corrupted scenario accepted at iter " << iter;
+    } catch (const std::invalid_argument&) {
+      // expected
+    } catch (const std::exception& e) {
+      FAIL() << "wrong exception type at iter " << iter << ": " << e.what();
+    }
+  }
+}
+
+TEST(ScenarioFuzz, ValidScenarioStaysValid) {
+  EXPECT_NO_THROW(valid_scenario().validate());
+}
+
+// --- Strict flag parsers -------------------------------------------------
+
+/// Random token from a printable alphabet biased toward numeric shapes, so
+/// the fuzz covers both near-misses ("1e", "0x1f", "1.2.3", "7 ") and
+/// genuine numbers.
+std::string random_token(std::mt19937_64& rng) {
+  static const char alphabet[] = "0123456789.eE+-xXaf_ ,\t";
+  const std::size_t len = rng() % 10;
+  std::string out;
+  for (std::size_t i = 0; i < len; ++i) {
+    out += alphabet[rng() % (sizeof alphabet - 1)];
+  }
+  return out;
+}
+
+TEST(CliFlagsFuzz, ParseDoubleNeverCrashesOrHalfParses) {
+  std::mt19937_64 rng{0xD0D0FEEDULL};
+  for (int iter = 0; iter < 5000; ++iter) {
+    const std::string token = random_token(rng);
+    try {
+      const double v = parse_double_strict("--fuzz", token);
+      // Accepted: the whole token must be a finite number — re-parsing
+      // with strtod must consume every byte and agree.
+      char* end = nullptr;
+      const double ref = std::strtod(token.c_str(), &end);
+      EXPECT_EQ(end, token.c_str() + token.size()) << "'" << token << "'";
+      EXPECT_TRUE(std::isfinite(v));
+      EXPECT_EQ(v, ref) << "'" << token << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string{e.what()}.find("--fuzz"), std::string::npos);
+    }
+  }
+}
+
+TEST(CliFlagsFuzz, ParseU64NeverCrashesOrAcceptsSigns) {
+  std::mt19937_64 rng{0xFACEULL};
+  for (int iter = 0; iter < 5000; ++iter) {
+    const std::string token = random_token(rng);
+    try {
+      const std::uint64_t v = parse_u64_strict("--fuzz", token);
+      // Accepted tokens are pure decimal digit strings.
+      ASSERT_FALSE(token.empty());
+      for (const char c : token) {
+        EXPECT_TRUE(c >= '0' && c <= '9') << "'" << token << "'";
+      }
+      EXPECT_EQ(v, std::strtoull(token.c_str(), nullptr, 10));
+    } catch (const std::invalid_argument&) {
+      // expected for everything else
+    }
+  }
+}
+
+TEST(CliFlagsFuzz, KnownGoodAndBadTokens) {
+  EXPECT_EQ(parse_double_strict("--x", "2.5"), 2.5);
+  EXPECT_EQ(parse_double_strict("--x", "1e3"), 1000.0);
+  EXPECT_EQ(parse_u64_strict("--x", "18446744073709551615"),
+            18446744073709551615ULL);
+  EXPECT_EQ(parse_int_strict("--x", "2147483647"), 2147483647);
+  EXPECT_THROW(parse_double_strict("--x", ""), std::invalid_argument);
+  EXPECT_THROW(parse_double_strict("--x", "1.5x"), std::invalid_argument);
+  EXPECT_THROW(parse_double_strict("--x", "nan"), std::invalid_argument);
+  EXPECT_THROW(parse_double_strict("--x", "inf"), std::invalid_argument);
+  EXPECT_THROW(parse_double_strict("--x", "1e999"), std::invalid_argument);
+  EXPECT_THROW(parse_u64_strict("--x", "-3"), std::invalid_argument);
+  EXPECT_THROW(parse_u64_strict("--x", "+3"), std::invalid_argument);
+  EXPECT_THROW(parse_u64_strict("--x", "3.5"), std::invalid_argument);
+  EXPECT_THROW(parse_u64_strict("--x", "18446744073709551616"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_int_strict("--x", "2147483648"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bbrnash

@@ -1,0 +1,247 @@
+// The conservation-audit ledger in isolation: a consistent sample must
+// pass every invariant, and each class of corruption — lost packet,
+// phantom ACK, queue over capacity, sRTT under the propagation floor,
+// non-monotone counters, NaN control state — must trip exactly the right
+// check with a message naming it. The glue that fills samples from live
+// components is covered by exp/test_audit_replay.cpp and exp/test_chaos.cpp.
+#include "sim/audit.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/units.hpp"
+
+namespace bbrnash {
+namespace {
+
+AuditConfig enabled_config() {
+  AuditConfig cfg;
+  cfg.enabled = true;
+  return cfg;
+}
+
+/// Fills the audit's sample buffer with a self-consistent single-flow
+/// ledger at time `t`: 10 injected, 7 delivered (and ACKed back), 2
+/// queued, 1 on the forward delay line, 2 ACKs still in flight.
+void fill_consistent(ConservationAudit& audit, TimeNs t) {
+  AuditSample& s = audit.sample_buffer();
+  s.t = t;
+  s.queue_bytes = 3000;
+  s.queue_flow_bytes_sum = 3000;
+  s.buffer_bytes = 150000;
+  s.bytes_served = 100000;
+  FlowAuditSample& f = s.flows.at(0);
+  f = FlowAuditSample{};
+  f.injected = audit.injected(0);
+  f.access_pending = audit.access_pending(0);
+  f.delivered = 7;
+  f.queue_packets = 2;
+  f.fwd_pending = 1;
+  f.acks_emitted = 7;
+  f.acks_received = 5;
+  f.rev_pending = 2;
+  f.cwnd = 10 * 1500;
+  f.pacing_rate = 12.5e6;
+  f.srtt = from_ms(44);
+  f.base_rtt = from_ms(40);
+  f.cum_next = 7;
+  f.delivered_bytes = 7 * 1448;
+}
+
+/// An audit whose wrapper counters say 10 packets entered and left the
+/// access path.
+ConservationAudit make_audit() {
+  ConservationAudit audit{enabled_config(), 1};
+  for (int i = 0; i < 10; ++i) audit.note_injected(0);
+  for (int i = 0; i < 10; ++i) audit.note_access_exit(0);
+  return audit;
+}
+
+TEST(AuditConfig, ValidateRejectsBadKnobs) {
+  AuditConfig cfg = enabled_config();
+  cfg.sample_period = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = enabled_config();
+  cfg.goodput_slack = 0.5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = enabled_config();
+  cfg.fail_at = -5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(enabled_config().validate());
+  // A disabled audit with a recorder is still a valid configuration.
+  AuditConfig rec;
+  rec.recorder_events = 256;
+  EXPECT_TRUE(rec.active());
+  EXPECT_NO_THROW(rec.validate());
+  EXPECT_FALSE(AuditConfig{}.active());
+}
+
+TEST(ConservationAudit, ConsistentLedgerPasses) {
+  ConservationAudit audit = make_audit();
+  fill_consistent(audit, from_ms(100));
+  EXPECT_FALSE(audit.check());
+  fill_consistent(audit, from_ms(200));
+  EXPECT_FALSE(audit.check());
+  EXPECT_FALSE(audit.violated());
+  EXPECT_EQ(audit.samples_checked(), 2u);
+  EXPECT_EQ(audit.first_violation(), "");
+}
+
+TEST(ConservationAudit, LostPacketTripsDataConservation) {
+  ConservationAudit audit = make_audit();
+  fill_consistent(audit, from_ms(100));
+  audit.sample_buffer().flows[0].delivered -= 1;  // one packet vanished
+  audit.sample_buffer().flows[0].acks_emitted -= 1;
+  audit.sample_buffer().flows[0].acks_received -= 1;
+  EXPECT_TRUE(audit.check());
+  EXPECT_TRUE(audit.violated());
+  EXPECT_NE(audit.first_violation().find("data-path conservation"),
+            std::string::npos)
+      << audit.first_violation();
+}
+
+TEST(ConservationAudit, PhantomAckTripsAckConservation) {
+  ConservationAudit audit = make_audit();
+  fill_consistent(audit, from_ms(100));
+  audit.sample_buffer().flows[0].acks_received += 1;  // ACK from nowhere
+  EXPECT_TRUE(audit.check());
+  EXPECT_NE(audit.first_violation().find("ACK-path conservation"),
+            std::string::npos)
+      << audit.first_violation();
+}
+
+TEST(ConservationAudit, DuplicatesBalanceTheEquation) {
+  ConservationAudit audit = make_audit();
+  fill_consistent(audit, from_ms(100));
+  // A duplicated packet adds one to both sides: still consistent.
+  audit.sample_buffer().flows[0].stage_duplicated = 1;
+  audit.sample_buffer().flows[0].delivered += 1;
+  audit.sample_buffer().flows[0].acks_emitted += 1;
+  audit.sample_buffer().flows[0].acks_received += 1;
+  EXPECT_FALSE(audit.check());
+}
+
+TEST(ConservationAudit, QueueOverCapacityTrips) {
+  ConservationAudit audit = make_audit();
+  fill_consistent(audit, from_ms(100));
+  audit.sample_buffer().queue_bytes = 200000;
+  audit.sample_buffer().queue_flow_bytes_sum = 200000;
+  EXPECT_TRUE(audit.check());
+  EXPECT_NE(audit.first_violation().find("exceeds buffer"), std::string::npos)
+      << audit.first_violation();
+}
+
+TEST(ConservationAudit, PerFlowSumMismatchTrips) {
+  ConservationAudit audit = make_audit();
+  fill_consistent(audit, from_ms(100));
+  audit.sample_buffer().queue_flow_bytes_sum += 1;
+  EXPECT_TRUE(audit.check());
+  EXPECT_NE(audit.first_violation().find("do not sum"), std::string::npos);
+}
+
+TEST(ConservationAudit, SrttBelowPropagationFloorTrips) {
+  ConservationAudit audit = make_audit();
+  fill_consistent(audit, from_ms(100));
+  audit.sample_buffer().flows[0].srtt = from_ms(39);  // < 40 ms base
+  EXPECT_TRUE(audit.check());
+  EXPECT_NE(audit.first_violation().find("propagation floor"),
+            std::string::npos);
+}
+
+TEST(ConservationAudit, UnmeasuredSrttIsNotAViolation) {
+  ConservationAudit audit = make_audit();
+  fill_consistent(audit, from_ms(100));
+  audit.sample_buffer().flows[0].srtt = kTimeNone;  // nothing measured yet
+  EXPECT_FALSE(audit.check());
+}
+
+TEST(ConservationAudit, NonMonotoneClockTrips) {
+  ConservationAudit audit = make_audit();
+  fill_consistent(audit, from_ms(200));
+  EXPECT_FALSE(audit.check());
+  fill_consistent(audit, from_ms(100));  // clock went backwards
+  EXPECT_TRUE(audit.check());
+  EXPECT_NE(audit.first_violation().find("non-monotone"), std::string::npos);
+}
+
+TEST(ConservationAudit, DecreasingCumulativeCounterTrips) {
+  ConservationAudit audit = make_audit();
+  fill_consistent(audit, from_ms(100));
+  EXPECT_FALSE(audit.check());
+  fill_consistent(audit, from_ms(200));
+  AuditSample& s = audit.sample_buffer();
+  s.flows[0].delivered = 6;  // fewer than last sample
+  s.flows[0].acks_emitted = 6;
+  s.flows[0].acks_received = 4;
+  s.flows[0].queue_packets = 3;  // keep conservation balanced
+  EXPECT_TRUE(audit.check());
+  EXPECT_NE(audit.first_violation().find("counter decreased"),
+            std::string::npos)
+      << audit.first_violation();
+}
+
+TEST(ConservationAudit, NanPacingRateTrips) {
+  ConservationAudit audit = make_audit();
+  fill_consistent(audit, from_ms(100));
+  audit.sample_buffer().flows[0].pacing_rate =
+      std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(audit.check());
+  EXPECT_NE(audit.first_violation().find("pacing"), std::string::npos);
+}
+
+TEST(ConservationAudit, NonPositiveCwndTrips) {
+  ConservationAudit audit = make_audit();
+  fill_consistent(audit, from_ms(100));
+  audit.sample_buffer().flows[0].cwnd = 0;
+  EXPECT_TRUE(audit.check());
+  EXPECT_NE(audit.first_violation().find("cwnd"), std::string::npos);
+}
+
+TEST(ConservationAudit, FinalGoodputBound) {
+  ConservationAudit audit = make_audit();
+  const double peak = 12.5e6;  // 100 Mbps in bytes/sec
+  audit.check_final_goodput(0, peak * 1.02, peak);  // inside the 5% slack
+  EXPECT_FALSE(audit.violated());
+  audit.check_final_goodput(0, peak * 2.0, peak);
+  EXPECT_TRUE(audit.violated());
+  EXPECT_NE(audit.first_violation().find("goodput"), std::string::npos);
+  ConservationAudit nan_audit = make_audit();
+  nan_audit.check_final_goodput(0, std::numeric_limits<double>::infinity(),
+                                peak);
+  EXPECT_TRUE(nan_audit.violated());
+}
+
+TEST(ConservationAudit, SelfTestFailAtFiresOnce) {
+  AuditConfig cfg = enabled_config();
+  cfg.fail_at = from_ms(150);
+  ConservationAudit audit{cfg, 1};
+  for (int i = 0; i < 10; ++i) audit.note_injected(0);
+  for (int i = 0; i < 10; ++i) audit.note_access_exit(0);
+  fill_consistent(audit, from_ms(100));
+  EXPECT_FALSE(audit.check()) << "before fail_at";
+  fill_consistent(audit, from_ms(200));
+  EXPECT_TRUE(audit.check()) << "first sample at/after fail_at";
+  EXPECT_NE(audit.first_violation().find("self-test"), std::string::npos);
+  const std::size_t count = audit.violations().size();
+  fill_consistent(audit, from_ms(300));
+  EXPECT_FALSE(audit.check()) << "self-test must fire exactly once";
+  EXPECT_EQ(audit.violations().size(), count);
+}
+
+TEST(ConservationAudit, ViolationListIsCapped) {
+  ConservationAudit audit = make_audit();
+  for (int round = 0; round < 40; ++round) {
+    fill_consistent(audit, from_ms(100 * (round + 1)));
+    audit.sample_buffer().flows[0].acks_received += 1;
+    audit.check();
+  }
+  EXPECT_TRUE(audit.violated());
+  EXPECT_LE(audit.violations().size(), 16u);
+}
+
+}  // namespace
+}  // namespace bbrnash

@@ -1,0 +1,124 @@
+// The crash flight recorder: the ring must keep exactly the newest
+// `capacity` events, and a dump must be parseable JSONL — one meta record
+// naming the trigger, then the retained events oldest-first. The failure
+// paths that call dump() are exercised end to end by exp/test_chaos.cpp.
+#include "sim/flight_recorder.hpp"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/jsonl.hpp"
+#include "util/units.hpp"
+
+namespace bbrnash {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string{::testing::TempDir()} + name;
+}
+
+TEST(FlightRecorder, RingKeepsNewestEvents) {
+  FlightRecorder rec{4};
+  EXPECT_EQ(rec.capacity(), 4u);
+  EXPECT_EQ(rec.size(), 0u);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    rec.note(from_ms(static_cast<double>(i)), FlightEventKind::kInject, 0, i);
+  }
+  EXPECT_EQ(rec.recorded(), 10u);
+  EXPECT_EQ(rec.size(), 4u);  // only the newest 4 survive
+}
+
+TEST(FlightRecorder, CapacityIsClampedToOne) {
+  FlightRecorder rec{0};
+  EXPECT_EQ(rec.capacity(), 1u);
+  rec.note(0, FlightEventKind::kNote, 0);
+  EXPECT_EQ(rec.size(), 1u);
+}
+
+TEST(FlightRecorder, DumpIsParseableJsonlWithMetaFirst) {
+  const std::string path = temp_path("flight_dump.jsonl");
+  std::remove(path.c_str());
+  FlightRecorder rec{8, path};
+  rec.note(from_ms(1), FlightEventKind::kInject, 0, 100, 0);
+  rec.note(from_ms(2), FlightEventKind::kQueueDrop, 1, 100);
+  rec.note(from_ms(3), FlightEventKind::kDeliver, 0, 100);
+  EXPECT_FALSE(rec.dumped());
+  rec.dump("invariant-violation", "queue occupancy exceeds buffer", 42);
+  EXPECT_TRUE(rec.dumped());
+
+  const std::vector<JsonlRecord> lines = read_jsonl(path);
+  ASSERT_EQ(lines.size(), 4u);  // meta + 3 events
+  EXPECT_EQ(lines[0].get_string("type"), "meta");
+  EXPECT_EQ(lines[0].get_string("schema"), "bbrnash-flight-v1");
+  EXPECT_EQ(lines[0].get_string("trigger"), "invariant-violation");
+  EXPECT_EQ(lines[0].get_string("reason"),
+            "queue occupancy exceeds buffer");
+  EXPECT_EQ(lines[0].get_u64("seed"), 42u);
+  EXPECT_EQ(lines[0].get_u64("events_recorded"), 3u);
+  EXPECT_EQ(lines[0].get_u64("events_dumped"), 3u);
+  EXPECT_EQ(lines[0].get_u64("ring_capacity"), 8u);
+
+  // Events oldest-first, fields intact.
+  EXPECT_EQ(lines[1].get_string("type"), "event");
+  EXPECT_EQ(lines[1].get_string("kind"), "inject");
+  EXPECT_EQ(lines[1].get_u64("t"), static_cast<std::uint64_t>(from_ms(1)));
+  EXPECT_EQ(lines[1].get_u64("a"), 100u);
+  EXPECT_EQ(lines[2].get_string("kind"), "queue-drop");
+  EXPECT_EQ(lines[2].get_u64("flow"), 1u);
+  EXPECT_EQ(lines[3].get_string("kind"), "deliver");
+}
+
+TEST(FlightRecorder, DumpAfterWrapIsOldestFirst) {
+  const std::string path = temp_path("flight_wrap.jsonl");
+  std::remove(path.c_str());
+  FlightRecorder rec{3, path};
+  for (std::uint64_t i = 0; i < 7; ++i) {
+    rec.note(static_cast<TimeNs>(i), FlightEventKind::kNote, 0, i);
+  }
+  rec.dump("exception", "test", 1);
+  const std::vector<JsonlRecord> lines = read_jsonl(path);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0].get_u64("events_recorded"), 7u);
+  EXPECT_EQ(lines[0].get_u64("events_dumped"), 3u);
+  // Survivors are events 4, 5, 6 in that order.
+  EXPECT_EQ(lines[1].get_u64("a"), 4u);
+  EXPECT_EQ(lines[2].get_u64("a"), 5u);
+  EXPECT_EQ(lines[3].get_u64("a"), 6u);
+}
+
+TEST(FlightRecorder, DumpTruncatesPreviousDump) {
+  const std::string path = temp_path("flight_trunc.jsonl");
+  std::remove(path.c_str());
+  FlightRecorder first{4, path};
+  for (int i = 0; i < 4; ++i) first.note(i, FlightEventKind::kNote, 0);
+  first.dump("exception", "first", 1);
+  FlightRecorder second{4, path};
+  second.note(0, FlightEventKind::kNote, 0);
+  second.dump("aborted-event-budget", "second", 2);
+  const std::vector<JsonlRecord> lines = read_jsonl(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].get_string("trigger"), "aborted-event-budget");
+}
+
+TEST(FlightRecorder, DumpToUnwritablePathDoesNotThrow) {
+  FlightRecorder rec{4, "/nonexistent-dir/zzz/flight.jsonl"};
+  rec.note(0, FlightEventKind::kNote, 0);
+  EXPECT_NO_THROW(rec.dump("exception", "unwritable", 1));
+  EXPECT_FALSE(rec.dumped());
+}
+
+TEST(FlightRecorder, KindNamesAreStable) {
+  EXPECT_STREQ(to_string(FlightEventKind::kInject), "inject");
+  EXPECT_STREQ(to_string(FlightEventKind::kQueueDrop), "queue-drop");
+  EXPECT_STREQ(to_string(FlightEventKind::kDeliver), "deliver");
+  EXPECT_STREQ(to_string(FlightEventKind::kCcSnapshot), "cc-snapshot");
+  EXPECT_STREQ(to_string(FlightEventKind::kRateChange), "rate-change");
+  EXPECT_STREQ(to_string(FlightEventKind::kViolation), "violation");
+  EXPECT_STREQ(to_string(FlightEventKind::kNote), "note");
+}
+
+}  // namespace
+}  // namespace bbrnash

@@ -29,11 +29,14 @@
 #include <exception>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "exp/chaos.hpp"
+#include "exp/cli_flags.hpp"
 #include "exp/nash_search.hpp"
 #include "exp/parallel.hpp"
 #include "exp/scenario_runner.hpp"
@@ -50,10 +53,26 @@ struct Args {
   std::map<std::string, std::string> kv;
   bool csv = false;
   bool empirical = false;
+  bool audit = false;
 
+  // All numeric lookups parse strictly: the whole token must be a finite
+  // number of the right shape, or the command exits 2 via the
+  // invalid_argument handler in main. `--seed 1e9` and `--trials 3x`
+  // must never silently run a different experiment.
   double num(const std::string& key, double fallback) const {
     const auto it = kv.find(key);
-    return it == kv.end() ? fallback : std::atof(it->second.c_str());
+    if (it == kv.end()) return fallback;
+    return parse_double_strict("--" + key, it->second);
+  }
+  std::uint64_t u64(const std::string& key, std::uint64_t fallback) const {
+    const auto it = kv.find(key);
+    if (it == kv.end()) return fallback;
+    return parse_u64_strict("--" + key, it->second);
+  }
+  int integer(const std::string& key, int fallback) const {
+    const auto it = kv.find(key);
+    if (it == kv.end()) return fallback;
+    return parse_int_strict("--" + key, it->second);
   }
   std::string str(const std::string& key, const std::string& fallback) const {
     const auto it = kv.find(key);
@@ -86,10 +105,12 @@ int usage() {
       "--flap-down-mbps M]\n"
       "         watchdog:    [--max-events N] [--max-wall-s S] "
       "[--retries N]\n"
+      "         robustness:  [--audit] [--chaos SEED]\n"
       "  model: [--cubic N --bbr N] [--duration S]\n"
       "  nash:  --flows-total N [--empirical] [--trials N] [--duration S]\n"
       "         [--warmup S] [--seed N] [--jobs N] [--challenger CC]\n"
-      "         [--tolerance F] [--checkpoint PATH]\n");
+      "         [--tolerance F] [--checkpoint PATH] [--audit] "
+      "[--chaos SEED]\n");
   return 2;
 }
 
@@ -101,13 +122,14 @@ const std::vector<std::string>& allowed_keys(const std::string& cmd) {
       "loss",         "ack-loss", "ge-p-gb",          "ge-p-bg",
       "ge-loss-good", "ge-loss-bad", "reorder",       "reorder-delay-ms",
       "duplicate",    "jitter-ms",   "flap-period-s", "flap-down-s",
-      "flap-down-mbps", "max-events", "max-wall-s",   "retries"};
+      "flap-down-mbps", "max-events", "max-wall-s",   "retries",
+      "chaos"};
   static const std::vector<std::string> model_keys = {
       "capacity", "rtt", "buffer-bdp", "cubic", "bbr", "duration"};
   static const std::vector<std::string> nash_keys = {
       "capacity", "rtt",  "buffer-bdp", "flows-total", "trials",
       "duration", "warmup", "seed",     "jobs",        "challenger",
-      "tolerance", "checkpoint"};
+      "tolerance", "checkpoint", "chaos"};
   static const std::vector<std::string> none;
   if (cmd == "run") return run_keys;
   if (cmd == "model") return model_keys;
@@ -124,7 +146,8 @@ int cmd_run(const Args& args) {
   s.buffer_bytes = net.buffer_bytes;
   s.duration = from_sec(args.num("duration", 60));
   s.warmup = from_sec(args.num("warmup", args.num("duration", 60) / 4));
-  s.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  s.seed = args.u64("seed", 1);
+  s.audit.enabled = args.audit;
 
   const auto aqm = parse_aqm(args.str("aqm", "droptail"));
   if (!aqm) {
@@ -152,8 +175,9 @@ int cmd_run(const Args& args) {
   while (std::getline(flows, part, ',')) {
     const auto colon = part.find(':');
     const std::string name = part.substr(0, colon);
-    const int count =
-        colon == std::string::npos ? 1 : std::atoi(part.c_str() + colon + 1);
+    const int count = colon == std::string::npos
+                          ? 1
+                          : parse_int_strict("--flows", part.substr(colon + 1));
     const auto kind = parse_cc(name);
     if (!kind || count < 0) {
       std::fprintf(stderr, "bad --flows entry '%s'\n", part.c_str());
@@ -181,10 +205,12 @@ int cmd_run(const Args& args) {
   }
 
   GuardConfig guard;
-  guard.watchdog.max_events =
-      static_cast<std::uint64_t>(args.num("max-events", 0));
+  guard.watchdog.max_events = args.u64("max-events", 0);
   guard.watchdog.max_wall_seconds = args.num("max-wall-s", 0);
-  guard.max_attempts = 1 + static_cast<int>(args.num("retries", 0));
+  guard.max_attempts = 1 + args.integer("retries", 0);
+  if (args.has("chaos")) {
+    guard.chaos = std::make_shared<ChaosInjector>(args.u64("chaos", 0));
+  }
 
   const RunOutcome o = run_scenario_guarded(s, guard);
   if (!o.ok()) {
@@ -197,6 +223,9 @@ int cmd_run(const Args& args) {
                      o.diagnostics.events_executed),
                  to_sec(o.diagnostics.sim_time_reached));
     return 1;
+  }
+  if (guard.chaos) {
+    std::fprintf(stderr, "%s\n", guard.chaos->describe().c_str());
   }
   const RunResult& r = o.result;
 
@@ -238,8 +267,8 @@ int cmd_model(const Args& args) {
   const NetworkParams net =
       make_params(args.num("capacity", 100), args.num("rtt", 40),
                   args.num("buffer-bdp", 5));
-  const int nc = static_cast<int>(args.num("cubic", 1));
-  const int nb = static_cast<int>(args.num("bbr", 1));
+  const int nc = args.integer("cubic", 1);
+  const int nb = args.integer("bbr", 1);
 
   const WarePrediction ware = ware_prediction(
       net, WareInputs{nb, args.num("duration", 120), 1500});
@@ -269,7 +298,7 @@ int cmd_nash(const Args& args) {
   const NetworkParams net =
       make_params(args.num("capacity", 100), args.num("rtt", 40),
                   args.num("buffer-bdp", 5));
-  const int total = static_cast<int>(args.num("flows-total", 50));
+  const int total = args.integer("flows-total", 50);
   const auto region = predict_nash_region(net, total);
   if (!region && !args.empirical) {
     std::printf("outside the model's validity domain\n");
@@ -298,13 +327,18 @@ int cmd_nash(const Args& args) {
     return usage();
   }
   cfg.challenger = *challenger;
-  cfg.trial.trials = static_cast<int>(args.num("trials", 3));
+  cfg.trial.trials = args.integer("trials", 3);
   cfg.trial.duration = from_sec(args.num("duration", 30));
   cfg.trial.warmup = from_sec(args.num("warmup", args.num("duration", 30) / 4));
-  cfg.trial.seed = static_cast<std::uint64_t>(args.num("seed", 1));
-  cfg.trial.jobs = static_cast<int>(args.num("jobs", 0));
+  cfg.trial.seed = args.u64("seed", 1);
+  cfg.trial.jobs = args.integer("jobs", 0);
   cfg.tolerance_frac = args.num("tolerance", cfg.tolerance_frac);
   cfg.checkpoint_path = args.str("checkpoint", "");
+  cfg.trial.audit.enabled = args.audit;
+  if (args.has("chaos")) {
+    cfg.trial.guard.chaos =
+        std::make_shared<ChaosInjector>(args.u64("chaos", 0));
+  }
 
   const int k_ne = find_ne_crossing(net, total, cfg);
   std::printf(
@@ -313,6 +347,9 @@ int cmd_nash(const Args& args) {
       cfg.trial.trials, to_sec(cfg.trial.duration), total - k_ne, k_ne,
       to_string(cfg.challenger));
   std::printf("%s\n", describe(parallel_telemetry()).c_str());
+  if (cfg.trial.guard.chaos) {
+    std::fprintf(stderr, "%s\n", cfg.trial.guard.chaos->describe().c_str());
+  }
   return 0;
 }
 
@@ -346,6 +383,14 @@ int main(int argc, char** argv) {
       args.empirical = true;
       continue;
     }
+    if (std::strcmp(argv[i], "--audit") == 0) {
+      if (cmd == "model") {
+        std::fprintf(stderr, "unknown flag '--audit' for '%s'\n", cmd.c_str());
+        return usage();
+      }
+      args.audit = true;
+      continue;
+    }
     if (std::strncmp(argv[i], "--", 2) == 0 && i + 1 < argc) {
       const std::string key = argv[i] + 2;
       if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
@@ -365,6 +410,11 @@ int main(int argc, char** argv) {
     if (cmd == "run") return cmd_run(args);
     if (cmd == "model") return cmd_model(args);
     if (cmd == "nash") return cmd_nash(args);
+  } catch (const std::invalid_argument& e) {
+    // A malformed flag value is user error, not a crash: diagnose, show
+    // the usage text, and exit 2 like every other bad-flag path.
+    std::fprintf(stderr, "invalid flag value: %s\n", e.what());
+    return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
