@@ -201,6 +201,8 @@ Measurement run_case(const PerfCase& pc) {
     senders[i]->start(static_cast<TimeNs>(i) * (pc.rtt / std::max(1u, n)));
   }
 
+  // bbrnash-lint: allow(wall-clock) -- this harness MEASURES wall time
+  // (events/sec, ns/event); timing never feeds back into simulation state.
   using Clock = std::chrono::steady_clock;
   const auto t0 = Clock::now();
   sim.run_until(pc.warmup);

@@ -11,8 +11,9 @@
 //
 //   usage: buffer_sizing_study [capacity_mbps] [rtt_ms]
 #include <cstdio>
-#include <cstdlib>
+#include <stdexcept>
 
+#include "exp/cli_flags.hpp"
 #include "exp/scenario_runner.hpp"
 #include "model/mishra_model.hpp"
 #include "model/nash.hpp"
@@ -20,9 +21,11 @@
 
 using namespace bbrnash;
 
-int main(int argc, char** argv) {
-  const double cap_mbps = argc > 1 ? std::atof(argv[1]) : 50.0;
-  const double rtt_ms = argc > 2 ? std::atof(argv[2]) : 40.0;
+int main(int argc, char** argv) try {
+  const double cap_mbps =
+      argc > 1 ? parse_double_strict("cap_mbps", argv[1]) : 50.0;
+  const double rtt_ms =
+      argc > 2 ? parse_double_strict("rtt_ms", argv[2]) : 40.0;
 
   std::printf("Buffer-sizing study: %.0f Mbps, %.0f ms base RTT\n\n", cap_mbps,
               rtt_ms);
@@ -65,4 +68,7 @@ int main(int argc, char** argv) {
       "  'loss-based only' sizing rules nor a BBR-only analysis describes\n"
       "  the mixed equilibrium the Internet is heading to.\n");
   return 0;
+} catch (const std::invalid_argument& e) {
+  std::fprintf(stderr, "buffer_sizing_study: invalid configuration: %s\n", e.what());
+  return 2;
 }

@@ -9,19 +9,23 @@
 //
 //   usage: cdn_flow_mix [capacity_mbps] [rtt_ms] [buffer_bdp] [flows]
 #include <cstdio>
-#include <cstdlib>
+#include <stdexcept>
 
+#include "exp/cli_flags.hpp"
 #include "exp/scenario_runner.hpp"
 #include "exp/sweeps.hpp"
 #include "model/nash.hpp"
 
 using namespace bbrnash;
 
-int main(int argc, char** argv) {
-  const double cap_mbps = argc > 1 ? std::atof(argv[1]) : 100.0;
-  const double rtt_ms = argc > 2 ? std::atof(argv[2]) : 40.0;
-  const double buffer_bdp = argc > 3 ? std::atof(argv[3]) : 5.0;
-  const int flows = argc > 4 ? std::atoi(argv[4]) : 10;
+int main(int argc, char** argv) try {
+  const double cap_mbps =
+      argc > 1 ? parse_double_strict("cap_mbps", argv[1]) : 100.0;
+  const double rtt_ms =
+      argc > 2 ? parse_double_strict("rtt_ms", argv[2]) : 40.0;
+  const double buffer_bdp =
+      argc > 3 ? parse_double_strict("buffer_bdp", argv[3]) : 5.0;
+  const int flows = argc > 4 ? parse_int_strict("flows", argv[4]) : 10;
 
   const NetworkParams net = make_params(cap_mbps, rtt_ms, buffer_bdp);
   const double fair = to_mbps(net.capacity) / flows;
@@ -62,4 +66,7 @@ int main(int argc, char** argv) {
         region->cubic_low(), region->cubic_high(), flows);
   }
   return 0;
+} catch (const std::invalid_argument& e) {
+  std::fprintf(stderr, "cdn_flow_mix: invalid configuration: %s\n", e.what());
+  return 2;
 }

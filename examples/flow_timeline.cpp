@@ -7,15 +7,16 @@
 //
 //   usage: flow_timeline [capacity_mbps] [rtt_ms] [buffer_bdp] [secs] [--csv]
 #include <cstdio>
-#include <cstdlib>
+#include <stdexcept>
 #include <cstring>
 #include <iostream>
 
+#include "exp/cli_flags.hpp"
 #include "exp/scenario_runner.hpp"
 
 using namespace bbrnash;
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   double cap_mbps = 50.0;
   double rtt_ms = 40.0;
   double buffer_bdp = 4.0;
@@ -27,7 +28,7 @@ int main(int argc, char** argv) {
       csv = true;
       continue;
     }
-    const double v = std::atof(argv[i]);
+    const double v = parse_double_strict("positional arg", argv[i]);
     switch (positional++) {
       case 0: cap_mbps = v; break;
       case 1: rtt_ms = v; break;
@@ -45,7 +46,7 @@ int main(int argc, char** argv) {
 
   SnapshotLog log;
   s.on_sample = log.sink();
-  run_scenario(s);
+  (void)run_scenario(s);
 
   if (csv) {
     log.write_csv(std::cout);
@@ -73,4 +74,7 @@ int main(int argc, char** argv) {
       "BBR's ProbeRTT dips (cwnd -> 4 packets roughly every 10 s), and the\n"
       "queue hovering near full whenever CUBIC holds a large share.\n");
   return 0;
+} catch (const std::invalid_argument& e) {
+  std::fprintf(stderr, "flow_timeline: invalid configuration: %s\n", e.what());
+  return 2;
 }

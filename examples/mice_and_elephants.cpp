@@ -11,9 +11,10 @@
 //
 //   usage: mice_and_elephants [capacity_mbps] [rtt_ms] [buffer_bdp]
 #include <cstdio>
-#include <cstdlib>
+#include <stdexcept>
 #include <vector>
 
+#include "exp/cli_flags.hpp"
 #include "exp/scenario_runner.hpp"
 #include "util/stats.hpp"
 
@@ -75,10 +76,13 @@ FctResult run_mix(const NetworkParams& net, int cubic_elephants,
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const double cap = argc > 1 ? std::atof(argv[1]) : 50.0;
-  const double rtt = argc > 2 ? std::atof(argv[2]) : 40.0;
-  const double bdp = argc > 3 ? std::atof(argv[3]) : 5.0;
+int main(int argc, char** argv) try {
+  const double cap =
+      argc > 1 ? parse_double_strict("cap", argv[1]) : 50.0;
+  const double rtt =
+      argc > 2 ? parse_double_strict("rtt", argv[2]) : 40.0;
+  const double bdp =
+      argc > 3 ? parse_double_strict("bdp", argv[3]) : 5.0;
   const NetworkParams net = make_params(cap, rtt, bdp);
   const Bytes mouse_bytes = 200 * 1024;  // a 200 kB web object
   const int mice = 10;
@@ -105,4 +109,7 @@ int main(int argc, char** argv) {
       "shorter, so every short transfer finishes faster — the delay\n"
       "dimension the paper's throughput-only game sets aside.\n");
   return 0;
+} catch (const std::invalid_argument& e) {
+  std::fprintf(stderr, "mice_and_elephants: invalid configuration: %s\n", e.what());
+  return 2;
 }

@@ -11,8 +11,9 @@
 //
 //   usage: related_work_games [capacity_mbps] [rtt_ms] [buffer_bdp]
 #include <cstdio>
-#include <cstdlib>
+#include <stdexcept>
 
+#include "exp/cli_flags.hpp"
 #include "exp/scenario_runner.hpp"
 #include "exp/sweeps.hpp"
 #include "model/nash.hpp"
@@ -66,10 +67,13 @@ void two_by_two_game(const NetworkParams& net, CcKind a, CcKind b,
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const double cap = argc > 1 ? std::atof(argv[1]) : 50.0;
-  const double rtt = argc > 2 ? std::atof(argv[2]) : 40.0;
-  const double bdp = argc > 3 ? std::atof(argv[3]) : 4.0;
+int main(int argc, char** argv) try {
+  const double cap =
+      argc > 1 ? parse_double_strict("cap", argv[1]) : 50.0;
+  const double rtt =
+      argc > 2 ? parse_double_strict("rtt", argv[2]) : 40.0;
+  const double bdp =
+      argc > 3 ? parse_double_strict("bdp", argv[3]) : 4.0;
   const NetworkParams net = make_params(cap, rtt, bdp);
 
   std::printf("Historical congestion-control games on %.0f Mbps / %.0f ms / "
@@ -87,4 +91,7 @@ int main(int argc, char** argv) {
       "    full population sweeps; unlike (1) and (2), neither strategy\n"
       "    dominates and the population settles at a mixed equilibrium.\n");
   return 0;
+} catch (const std::invalid_argument& e) {
+  std::fprintf(stderr, "related_work_games: invalid configuration: %s\n", e.what());
+  return 2;
 }

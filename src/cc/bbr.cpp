@@ -114,10 +114,13 @@ void Bbr::update_probe_bw_cycle(const AckEvent& ev) {
   const bool elapsed = ev.now - cycle_stamp_ > rtprop;
   bool advance = false;
   const double gain = kPacingGainCycle[cycle_index_];
+  // bbrnash-lint: allow(float-equality) -- exact-match dispatch on gain
+  // values read verbatim from kPacingGainCycle; never computed.
   if (gain == 1.25) {
     // Keep probing until the extra in-flight had a chance to materialize
     // (or losses say the pipe is full).
     advance = elapsed && (loss_in_round_ || ev.inflight >= bdp(1.25));
+    // bbrnash-lint: allow(float-equality) -- same exact-table dispatch.
   } else if (gain == 0.75) {
     // Stop draining early once we are back to one BDP.
     advance = elapsed || ev.inflight <= bdp(1.0);

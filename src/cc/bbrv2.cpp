@@ -101,8 +101,11 @@ void BbrV2::advance_state(const AckEvent& ev) {
     const bool elapsed = ev.now - cycle_stamp_ > rtprop;
     const double gain = kPacingGainCycle[cycle_index_];
     bool advance = false;
+    // bbrnash-lint: allow(float-equality) -- exact-match dispatch on gain
+    // values read verbatim from kPacingGainCycle; never computed.
     if (gain == 1.25) {
       advance = elapsed && (loss_in_round_ || ev.inflight >= bdp(1.25));
+      // bbrnash-lint: allow(float-equality) -- same exact-table dispatch.
     } else if (gain == 0.75) {
       advance = elapsed || ev.inflight <= bdp(1.0);
     } else {

@@ -98,9 +98,8 @@ class CheckpointLog {
 
 /// run_mix_trials with lookup-before-run and record-after-run; a null log
 /// degenerates to a plain run_mix_trials call.
-MixOutcome run_mix_trials_checkpointed(const NetworkParams& net,
-                                       int num_cubic, int num_other,
-                                       CcKind other, const TrialConfig& cfg,
-                                       CheckpointLog* log);
+[[nodiscard]] MixOutcome run_mix_trials_checkpointed(
+    const NetworkParams& net, int num_cubic, int num_other, CcKind other,
+    const TrialConfig& cfg, CheckpointLog* log);
 
 }  // namespace bbrnash

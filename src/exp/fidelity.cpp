@@ -6,6 +6,8 @@
 namespace bbrnash {
 
 Fidelity fidelity_from_env() {
+  // bbrnash-lint: allow(nondeterminism) -- explicit operator knob read
+  // once at startup; selects a test-fidelity profile, never a result.
   const char* raw = std::getenv("BBRNASH_FIDELITY");
   if (raw == nullptr) return Fidelity::kDefault;
   const std::string v{raw};

@@ -48,16 +48,18 @@ struct EmpiricalPayoffs {
 /// surviving trials), but a cell with ZERO completed trials has no payoff
 /// to report: measure_payoffs and find_ne_crossing throw std::runtime_error
 /// carrying the per-trial diagnostics rather than feed 0 Mbps to the search.
-EmpiricalPayoffs measure_payoffs(const NetworkParams& net, int total_flows,
-                                 const NashSearchConfig& cfg);
+[[nodiscard]] EmpiricalPayoffs measure_payoffs(const NetworkParams& net,
+                                               int total_flows,
+                                               const NashSearchConfig& cfg);
 
 /// Full-enumeration NE list from measured payoffs.
-std::vector<int> find_ne_enumerate(const NetworkParams& net, int total_flows,
-                                   const NashSearchConfig& cfg);
+[[nodiscard]] std::vector<int> find_ne_enumerate(const NetworkParams& net,
+                                                 int total_flows,
+                                                 const NashSearchConfig& cfg);
 
 /// Crossing search: returns one representative NE value of k.
-int find_ne_crossing(const NetworkParams& net, int total_flows,
-                     const NashSearchConfig& cfg);
+[[nodiscard]] int find_ne_crossing(const NetworkParams& net, int total_flows,
+                                   const NashSearchConfig& cfg);
 
 // --- Multi-RTT (Fig. 10) -------------------------------------------------
 
@@ -87,9 +89,10 @@ struct MultiRttNe {
 /// Best-response dynamics over group-level unilateral deviations, starting
 /// from `start`. Each step simulates the candidate deviations and takes the
 /// most profitable strictly-improving one.
-MultiRttNe find_multi_rtt_ne(BytesPerSec capacity, Bytes buffer_bytes,
-                             const std::vector<RttGroup>& groups,
-                             const GroupProfile& start,
-                             const NashSearchConfig& cfg);
+[[nodiscard]] MultiRttNe find_multi_rtt_ne(BytesPerSec capacity,
+                                           Bytes buffer_bytes,
+                                           const std::vector<RttGroup>& groups,
+                                           const GroupProfile& start,
+                                           const NashSearchConfig& cfg);
 
 }  // namespace bbrnash

@@ -75,7 +75,9 @@ struct GuardConfig {
   std::shared_ptr<ChaosInjector> chaos;
 };
 
-struct RunOutcome {
+// nodiscard on the TYPE: a dropped RunOutcome silently swallows a watchdog
+// abort or invariant violation, so every producer inherits the check.
+struct [[nodiscard]] RunOutcome {
   RunStatus status = RunStatus::kOk;
   RunResult result;          ///< complete only when ok(); partial otherwise
   RunDiagnostics diagnostics;

@@ -49,7 +49,7 @@ struct FlowSpec {
   TimeNs start_at = kTimeNone;
   /// Per-flow data-path impairments; overrides Scenario::impairments when
   /// set (e.g. one lossy access link in an otherwise clean population).
-  std::optional<ImpairmentConfig> impairments;
+  std::optional<ImpairmentConfig> impairments{};
 };
 
 struct Scenario {

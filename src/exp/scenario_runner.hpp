@@ -23,13 +23,13 @@ namespace bbrnash {
 /// [warmup, duration]. Throws std::invalid_argument for ill-formed
 /// scenarios (Scenario::validate) and InvariantViolation when an always-on
 /// runtime guard fires (conservation, queue bound, clock monotonicity).
-RunResult run_scenario(const Scenario& scenario);
+[[nodiscard]] RunResult run_scenario(const Scenario& scenario);
 
 /// Exception-free variant for sweeps: runs under the guard's watchdog
 /// (event budget + wall-clock backstop), converts aborts / invariant
 /// violations / errors into a typed RunOutcome, and retries degenerate
 /// attempts with a bumped seed up to guard.max_attempts times.
-RunOutcome run_scenario_guarded(const Scenario& scenario,
-                                const GuardConfig& guard = {});
+[[nodiscard]] RunOutcome run_scenario_guarded(const Scenario& scenario,
+                                              const GuardConfig& guard = {});
 
 }  // namespace bbrnash

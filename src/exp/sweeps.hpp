@@ -46,7 +46,7 @@ struct TrialConfig {
 
 /// Averages over trials of a (num_cubic x CUBIC) vs (num_other x `other`)
 /// mix through `net`.
-struct MixOutcome {
+struct [[nodiscard]] MixOutcome {
   double per_flow_cubic_mbps = 0.0;   ///< 0 when num_cubic == 0
   double per_flow_other_mbps = 0.0;   ///< 0 when num_other == 0
   double total_cubic_mbps = 0.0;
@@ -66,7 +66,8 @@ struct MixOutcome {
   std::vector<std::string> failures;  ///< one diagnosis per failed trial
 };
 
-MixOutcome run_mix_trials(const NetworkParams& net, int num_cubic,
-                          int num_other, CcKind other, const TrialConfig& cfg);
+[[nodiscard]] MixOutcome run_mix_trials(const NetworkParams& net,
+                                        int num_cubic, int num_other,
+                                        CcKind other, const TrialConfig& cfg);
 
 }  // namespace bbrnash

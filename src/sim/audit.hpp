@@ -142,7 +142,7 @@ class ConservationAudit {
   /// Evaluates every invariant on sample_buffer(). Records violations (up
   /// to an internal cap) and keeps per-flow state for the monotonicity
   /// checks. Returns true when this call found a new violation.
-  bool check();
+  [[nodiscard]] bool check();
 
   /// End-of-run bound: per-flow goodput (bps) must not exceed the peak
   /// bottleneck rate (plus the configured slack).

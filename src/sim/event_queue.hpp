@@ -241,6 +241,9 @@ class EventQueue {
  private:
   template <typename Fn>
   static void invoke_inline(std::byte* storage) {
+    // bbrnash-lint: allow(reinterpret-cast) -- pooled-storage payload:
+    // reads back the Fn placement-constructed into this slot by fill_slot;
+    // launder makes the round-trip through std::byte storage well-defined.
     (*std::launder(reinterpret_cast<Fn*>(storage)))();
   }
   template <typename Fn>
@@ -399,6 +402,8 @@ class EventQueue {
   std::size_t n_ = 0;        ///< heap size
   std::vector<Slot> slots_;  ///< payload pool
   std::vector<std::uint32_t> free_;  ///< recycled payload slots (LIFO)
+  // bbrnash-lint: allow(unordered-container) -- lookup-only (insert /
+  // erase / count); never iterated, so hash order cannot affect results.
   std::unordered_set<EventId> pending_;
   std::size_t dead_ = 0;  ///< cancelled entries still occupying pool slots
   EventId next_seq_ = 1;

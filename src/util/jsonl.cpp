@@ -103,6 +103,8 @@ bool parse_quoted(Cursor& cur, std::string* out) {
                        cur.text[cur.pos + 2], cur.text[cur.pos + 3], '\0'};
         cur.pos += 4;
         char* end = nullptr;
+        // bbrnash-lint: allow(raw-parse) -- fixed 4-hex-digit \u escape;
+        // end-pointer checked against exactly hex+4 on the next line.
         const unsigned long code = std::strtoul(hex, &end, 16);
         if (end != hex + 4 || code > 0x7F) return false;  // ASCII only
         *out += static_cast<char>(code);
@@ -241,6 +243,8 @@ std::optional<JsonlRecord> JsonlRecord::parse(std::string_view line) {
       if (integral) {
         errno = 0;
         char* end = nullptr;
+        // bbrnash-lint: allow(raw-parse) -- this IS the checkpoint JSON
+        // number parser; whole-token + errno checked immediately below.
         const std::uint64_t u = std::strtoull(token.c_str(), &end, 10);
         if (errno != 0 || end != token.c_str() + token.size()) {
           return std::nullopt;
@@ -249,6 +253,8 @@ std::optional<JsonlRecord> JsonlRecord::parse(std::string_view line) {
       } else {
         errno = 0;
         char* end = nullptr;
+        // bbrnash-lint: allow(raw-parse) -- this IS the checkpoint JSON
+        // number parser; whole-token consumption checked on the next line.
         const double d = std::strtod(token.c_str(), &end);
         if (end != token.c_str() + token.size()) return std::nullopt;
         rec.set(key, d);

@@ -94,7 +94,8 @@ TEST(Cubic, RecoveresTowardWmaxOverKSeconds) {
   for (TimeNs t = start; t < start + from_sec(k) + from_sec(1); t += step) {
     c.on_ack(ack_at(t));
   }
-  EXPECT_GT(c.cwnd(), static_cast<Bytes>(0.90 * w_max_bytes));
+  EXPECT_GT(c.cwnd(),
+            static_cast<Bytes>(0.90 * static_cast<double>(w_max_bytes)));
 }
 
 TEST(Cubic, ConcaveRegionIsSlowNearWmax) {

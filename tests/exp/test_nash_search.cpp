@@ -47,7 +47,8 @@ TEST(NashSearch, CrossingAgreesWithEnumerationOnSmallGame) {
 
 TEST(NashSearch, CrossingRequiresTwoFlows) {
   const NetworkParams net = make_params(20, 20, 3);
-  EXPECT_THROW(find_ne_crossing(net, 1, quick_cfg()), std::invalid_argument);
+  EXPECT_THROW((void)find_ne_crossing(net, 1, quick_cfg()),
+               std::invalid_argument);
 }
 
 TEST(NashSearch, CellWithZeroCompletedTrialsAbortsWithDiagnostics) {
@@ -66,7 +67,7 @@ TEST(NashSearch, CellWithZeroCompletedTrialsAbortsWithDiagnostics) {
     EXPECT_NE(std::string{e.what()}.find("injected failure"),
               std::string::npos);
   }
-  EXPECT_THROW(find_ne_crossing(net, 2, cfg), std::runtime_error);
+  EXPECT_THROW((void)find_ne_crossing(net, 2, cfg), std::runtime_error);
 }
 
 TEST(NashSearch, ShallowBufferPushesNeTowardBbr) {

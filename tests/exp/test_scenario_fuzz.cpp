@@ -124,6 +124,8 @@ TEST(CliFlagsFuzz, ParseDoubleNeverCrashesOrHalfParses) {
       // Accepted: the whole token must be a finite number — re-parsing
       // with strtod must consume every byte and agree.
       char* end = nullptr;
+      // bbrnash-lint: allow(raw-parse) -- differential reference: the
+      // fuzz oracle the strict parser is checked against.
       const double ref = std::strtod(token.c_str(), &end);
       EXPECT_EQ(end, token.c_str() + token.size()) << "'" << token << "'";
       EXPECT_TRUE(std::isfinite(v));
@@ -145,6 +147,7 @@ TEST(CliFlagsFuzz, ParseU64NeverCrashesOrAcceptsSigns) {
       for (const char c : token) {
         EXPECT_TRUE(c >= '0' && c <= '9') << "'" << token << "'";
       }
+      // bbrnash-lint: allow(raw-parse) -- differential reference oracle.
       EXPECT_EQ(v, std::strtoull(token.c_str(), nullptr, 10));
     } catch (const std::invalid_argument&) {
       // expected for everything else
@@ -158,17 +161,20 @@ TEST(CliFlagsFuzz, KnownGoodAndBadTokens) {
   EXPECT_EQ(parse_u64_strict("--x", "18446744073709551615"),
             18446744073709551615ULL);
   EXPECT_EQ(parse_int_strict("--x", "2147483647"), 2147483647);
-  EXPECT_THROW(parse_double_strict("--x", ""), std::invalid_argument);
-  EXPECT_THROW(parse_double_strict("--x", "1.5x"), std::invalid_argument);
-  EXPECT_THROW(parse_double_strict("--x", "nan"), std::invalid_argument);
-  EXPECT_THROW(parse_double_strict("--x", "inf"), std::invalid_argument);
-  EXPECT_THROW(parse_double_strict("--x", "1e999"), std::invalid_argument);
-  EXPECT_THROW(parse_u64_strict("--x", "-3"), std::invalid_argument);
-  EXPECT_THROW(parse_u64_strict("--x", "+3"), std::invalid_argument);
-  EXPECT_THROW(parse_u64_strict("--x", "3.5"), std::invalid_argument);
-  EXPECT_THROW(parse_u64_strict("--x", "18446744073709551616"),
+  EXPECT_THROW((void)parse_double_strict("--x", ""), std::invalid_argument);
+  EXPECT_THROW((void)parse_double_strict("--x", "1.5x"),
                std::invalid_argument);
-  EXPECT_THROW(parse_int_strict("--x", "2147483648"), std::invalid_argument);
+  EXPECT_THROW((void)parse_double_strict("--x", "nan"), std::invalid_argument);
+  EXPECT_THROW((void)parse_double_strict("--x", "inf"), std::invalid_argument);
+  EXPECT_THROW((void)parse_double_strict("--x", "1e999"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_u64_strict("--x", "-3"), std::invalid_argument);
+  EXPECT_THROW((void)parse_u64_strict("--x", "+3"), std::invalid_argument);
+  EXPECT_THROW((void)parse_u64_strict("--x", "3.5"), std::invalid_argument);
+  EXPECT_THROW((void)parse_u64_strict("--x", "18446744073709551616"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_int_strict("--x", "2147483648"),
+               std::invalid_argument);
 }
 
 }  // namespace

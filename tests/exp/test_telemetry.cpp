@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "exp/cli_flags.hpp"
 #include "exp/scenario_runner.hpp"
 
 namespace bbrnash {
@@ -22,7 +23,7 @@ TEST(Telemetry, SamplesAtRequestedCadence) {
   Scenario s = sampled_scenario(from_sec(1));
   SnapshotLog log;
   s.on_sample = log.sink();
-  run_scenario(s);
+  (void)run_scenario(s);
   ASSERT_EQ(log.snapshots().size(), 10u);
   for (std::size_t i = 0; i < log.snapshots().size(); ++i) {
     EXPECT_EQ(log.snapshots()[i].t, from_sec(1) * static_cast<TimeNs>(i + 1));
@@ -39,7 +40,7 @@ TEST(Telemetry, SnapshotsAreMonotoneWhereExpected) {
   Scenario s = sampled_scenario(from_ms(500));
   SnapshotLog log;
   s.on_sample = log.sink();
-  run_scenario(s);
+  (void)run_scenario(s);
   const auto& snaps = log.snapshots();
   ASSERT_GE(snaps.size(), 4u);
   for (std::size_t i = 1; i < snaps.size(); ++i) {
@@ -57,7 +58,7 @@ TEST(Telemetry, GoodputBetweenMatchesDeliveredDelta) {
   Scenario s = sampled_scenario(from_sec(1));
   SnapshotLog log;
   s.on_sample = log.sink();
-  run_scenario(s);
+  (void)run_scenario(s);
   const auto& snaps = log.snapshots();
   const double g = log.goodput_between(3, 0);
   const double expect =
@@ -77,7 +78,7 @@ TEST(Telemetry, CsvHasHeaderAndRows) {
   Scenario s = sampled_scenario(from_sec(2));
   SnapshotLog log;
   s.on_sample = log.sink();
-  run_scenario(s);
+  (void)run_scenario(s);
   std::ostringstream os;
   log.write_csv(os);
   const std::string out = os.str();
@@ -108,7 +109,7 @@ TEST(Telemetry, CsvWritesFullRoundTripPrecision) {
   // Column 0: t_sec. Parse it back and require exact equality with the
   // original double — %.17g round-trips any IEEE-754 value.
   const std::string t_field = row.substr(0, row.find(','));
-  EXPECT_EQ(std::stod(t_field), to_sec(s.t));
+  EXPECT_EQ(parse_double_strict("t_sec", t_field), to_sec(s.t));
   EXPECT_NE(t_field, "100");  // the 6-digit output this test pins against
 
   // Column 4: pacing_bps.
@@ -116,9 +117,9 @@ TEST(Telemetry, CsvWritesFullRoundTripPrecision) {
   std::istringstream is(row);
   for (std::string f; std::getline(is, f, ',');) fields.push_back(f);
   ASSERT_GE(fields.size(), 11u);
-  EXPECT_EQ(std::stod(fields[4]), fs.pacing_rate);
+  EXPECT_EQ(parse_double_strict("pacing_bps", fields[4]), fs.pacing_rate);
   // Column 10: srtt_ms.
-  EXPECT_EQ(std::stod(fields[10]), to_ms(fs.smoothed_rtt));
+  EXPECT_EQ(parse_double_strict("srtt_ms", fields[10]), to_ms(fs.smoothed_rtt));
 }
 
 // A delivered counter that decreases between snapshots (flow restart,
@@ -149,7 +150,7 @@ TEST(Telemetry, SnapshotsSeeBothCcKinds) {
   Scenario s = sampled_scenario(from_sec(5));
   SnapshotLog log;
   s.on_sample = log.sink();
-  run_scenario(s);
+  (void)run_scenario(s);
   ASSERT_FALSE(log.empty());
   EXPECT_EQ(log.snapshots()[0].flows[0].cc, CcKind::kCubic);
   EXPECT_EQ(log.snapshots()[0].flows[1].cc, CcKind::kBbr);

@@ -105,8 +105,8 @@ INSTANTIATE_TEST_SUITE_P(
                       PropertyParam{20, 40, 4, 0, 4, 7},
                       PropertyParam{10, 40, 3, 1, 2, 8},
                       PropertyParam{50, 10, 3, 2, 2, 9}),
-    [](const ::testing::TestParamInfo<PropertyParam>& info) {
-      const auto& p = info.param;
+    [](const ::testing::TestParamInfo<PropertyParam>& param_info) {
+      const auto& p = param_info.param;
       return std::to_string(static_cast<int>(p.cap_mbps)) + "mbps_" +
              std::to_string(static_cast<int>(p.rtt_ms)) + "ms_" +
              std::to_string(static_cast<int>(p.buffer_bdp * 10)) + "dbdp_" +

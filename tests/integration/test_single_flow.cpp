@@ -53,11 +53,14 @@ INSTANTIATE_TEST_SUITE_P(
         // Vivace converges via probing: allow a longer tail.
         SoloParam{CcKind::kVivace, 20, 40, 2, 0.70},
         SoloParam{CcKind::kVivace, 50, 40, 2, 0.70}),
-    [](const ::testing::TestParamInfo<SoloParam>& info) {
-      return std::string{to_string(info.param.cc)} + "_" +
-             std::to_string(static_cast<int>(info.param.cap_mbps)) + "mbps_" +
-             std::to_string(static_cast<int>(info.param.rtt_ms)) + "ms_" +
-             std::to_string(static_cast<int>(info.param.buffer_bdp)) + "bdp";
+    [](const ::testing::TestParamInfo<SoloParam>& param_info) {
+      return std::string{to_string(param_info.param.cc)} + "_" +
+             std::to_string(static_cast<int>(param_info.param.cap_mbps)) +
+             "mbps_" +
+             std::to_string(static_cast<int>(param_info.param.rtt_ms)) +
+             "ms_" +
+             std::to_string(static_cast<int>(param_info.param.buffer_bdp)) +
+             "bdp";
     });
 
 TEST(SoloFlowDetail, CubicSawtoothVisible) {

@@ -1,0 +1,10 @@
+// Fixture: clean translation unit — no findings, no suppressions.
+#include <map>
+
+int fx_clean() {
+  std::map<int, int> ordered;
+  ordered[1] = 2;
+  int total = 0;
+  for (const auto& kv : ordered) total += kv.second;
+  return total;
+}

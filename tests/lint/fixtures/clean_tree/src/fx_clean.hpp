@@ -1,0 +1,6 @@
+#pragma once
+
+// Fixture: a fully clean mini-tree; the scanner must exit 0 on it.
+struct FxClean {
+  double value = 0.0;
+};

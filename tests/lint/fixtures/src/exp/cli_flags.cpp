@@ -1,0 +1,7 @@
+// Fixture: this path is the allowlisted strict-parser home, so raw
+// numeric parsing here must NOT be flagged.
+#include <cstdlib>
+
+double fx_allowlisted_parse(const char* s) {
+  return strtod(s, nullptr);
+}

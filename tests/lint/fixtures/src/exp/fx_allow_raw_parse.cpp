@@ -1,0 +1,7 @@
+// Fixture: annotated raw parse outside cli_flags — suppressed.
+#include <cstdlib>
+
+double fx_allow_raw_parse(const char* s) {
+  // bbrnash-lint: allow(raw-parse) -- fixture for a vetted differential oracle
+  return strtod(s, nullptr);
+}

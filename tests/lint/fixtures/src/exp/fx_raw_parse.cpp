@@ -1,0 +1,7 @@
+// Fixture: raw numeric parse outside the strict-parser home.
+#include <cstdlib>
+
+int fx_raw_parse(const char* s) {
+  int v = atoi(s);
+  return v;
+}

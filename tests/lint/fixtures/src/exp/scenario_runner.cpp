@@ -1,0 +1,8 @@
+// Fixture: this path is allowlisted for wall-clock reads (watchdog timing),
+// so steady_clock here must NOT be flagged.
+#include <chrono>
+
+void fx_allowlisted_clock() {
+  auto deadline = std::chrono::steady_clock::now();
+  (void)deadline;
+}

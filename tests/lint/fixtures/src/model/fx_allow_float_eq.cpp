@@ -1,0 +1,6 @@
+// Fixture: annotated exact-table floating comparison in model code.
+double fx_allow_float_eq(double gain) {
+  // bbrnash-lint: allow(float-equality) -- exact-match dispatch on table value
+  if (gain == 0.75) return 1.0;
+  return gain;
+}

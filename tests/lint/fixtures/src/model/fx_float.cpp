@@ -1,0 +1,6 @@
+// Fixture: float arithmetic and bare floating-point comparison in model code.
+double fx_float(double gain) {
+  float truncated = 0.5f;
+  if (gain == 1.25) return 2.0;
+  return static_cast<double>(truncated);
+}

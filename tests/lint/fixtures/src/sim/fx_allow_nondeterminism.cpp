@@ -1,0 +1,7 @@
+// Fixture: annotated getenv — suppressed, listed, not a violation.
+#include <cstdlib>
+
+const char* fx_allow_nondeterminism() {
+  // bbrnash-lint: allow(nondeterminism) -- fixture exercises the suppression path
+  return getenv("FX_FIXTURE");
+}

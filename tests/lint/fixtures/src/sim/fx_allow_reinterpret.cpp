@@ -1,0 +1,10 @@
+// Fixture: annotated pooled-storage reinterpret_cast with a two-line
+// justification comment — suppression must cover the next code line and the
+// continuation line must fold into the recorded reason.
+#include <cstddef>
+
+int fx_allow_reinterpret(std::byte* storage) {
+  // bbrnash-lint: allow(reinterpret-cast) -- fixture for pooled storage;
+  // the continuation of this justification spans a second comment line
+  return *reinterpret_cast<int*>(storage);
+}

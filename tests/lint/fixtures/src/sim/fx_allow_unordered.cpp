@@ -1,0 +1,8 @@
+// Fixture: annotated lookup-only hash set — suppressed, not a violation.
+#include <unordered_set>
+
+bool fx_allow_unordered(int key) {
+  // bbrnash-lint: allow(unordered-container) -- lookup-only, never iterated
+  static std::unordered_set<int> seen;
+  return seen.count(key) != 0;
+}

@@ -1,0 +1,8 @@
+// Fixture: annotated wall-clock read — suppressed, listed, not a violation.
+#include <chrono>
+
+void fx_allow_wall_clock() {
+  // bbrnash-lint: allow(wall-clock) -- fixture exercises the suppression path
+  auto t0 = std::chrono::steady_clock::now();
+  (void)t0;
+}

@@ -1,0 +1,5 @@
+// Fixture: const_cast is banned outright.
+void fx_const_cast(const int* p) {
+  int* q = const_cast<int*>(p);
+  *q = 0;
+}

@@ -1,0 +1,4 @@
+// Fixture: header without an include guard pragma.
+struct FxMissingPragma {
+  int value = 0;
+};

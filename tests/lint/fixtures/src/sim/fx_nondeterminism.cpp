@@ -1,0 +1,7 @@
+// Fixture: ambient nondeterminism sources in simulation code.
+#include <cstdlib>
+
+int fx_nondeterminism() {
+  int noise = rand();
+  return noise;
+}

@@ -1,0 +1,5 @@
+// Fixture: reinterpret_cast without a pooled-storage annotation.
+void fx_reinterpret(void* p) {
+  auto* q = reinterpret_cast<int*>(p);
+  *q = 0;
+}

@@ -1,0 +1,9 @@
+// Fixture: unannotated hash container, plus iteration over it.
+#include <unordered_map>
+
+int fx_unordered() {
+  std::unordered_map<int, int> table;
+  int sum = 0;
+  for (const auto& kv : table) sum += kv.second;
+  return sum;
+}

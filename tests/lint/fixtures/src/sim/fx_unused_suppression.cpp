@@ -1,0 +1,5 @@
+// Fixture: an allow annotation that masks nothing must itself be flagged.
+// bbrnash-lint: allow(const-cast) -- stale justification, nothing here casts
+int fx_unused_suppression(int x) {
+  return x + 1;
+}

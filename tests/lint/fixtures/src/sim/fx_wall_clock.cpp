@@ -1,0 +1,7 @@
+// Fixture: wall-clock read outside the allowlisted sites.
+#include <chrono>
+
+void fx_wall_clock() {
+  auto t0 = std::chrono::steady_clock::now();
+  (void)t0;
+}

@@ -1,0 +1,169 @@
+// Fixture tests for bbrnash-lint: one deliberate violation per rule and one
+// exercised allow-annotation per suppressible rule live under
+// tests/lint/fixtures/ (a mini repo root with src/sim, src/model, src/exp
+// subtrees so the scoped rules and path allowlists are all reachable).
+// These tests pin the EXACT rule name and file:line of every finding, the
+// suppression bookkeeping, and the driver binary's exit-code contract
+// (0 clean / 1 violations / 2 usage error).
+//
+// The fixture corpus is data, not code: it is never compiled, and
+// scan_tree() skips any path containing tests/lint/fixtures so the
+// deliberate violations stay invisible to the real tree gate.
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint_core.hpp"
+
+namespace {
+
+using bbrnash::lint::Finding;
+using bbrnash::lint::Suppression;
+using bbrnash::lint::TreeReport;
+
+TreeReport scan_fixtures() {
+  return bbrnash::lint::scan_tree(BBRNASH_LINT_FIXTURES, {"src"});
+}
+
+// Exit code of `bbrnash-lint <argv_tail>`, with output discarded.
+int run_lint(const std::string& argv_tail) {
+  const std::string cmd =
+      std::string{BBRNASH_LINT_BIN} + " " + argv_tail + " > /dev/null 2>&1";
+  const int status = std::system(cmd.c_str());
+  EXPECT_TRUE(WIFEXITED(status)) << cmd;
+  return WEXITSTATUS(status);
+}
+
+bool has_finding(const TreeReport& r, const std::string& rule,
+                 const std::string& file, int line) {
+  return std::any_of(r.findings.begin(), r.findings.end(),
+                     [&](const Finding& f) {
+                       return f.rule == rule && f.file == file &&
+                              f.line == line;
+                     });
+}
+
+TEST(LintFixtures, EveryRuleFiresAtItsExactSite) {
+  const TreeReport r = scan_fixtures();
+  const std::vector<std::tuple<std::string, std::string, int>> expected = {
+      {"wall-clock", "src/sim/fx_wall_clock.cpp", 5},
+      {"nondeterminism", "src/sim/fx_nondeterminism.cpp", 5},
+      {"unordered-container", "src/sim/fx_unordered.cpp", 5},
+      {"unordered-iteration", "src/sim/fx_unordered.cpp", 7},
+      {"const-cast", "src/sim/fx_const_cast.cpp", 3},
+      {"reinterpret-cast", "src/sim/fx_reinterpret_cast.cpp", 3},
+      {"raw-parse", "src/exp/fx_raw_parse.cpp", 5},
+      {"float-type", "src/model/fx_float.cpp", 3},
+      {"float-equality", "src/model/fx_float.cpp", 4},
+      {"pragma-once", "src/sim/fx_missing_pragma.hpp", 1},
+      {"unused-suppression", "src/sim/fx_unused_suppression.cpp", 2},
+  };
+  for (const auto& [rule, file, line] : expected) {
+    EXPECT_TRUE(has_finding(r, rule, file, line))
+        << "expected [" << rule << "] at " << file << ":" << line;
+  }
+  // The corpus triggers each rule exactly once — nothing extra fires.
+  EXPECT_EQ(r.findings.size(), expected.size());
+  EXPECT_EQ(r.findings.size(), bbrnash::lint::rule_names().size());
+}
+
+TEST(LintFixtures, PathAllowlistsExemptTheDesignatedFiles) {
+  const TreeReport r = scan_fixtures();
+  // src/exp/cli_flags.cpp holds a raw strtod and src/exp/scenario_runner.cpp
+  // a steady_clock read; both are allowlisted, so neither may appear.
+  for (const Finding& f : r.findings) {
+    EXPECT_NE(f.file, "src/exp/cli_flags.cpp") << f.rule;
+    EXPECT_NE(f.file, "src/exp/scenario_runner.cpp") << f.rule;
+  }
+}
+
+TEST(LintFixtures, AllowAnnotationsMaskAndAreListed) {
+  const TreeReport r = scan_fixtures();
+  const std::vector<std::tuple<std::string, std::string, int>> expected = {
+      {"wall-clock", "src/sim/fx_allow_wall_clock.cpp", 5},
+      {"nondeterminism", "src/sim/fx_allow_nondeterminism.cpp", 5},
+      {"unordered-container", "src/sim/fx_allow_unordered.cpp", 5},
+      {"reinterpret-cast", "src/sim/fx_allow_reinterpret.cpp", 7},
+      {"raw-parse", "src/exp/fx_allow_raw_parse.cpp", 5},
+      {"float-equality", "src/model/fx_allow_float_eq.cpp", 3},
+  };
+  for (const auto& [rule, file, line] : expected) {
+    const auto it = std::find_if(
+        r.suppressions.begin(), r.suppressions.end(), [&](const Suppression& s) {
+          return s.rule == rule && s.file == file && s.line == line;
+        });
+    ASSERT_NE(it, r.suppressions.end())
+        << "missing suppression [" << rule << "] at " << file << ":" << line;
+    EXPECT_TRUE(it->used) << file << ":" << line;
+    EXPECT_FALSE(it->reason.empty()) << file << ":" << line;
+    // A used suppression means the masked construct produced no finding.
+    EXPECT_FALSE(has_finding(r, rule, file, line + 1))
+        << "suppression failed to mask " << file;
+  }
+  // 6 used annotations + the deliberately stale one.
+  EXPECT_EQ(r.suppressions.size(), expected.size() + 1);
+}
+
+TEST(LintFixtures, MultiLineJustificationIsFoldedIntoTheReason) {
+  const TreeReport r = scan_fixtures();
+  const auto it = std::find_if(
+      r.suppressions.begin(), r.suppressions.end(), [](const Suppression& s) {
+        return s.file == "src/sim/fx_allow_reinterpret.cpp";
+      });
+  ASSERT_NE(it, r.suppressions.end());
+  EXPECT_NE(it->reason.find("fixture for pooled storage;"), std::string::npos)
+      << it->reason;
+  EXPECT_NE(it->reason.find("spans a second comment line"), std::string::npos)
+      << "continuation comment line was not folded: " << it->reason;
+}
+
+TEST(LintFixtures, StaleSuppressionIsItselfAViolation) {
+  const TreeReport r = scan_fixtures();
+  EXPECT_TRUE(has_finding(r, "unused-suppression",
+                          "src/sim/fx_unused_suppression.cpp", 2));
+  const auto it = std::find_if(
+      r.suppressions.begin(), r.suppressions.end(), [](const Suppression& s) {
+        return s.file == "src/sim/fx_unused_suppression.cpp";
+      });
+  ASSERT_NE(it, r.suppressions.end());
+  EXPECT_EQ(it->rule, "const-cast");
+  EXPECT_FALSE(it->used);
+}
+
+TEST(LintFixtures, ReportRendersSitesAndSummary) {
+  const TreeReport r = scan_fixtures();
+  std::string out;
+  EXPECT_EQ(bbrnash::lint::render_report(r, out, /*list_suppressions=*/true), 1);
+  EXPECT_NE(out.find("src/sim/fx_wall_clock.cpp:5: [wall-clock]"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("11 violations"), std::string::npos) << out;
+  EXPECT_NE(out.find("7 suppressions"), std::string::npos) << out;
+
+  // Clean tree: exit 0, nothing to report.
+  const TreeReport clean = bbrnash::lint::scan_tree(
+      std::string{BBRNASH_LINT_FIXTURES} + "/clean_tree", {"src"});
+  EXPECT_EQ(clean.files_scanned, 2);
+  std::string clean_out;
+  EXPECT_EQ(bbrnash::lint::render_report(clean, clean_out, true), 0);
+  EXPECT_NE(clean_out.find("0 violations"), std::string::npos) << clean_out;
+}
+
+TEST(LintBinary, ExitCodeContract) {
+  // 1: the fixture corpus has violations.
+  EXPECT_EQ(run_lint("--root " + std::string{BBRNASH_LINT_FIXTURES}), 1);
+  // 0: the clean mini-tree passes.
+  EXPECT_EQ(
+      run_lint("--root " + std::string{BBRNASH_LINT_FIXTURES} + "/clean_tree"),
+      0);
+  // 2: usage error on an unknown flag.
+  EXPECT_EQ(run_lint("--no-such-flag"), 2);
+}
+
+}  // namespace

@@ -39,6 +39,8 @@ std::string golden_path(const std::string& name) {
   return std::string{BBRNASH_GOLDEN_DIR} + "/" + name + ".jsonl";
 }
 
+// bbrnash-lint: allow(nondeterminism) -- explicit regen knob: flips the
+// suite from asserting against golden files to rewriting them.
 bool regen_mode() { return std::getenv("BBRNASH_REGEN_GOLDEN") != nullptr; }
 
 /// Emits one record per operating point via `fill` (which appends the

@@ -237,7 +237,7 @@ TEST(ConservationAudit, ViolationListIsCapped) {
   for (int round = 0; round < 40; ++round) {
     fill_consistent(audit, from_ms(100 * (round + 1)));
     audit.sample_buffer().flows[0].acks_received += 1;
-    audit.check();
+    (void)audit.check();
   }
   EXPECT_TRUE(audit.violated());
   EXPECT_LE(audit.violations().size(), 16u);

@@ -75,7 +75,7 @@ TEST(EventQueue, CancelUnknownIdIsNoop) {
   q.schedule(5, [] {});
   q.cancel(9999);
   EXPECT_FALSE(q.empty());
-  q.pop();
+  (void)q.pop();
   EXPECT_TRUE(q.empty());
 }
 

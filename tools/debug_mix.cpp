@@ -1,20 +1,21 @@
 // Developer tool: one-shot mix measurement vs model bounds.
 // Usage: debug_mix <cap_mbps> <rtt_ms> <buf_bdp> <n_cubic> <n_other> [cc] [dur_s] [trials]
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 
+#include "exp/cli_flags.hpp"
 #include "exp/sweeps.hpp"
 #include "model/mishra_model.hpp"
 
 using namespace bbrnash;
 
-int main(int argc, char** argv) {
-  const double cap = argc > 1 ? std::atof(argv[1]) : 100.0;
-  const double rtt = argc > 2 ? std::atof(argv[2]) : 40.0;
-  const double bdp = argc > 3 ? std::atof(argv[3]) : 3.0;
-  const int nc = argc > 4 ? std::atoi(argv[4]) : 5;
-  const int nb = argc > 5 ? std::atoi(argv[5]) : 5;
+int main(int argc, char** argv) try {
+  const double cap = argc > 1 ? parse_double_strict("cap_mbps", argv[1]) : 100.0;
+  const double rtt = argc > 2 ? parse_double_strict("rtt_ms", argv[2]) : 40.0;
+  const double bdp = argc > 3 ? parse_double_strict("buf_bdp", argv[3]) : 3.0;
+  const int nc = argc > 4 ? parse_int_strict("n_cubic", argv[4]) : 5;
+  const int nb = argc > 5 ? parse_int_strict("n_other", argv[5]) : 5;
   CcKind kind = CcKind::kBbr;
   if (argc > 6) {
     if (!std::strcmp(argv[6], "bbrv2")) kind = CcKind::kBbrV2;
@@ -23,8 +24,8 @@ int main(int argc, char** argv) {
     if (!std::strcmp(argv[6], "reno")) kind = CcKind::kReno;
     if (!std::strcmp(argv[6], "cubic")) kind = CcKind::kCubic;
   }
-  const double dur = argc > 7 ? std::atof(argv[7]) : 60.0;
-  const int trials = argc > 8 ? std::atoi(argv[8]) : 1;
+  const double dur = argc > 7 ? parse_double_strict("dur_s", argv[7]) : 60.0;
+  const int trials = argc > 8 ? parse_int_strict("trials", argv[8]) : 1;
 
   const NetworkParams net = make_params(cap, rtt, bdp);
   TrialConfig cfg;
@@ -53,4 +54,7 @@ int main(int argc, char** argv) {
     }
   }
   return 0;
+} catch (const std::invalid_argument& e) {
+  std::fprintf(stderr, "debug_mix: invalid configuration: %s\n", e.what());
+  return 2;
 }

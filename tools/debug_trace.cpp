@@ -1,12 +1,13 @@
 // Developer tool: trace per-second state of a 1v1 CUBIC/BBR run.
 // Not part of the shipped benches; used to validate CC dynamics.
 #include <cstdio>
-#include <cstdlib>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "cc/bbr.hpp"
 #include "cc/cubic.hpp"
+#include "exp/cli_flags.hpp"
 #include "flow/receiver.hpp"
 #include "flow/sender.hpp"
 #include "net/bottleneck_link.hpp"
@@ -15,11 +16,13 @@
 
 using namespace bbrnash;
 
-int main(int argc, char** argv) {
-  const double cap_mbps = argc > 1 ? std::atof(argv[1]) : 50.0;
-  const double rtt_ms = argc > 2 ? std::atof(argv[2]) : 40.0;
-  const double buf_bdp = argc > 3 ? std::atof(argv[3]) : 4.0;
-  const double dur_s = argc > 4 ? std::atof(argv[4]) : 40.0;
+int main(int argc, char** argv) try {
+  const double cap_mbps =
+      argc > 1 ? parse_double_strict("cap_mbps", argv[1]) : 50.0;
+  const double rtt_ms = argc > 2 ? parse_double_strict("rtt_ms", argv[2]) : 40.0;
+  const double buf_bdp =
+      argc > 3 ? parse_double_strict("buf_bdp", argv[3]) : 4.0;
+  const double dur_s = argc > 4 ? parse_double_strict("dur_s", argv[4]) : 40.0;
 
   Simulator sim;
   const BytesPerSec cap = mbps(cap_mbps);
@@ -80,7 +83,8 @@ int main(int argc, char** argv) {
           t, d0, d1, eps[0].snd->cc().cwnd() / kDefaultMss,
           eps[1].snd->cc().cwnd() / kDefaultMss, st, to_mbps(bbr->btlbw()),
           to_ms(bbr->rtprop()),
-          100.0 * link.queue().occupied_bytes() / buffer,
+          100.0 * static_cast<double>(link.queue().occupied_bytes()) /
+              static_cast<double>(buffer),
           link.queue().flow_occupancy(0) / 1500,
           link.queue().flow_occupancy(1) / 1500,
           eps[0].snd->retransmit_count(), eps[1].snd->retransmit_count(),
@@ -89,4 +93,7 @@ int main(int argc, char** argv) {
   }
   sim.run_until(from_sec(dur_s) + 1);
   return 0;
+} catch (const std::invalid_argument& e) {
+  std::fprintf(stderr, "debug_trace: invalid configuration: %s\n", e.what());
+  return 2;
 }

@@ -1,0 +1,72 @@
+// bbrnash-lint driver. Usage:
+//
+//   bbrnash-lint [--root DIR] [--dirs a,b,c] [--no-suppressions]
+//
+// Scans DIR (default: current directory) under the given subdirectories
+// (default: src,bench,tools,tests) and prints every rule violation as
+// `file:line: [rule] detail` plus the list of active suppressions.
+// Exit codes: 0 clean, 1 violations found, 2 bad invocation.
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "lint_core.hpp"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > start) out.push_back(s.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> dirs = {"src", "bench", "tools", "tests"};
+  bool list_suppressions = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--dirs" && i + 1 < argc) {
+      dirs = split_csv(argv[++i]);
+    } else if (arg == "--no-suppressions") {
+      list_suppressions = false;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: bbrnash-lint [--root DIR] [--dirs a,b,c] "
+          "[--no-suppressions]\nrules:");
+      for (const std::string& r : bbrnash::lint::rule_names()) {
+        std::printf(" %s", r.c_str());
+      }
+      std::printf("\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "bbrnash-lint: unknown argument '%s'\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  try {
+    const bbrnash::lint::TreeReport report =
+        bbrnash::lint::scan_tree(root, dirs);
+    std::string text;
+    const int rc =
+        bbrnash::lint::render_report(report, text, list_suppressions);
+    std::fputs(text.c_str(), stdout);
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bbrnash-lint: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,81 @@
+#!/bin/sh
+# clang-tidy gate with a checked-in baseline.
+#
+# Usage: clang_tidy_gate.sh <source-root> <build-dir>
+#
+# Runs clang-tidy (config: <source-root>/.clang-tidy) over every
+# translation unit under src/ using the build tree's
+# compile_commands.json, normalizes the findings to stable
+# `relative/path.cpp:line: warning-name` triples, and diffs them against
+# tools/lint/clang_tidy_baseline.txt. Only NEW findings fail the gate, so
+# the bar can be adopted incrementally: fixing an old finding just means
+# deleting its baseline line.
+#
+# Exit codes: 0 clean (no new findings), 1 new findings, 77 skipped
+# (clang-tidy or compile_commands.json unavailable — ctest maps 77 to
+# SKIP via SKIP_RETURN_CODE), 2 usage error.
+set -u
+
+if [ "$#" -ne 2 ]; then
+  echo "usage: $0 <source-root> <build-dir>" >&2
+  exit 2
+fi
+# Canonicalize: clang-tidy prints absolute paths, and the normalization
+# below strips the "$SRC_ROOT/" prefix, so a relative argument would
+# silently match nothing.
+SRC_ROOT=$(cd "$1" && pwd) || exit 2
+BUILD_DIR=$(cd "$2" && pwd) || exit 2
+BASELINE="$SRC_ROOT/tools/lint/clang_tidy_baseline.txt"
+
+TIDY=${CLANG_TIDY:-clang-tidy}
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "clang_tidy_gate: '$TIDY' not found; skipping (install clang-tidy or set CLANG_TIDY)" >&2
+  exit 77
+fi
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "clang_tidy_gate: $BUILD_DIR/compile_commands.json missing; skipping (configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON)" >&2
+  exit 77
+fi
+
+TMP_DIR=$(mktemp -d) || exit 2
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+# Scope: the library sources. Tests/bench/tools are covered by
+# bbrnash-lint; clang-tidy on gtest TUs is slow and noisy.
+find "$SRC_ROOT/src" -name '*.cpp' | LC_ALL=C sort > "$TMP_DIR/files" || exit 2
+if [ ! -s "$TMP_DIR/files" ]; then
+  echo "clang_tidy_gate: no sources found under $SRC_ROOT/src" >&2
+  exit 2
+fi
+
+# clang-tidy exits non-zero when it emits warnings; the gate's verdict is
+# the baseline diff, so ignore its exit status and parse the output.
+xargs "$TIDY" -p "$BUILD_DIR" --quiet < "$TMP_DIR/files" \
+  > "$TMP_DIR/raw" 2> "$TMP_DIR/err" || true
+
+# Normalize to `relative/path:line: [check-name]`. Column numbers are
+# dropped so unrelated edits on the same line don't churn the baseline.
+sed -n 's|^'"$SRC_ROOT"'/\(.*\):\([0-9]*\):[0-9]*: warning: .*\[\(.*\)\]$|\1:\2: [\3]|p' \
+  "$TMP_DIR/raw" | LC_ALL=C sort -u > "$TMP_DIR/current"
+
+# Baseline lines, comments and blanks stripped.
+if [ -f "$BASELINE" ]; then
+  grep -v '^[[:space:]]*#' "$BASELINE" | grep -v '^[[:space:]]*$' \
+    | LC_ALL=C sort -u > "$TMP_DIR/baseline"
+else
+  : > "$TMP_DIR/baseline"
+fi
+
+# New findings = current minus baseline.
+comm -23 "$TMP_DIR/current" "$TMP_DIR/baseline" > "$TMP_DIR/new"
+
+N_CURRENT=$(wc -l < "$TMP_DIR/current")
+N_NEW=$(wc -l < "$TMP_DIR/new")
+if [ "$N_NEW" -gt 0 ]; then
+  echo "clang_tidy_gate: $N_NEW NEW finding(s) not in $BASELINE:"
+  cat "$TMP_DIR/new"
+  echo "clang_tidy_gate: fix them, or (with justification) append the lines above to the baseline."
+  exit 1
+fi
+echo "clang_tidy_gate: clean ($N_CURRENT finding(s), all baselined)"
+exit 0

@@ -1,0 +1,669 @@
+#include "lint_core.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bbrnash::lint {
+
+namespace {
+
+// The annotation marker. It lives in a string literal, and rule matching
+// runs on literal-stripped text, so this file stays clean under self-scan;
+// annotation extraction runs on comment text only, where the marker is
+// matched verbatim.
+constexpr std::string_view kAllowMarker = "bbrnash-lint: allow(";
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return std::string{s.substr(b, e - b)};
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: strip comments and string/char literals (preserving line and
+// column structure), extracting allow-annotations from comment text.
+// ---------------------------------------------------------------------------
+
+struct StrippedFile {
+  std::vector<std::string> raw;   ///< original lines
+  std::vector<std::string> code;  ///< literals/comments blanked to spaces
+  std::vector<Suppression> annotations;  ///< file field left empty
+};
+
+void parse_annotation(const std::string& comment, int line,
+                      std::vector<Suppression>& out) {
+  std::size_t at = comment.find(kAllowMarker);
+  while (at != std::string::npos) {
+    const std::size_t rule_begin = at + kAllowMarker.size();
+    const std::size_t rule_end = comment.find(')', rule_begin);
+    if (rule_end == std::string::npos) break;
+    Suppression s;
+    s.rule = trim(comment.substr(rule_begin, rule_end - rule_begin));
+    s.line = line;
+    const std::size_t dash = comment.find("--", rule_end);
+    if (dash != std::string::npos) s.reason = trim(comment.substr(dash + 2));
+    if (!s.rule.empty()) out.push_back(std::move(s));
+    at = comment.find(kAllowMarker, rule_end);
+  }
+}
+
+StrippedFile strip_file(const std::filesystem::path& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    throw std::runtime_error{"bbrnash-lint: cannot open " + path.string()};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  StrippedFile out;
+  std::string raw_line;
+  std::string code_line;
+  std::string comment_text;  // accumulated text of the comment in progress
+  int comment_start_line = 0;
+  int line = 1;
+
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string raw_delim;  // for raw strings: the )delim" terminator
+
+  auto end_line = [&] {
+    out.raw.push_back(raw_line);
+    out.code.push_back(code_line);
+    raw_line.clear();
+    code_line.clear();
+    ++line;
+  };
+  auto flush_comment = [&] {
+    parse_annotation(comment_text, comment_start_line, out.annotations);
+    comment_text.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) {
+        flush_comment();
+        state = State::kCode;
+      }
+      end_line();
+      continue;
+    }
+    raw_line.push_back(c);
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          comment_start_line = line;
+          code_line.push_back(' ');
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          comment_start_line = line;
+          code_line.push_back(' ');
+          raw_line.push_back(next);
+          code_line.push_back(' ');
+          ++i;
+        } else if (c == '"') {
+          // R"delim( ... )delim" — raw string if preceded by a bare R.
+          const bool raw_prefix =
+              !code_line.empty() && code_line.back() == 'R' &&
+              (code_line.size() < 2 || !is_ident_char(code_line[code_line.size() - 2]));
+          if (raw_prefix) {
+            std::string delim;
+            std::size_t j = i + 1;
+            while (j < text.size() && text[j] != '(' && text[j] != '\n') {
+              delim.push_back(text[j]);
+              ++j;
+            }
+            raw_delim = ")" + delim + "\"";
+            state = State::kRawString;
+          } else {
+            state = State::kString;
+          }
+          code_line.push_back(' ');
+        } else if (c == '\'') {
+          // Distinguish digit separators (1'000) from char literals.
+          const bool separator =
+              !code_line.empty() &&
+              std::isdigit(static_cast<unsigned char>(code_line.back())) != 0 &&
+              std::isdigit(static_cast<unsigned char>(next)) != 0;
+          if (separator) {
+            code_line.push_back(c);
+          } else {
+            state = State::kChar;
+            code_line.push_back(' ');
+          }
+        } else {
+          code_line.push_back(c);
+        }
+        break;
+      case State::kLineComment:
+        comment_text.push_back(c);
+        code_line.push_back(' ');
+        break;
+      case State::kBlockComment:
+        comment_text.push_back(c);
+        code_line.push_back(' ');
+        if (c == '*' && next == '*') break;
+        if (c == '*' && next == '/') {
+          raw_line.push_back(next);
+          code_line.push_back(' ');
+          ++i;
+          flush_comment();
+          state = State::kCode;
+        }
+        break;
+      case State::kString:
+        code_line.push_back(' ');
+        if (c == '\\' && next != '\0' && next != '\n') {
+          raw_line.push_back(next);
+          code_line.push_back(' ');
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        code_line.push_back(' ');
+        if (c == '\\' && next != '\0' && next != '\n') {
+          raw_line.push_back(next);
+          code_line.push_back(' ');
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString:
+        code_line.push_back(' ');
+        if (c == ')' && text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t k = 1; k < raw_delim.size(); ++k) {
+            raw_line.push_back(text[i + k]);
+            code_line.push_back(' ');
+          }
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  if (state == State::kLineComment || state == State::kBlockComment) {
+    flush_comment();
+  }
+  if (!raw_line.empty() || !code_line.empty()) end_line();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Matching helpers (identifier-boundary token search on stripped lines).
+// ---------------------------------------------------------------------------
+
+/// Calls fn(pos) for each occurrence of `tok` in `line` with identifier
+/// boundaries on both sides.
+template <typename Fn>
+void for_each_token(const std::string& line, std::string_view tok, Fn&& fn) {
+  std::size_t at = line.find(tok);
+  while (at != std::string::npos) {
+    const bool left_ok = at == 0 || !is_ident_char(line[at - 1]);
+    const std::size_t after = at + tok.size();
+    const bool right_ok = after >= line.size() || !is_ident_char(line[after]);
+    if (left_ok && right_ok) fn(at);
+    at = line.find(tok, at + 1);
+  }
+}
+
+/// True when the token at `pos` is written as a function call: next
+/// non-space char is '('. Member calls (obj.name(...) / ptr->name(...))
+/// do not count; qualified calls (std::name) do.
+bool is_free_call(const std::string& line, std::size_t pos,
+                  std::string_view tok) {
+  std::size_t after = pos + tok.size();
+  while (after < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[after])) != 0) {
+    ++after;
+  }
+  if (after >= line.size() || line[after] != '(') return false;
+  if (pos > 0 && line[pos - 1] == '.') return false;
+  if (pos > 1 && line[pos - 2] == '-' && line[pos - 1] == '>') return false;
+  return true;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool is_preprocessor_line(const std::string& raw) {
+  const std::string t = trim(raw);
+  return !t.empty() && t[0] == '#';
+}
+
+/// A token that parses as a floating-point literal: starts with a digit or
+/// '.', and contains a '.' or an exponent. "1.25", ".5", "2.", "1e9" yes;
+/// "100", "x2", "0xFF" no.
+bool is_float_literal(std::string_view tok) {
+  if (tok.empty()) return false;
+  if (tok[0] != '.' && std::isdigit(static_cast<unsigned char>(tok[0])) == 0) {
+    return false;
+  }
+  if (tok.size() > 1 && tok[0] == '0' && (tok[1] == 'x' || tok[1] == 'X')) {
+    return false;
+  }
+  bool has_dot = false;
+  bool has_exp = false;
+  for (std::size_t i = 0; i < tok.size(); ++i) {
+    const char c = tok[i];
+    if (c == '.') {
+      has_dot = true;
+    } else if ((c == 'e' || c == 'E') && i > 0) {
+      has_exp = true;
+    } else if (c == '+' || c == '-') {
+      if (i == 0 || (tok[i - 1] != 'e' && tok[i - 1] != 'E')) return false;
+    } else if (c == 'f' || c == 'F' || c == 'l' || c == 'L') {
+      if (i + 1 != tok.size()) return false;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) == 0) {
+      return false;
+    }
+  }
+  return has_dot || has_exp;
+}
+
+// ---------------------------------------------------------------------------
+// Rules. Each appends candidate findings; suppressions are applied after.
+// ---------------------------------------------------------------------------
+
+struct FileContext {
+  std::string_view relpath;
+  const StrippedFile& f;
+  std::vector<Finding>& out;
+
+  void add(const std::string& rule, int line, std::string detail) const {
+    out.push_back(Finding{rule, std::string{relpath}, line, std::move(detail)});
+  }
+};
+
+void rule_wall_clock(const FileContext& ctx) {
+  // The two watchdog/telemetry translation units are the only places the
+  // experiment layer may consult wall time (watchdog backstops, worker
+  // telemetry); everything else must run on simulated time.
+  if (ctx.relpath == "src/exp/scenario_runner.cpp" ||
+      ctx.relpath == "src/exp/parallel.cpp") {
+    return;
+  }
+  static const std::string_view kClocks[] = {"steady_clock", "system_clock",
+                                             "high_resolution_clock"};
+  for (std::size_t i = 0; i < ctx.f.code.size(); ++i) {
+    for (const std::string_view clk : kClocks) {
+      for_each_token(ctx.f.code[i], clk, [&](std::size_t) {
+        ctx.add("wall-clock", static_cast<int>(i + 1),
+                std::string{clk} +
+                    ": wall-clock reads are banned outside the allowlisted "
+                    "watchdog/telemetry sites (src/exp/scenario_runner.cpp, "
+                    "src/exp/parallel.cpp)");
+      });
+    }
+  }
+}
+
+void rule_nondeterminism(const FileContext& ctx) {
+  static const std::string_view kCalls[] = {"rand", "srand", "time", "clock",
+                                            "getenv"};
+  for (std::size_t i = 0; i < ctx.f.code.size(); ++i) {
+    const std::string& line = ctx.f.code[i];
+    for (const std::string_view fn : kCalls) {
+      for_each_token(line, fn, [&](std::size_t pos) {
+        if (!is_free_call(line, pos, fn)) return;
+        ctx.add("nondeterminism", static_cast<int>(i + 1),
+                std::string{fn} +
+                    "(): ambient nondeterminism source; results must be a "
+                    "function of (scenario, seed) only");
+      });
+    }
+    for_each_token(line, "random_device", [&](std::size_t) {
+      ctx.add("nondeterminism", static_cast<int>(i + 1),
+              "std::random_device: entropy source breaks seed "
+              "reproducibility; use util/rng.hpp");
+    });
+  }
+}
+
+void rule_unordered(const FileContext& ctx) {
+  static const std::string_view kContainers[] = {"unordered_map",
+                                                 "unordered_set"};
+  // Pass 1: every non-preprocessor mention of an unordered container must
+  // be annotated (lookup-only is fine, but must say so); collect declared
+  // identifier names along the way.
+  std::vector<std::string> declared;
+  for (std::size_t i = 0; i < ctx.f.code.size(); ++i) {
+    const std::string& line = ctx.f.code[i];
+    if (is_preprocessor_line(ctx.f.raw[i])) continue;
+    for (const std::string_view tpl : kContainers) {
+      for_each_token(line, tpl, [&](std::size_t pos) {
+        ctx.add("unordered-container", static_cast<int>(i + 1),
+                std::string{tpl} +
+                    ": hash containers have platform-dependent order; a "
+                    "lookup-only use needs a justifying allow annotation");
+        // Declaration form: container<Args...> name — skip the template
+        // argument list (single line), then read the declared identifier.
+        std::size_t j = pos + tpl.size();
+        if (j >= line.size() || line[j] != '<') return;
+        int depth = 0;
+        for (; j < line.size(); ++j) {
+          if (line[j] == '<') ++depth;
+          if (line[j] == '>' && --depth == 0) {
+            ++j;
+            break;
+          }
+        }
+        while (j < line.size() &&
+               (std::isspace(static_cast<unsigned char>(line[j])) != 0 ||
+                line[j] == '&')) {
+          ++j;
+        }
+        std::string name;
+        while (j < line.size() && is_ident_char(line[j])) {
+          name.push_back(line[j]);
+          ++j;
+        }
+        if (!name.empty()) declared.push_back(std::move(name));
+      });
+    }
+  }
+  // Pass 2: iterating one of the declared containers is order-dependent by
+  // construction and cannot hide behind the declaration's annotation.
+  for (std::size_t i = 0; i < ctx.f.code.size(); ++i) {
+    const std::string& line = ctx.f.code[i];
+    for (const std::string& name : declared) {
+      for_each_token(line, name, [&](std::size_t pos) {
+        // Range-for: `for (... : name)`.
+        std::size_t before = pos;
+        while (before > 0 &&
+               std::isspace(static_cast<unsigned char>(line[before - 1])) !=
+                   0) {
+          --before;
+        }
+        bool fired = false;
+        if (before > 0 && line[before - 1] == ':' &&
+            (before < 2 || line[before - 2] != ':')) {
+          bool in_for = false;
+          for_each_token(line.substr(0, before), "for",
+                         [&](std::size_t) { in_for = true; });
+          if (in_for) fired = true;
+        }
+        // Explicit iteration: name.begin() / name.cbegin().
+        std::size_t after = pos + name.size();
+        if (!fired && after < line.size() && line[after] == '.') {
+          const std::string rest = line.substr(after + 1);
+          if (starts_with(rest, "begin") || starts_with(rest, "cbegin")) {
+            fired = true;
+          }
+        }
+        if (fired) {
+          ctx.add("unordered-iteration", static_cast<int>(i + 1),
+                  "iteration over hash container '" + name +
+                      "' is order-dependent; use an ordered container or "
+                      "sort before iterating");
+        }
+      });
+    }
+  }
+}
+
+void rule_casts(const FileContext& ctx) {
+  for (std::size_t i = 0; i < ctx.f.code.size(); ++i) {
+    for_each_token(ctx.f.code[i], "const_cast", [&](std::size_t) {
+      ctx.add("const-cast", static_cast<int>(i + 1),
+              "const_cast: mutating through a const view invites the "
+              "priority_queue-era UB back; redesign the ownership instead");
+    });
+    for_each_token(ctx.f.code[i], "reinterpret_cast", [&](std::size_t) {
+      ctx.add("reinterpret-cast", static_cast<int>(i + 1),
+              "reinterpret_cast outside the annotated pooled-storage "
+              "sites");
+    });
+  }
+}
+
+void rule_raw_parse(const FileContext& ctx) {
+  // The strict whole-token parsers live here; everything else goes
+  // through them so malformed tokens fail loudly.
+  if (ctx.relpath == "src/exp/cli_flags.cpp") return;
+  static const std::string_view kParsers[] = {
+      "atoi",  "atof",  "atol",  "atoll",   "strtod", "strtof", "strtold",
+      "strtol", "strtoll", "strtoul", "strtoull", "stod",   "stof",
+      "stold", "stoi",  "stol",  "stoll",   "stoul",  "stoull"};
+  for (std::size_t i = 0; i < ctx.f.code.size(); ++i) {
+    const std::string& line = ctx.f.code[i];
+    for (const std::string_view fn : kParsers) {
+      for_each_token(line, fn, [&](std::size_t pos) {
+        if (!is_free_call(line, pos, fn)) return;
+        ctx.add("raw-parse", static_cast<int>(i + 1),
+                std::string{fn} +
+                    "(): silently accepts garbage/partial tokens; use "
+                    "parse_double_strict / parse_int_strict / "
+                    "parse_u64_strict (src/exp/cli_flags.hpp)");
+      });
+    }
+  }
+}
+
+void rule_float(const FileContext& ctx) {
+  // Model equations and CC state machines are double-only: float narrows
+  // intermediates platform-dependently under FMA/x87 contraction.
+  if (!starts_with(ctx.relpath, "src/model/") &&
+      !starts_with(ctx.relpath, "src/cc/")) {
+    return;
+  }
+  for (std::size_t i = 0; i < ctx.f.code.size(); ++i) {
+    const std::string& line = ctx.f.code[i];
+    for_each_token(line, "float", [&](std::size_t) {
+      ctx.add("float-type", static_cast<int>(i + 1),
+              "float: model/CC arithmetic is double-only (see DESIGN.md); "
+              "float intermediates drift across platforms");
+    });
+    for (std::size_t pos = 0; pos + 1 < line.size(); ++pos) {
+      const bool eq = line[pos] == '=' && line[pos + 1] == '=';
+      const bool ne = line[pos] == '!' && line[pos + 1] == '=';
+      if (!eq && !ne) continue;
+      if (pos + 2 < line.size() && line[pos + 2] == '=') continue;
+      if (eq && pos > 0 &&
+          std::string_view{"<>!=+-*/%&|^"}.find(line[pos - 1]) !=
+              std::string_view::npos) {
+        continue;
+      }
+      // Extract the operand tokens on both sides.
+      auto read_right = [&] {
+        std::size_t j = pos + 2;
+        while (j < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[j])) != 0) {
+          ++j;
+        }
+        if (j < line.size() && line[j] == '-') ++j;
+        std::string tok;
+        while (j < line.size() &&
+               (is_ident_char(line[j]) || line[j] == '.' ||
+                ((line[j] == '+' || line[j] == '-') && !tok.empty() &&
+                 (tok.back() == 'e' || tok.back() == 'E')))) {
+          tok.push_back(line[j]);
+          ++j;
+        }
+        return tok;
+      };
+      auto read_left = [&] {
+        std::size_t j = pos;
+        while (j > 0 &&
+               std::isspace(static_cast<unsigned char>(line[j - 1])) != 0) {
+          --j;
+        }
+        std::size_t end = j;
+        while (j > 0 && (is_ident_char(line[j - 1]) || line[j - 1] == '.')) {
+          --j;
+        }
+        return line.substr(j, end - j);
+      };
+      if (is_float_literal(read_right()) || is_float_literal(read_left())) {
+        ctx.add("float-equality", static_cast<int>(i + 1),
+                "exact ==/!= against a floating-point literal; compare "
+                "with an explicit tolerance or an integer/enum state");
+      }
+    }
+  }
+}
+
+void rule_pragma_once(const FileContext& ctx) {
+  if (ctx.relpath.size() < 4 ||
+      ctx.relpath.substr(ctx.relpath.size() - 4) != ".hpp") {
+    return;
+  }
+  for (const std::string& raw : ctx.f.raw) {
+    if (trim(raw) == "#pragma once") return;
+  }
+  ctx.add("pragma-once", 1, "header is missing #pragma once");
+}
+
+}  // namespace
+
+std::vector<std::string> rule_names() {
+  return {"wall-clock",       "nondeterminism",      "unordered-container",
+          "unordered-iteration", "const-cast",       "reinterpret-cast",
+          "raw-parse",        "float-type",          "float-equality",
+          "pragma-once",      "unused-suppression"};
+}
+
+void scan_file(const std::filesystem::path& path, std::string_view relpath,
+               TreeReport& out) {
+  const StrippedFile f = strip_file(path);
+  std::vector<Finding> candidates;
+  const FileContext ctx{relpath, f, candidates};
+  rule_wall_clock(ctx);
+  rule_nondeterminism(ctx);
+  rule_unordered(ctx);
+  rule_casts(ctx);
+  rule_raw_parse(ctx);
+  rule_float(ctx);
+  rule_pragma_once(ctx);
+
+  std::vector<Suppression> sups = f.annotations;
+  const int n_lines = static_cast<int>(f.code.size());
+  auto line_has_code = [&](int line1) {
+    return f.code[static_cast<std::size_t>(line1 - 1)].find_first_not_of(
+               " \t\r") != std::string::npos;
+  };
+  auto is_comment_only = [&](int line1) {
+    return !line_has_code(line1) &&
+           starts_with(trim(f.raw[static_cast<std::size_t>(line1 - 1)]), "//");
+  };
+  for (Suppression& s : sups) {
+    s.file = std::string{relpath};
+    // Merge continuation comment lines into the justification.
+    for (int l = s.line + 1; l <= n_lines && is_comment_only(l); ++l) {
+      const std::string raw = trim(f.raw[static_cast<std::size_t>(l - 1)]);
+      std::size_t at = 0;
+      while (at < raw.size() && raw[at] == '/') ++at;
+      const std::string cont = trim(raw.substr(at));
+      if (cont.find(kAllowMarker) != std::string::npos) break;
+      if (!cont.empty()) s.reason += (s.reason.empty() ? "" : " ") + cont;
+    }
+  }
+
+  // A suppression covers its own line through the next line carrying any
+  // code, so it can sit on the offending line or in a (possibly
+  // multi-line) comment immediately above it.
+  auto cover_end = [&](const Suppression& s) {
+    int l = s.line + 1;
+    while (l <= n_lines && !line_has_code(l)) ++l;
+    return std::min(l, n_lines);
+  };
+  for (Finding& fd : candidates) {
+    bool masked = false;
+    for (Suppression& s : sups) {
+      if (s.rule == fd.rule && s.line <= fd.line &&
+          fd.line <= cover_end(s)) {
+        s.used = true;
+        masked = true;
+      }
+    }
+    if (!masked) out.findings.push_back(std::move(fd));
+  }
+  for (const Suppression& s : sups) {
+    if (!s.used) {
+      out.findings.push_back(
+          Finding{"unused-suppression", s.file, s.line,
+                  "allow(" + s.rule + ") masks nothing; remove the stale "
+                  "annotation"});
+    }
+  }
+  out.suppressions.insert(out.suppressions.end(), sups.begin(), sups.end());
+  ++out.files_scanned;
+}
+
+TreeReport scan_tree(const std::filesystem::path& root,
+                     const std::vector<std::string>& dirs) {
+  TreeReport report;
+  std::vector<std::pair<std::string, std::filesystem::path>> files;
+  for (const std::string& dir : dirs) {
+    const std::filesystem::path base = root / dir;
+    if (!std::filesystem::exists(base)) continue;
+    for (const auto& entry :
+         std::filesystem::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".cpp" && ext != ".hpp") continue;
+      std::string rel =
+          std::filesystem::relative(entry.path(), root).generic_string();
+      // The fixture corpus holds deliberate violations for the lint's own
+      // tests; never treat it as part of the tree under audit.
+      if (rel.find("tests/lint/fixtures") != std::string::npos) continue;
+      files.emplace_back(std::move(rel), entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& [rel, path] : files) scan_file(path, rel, report);
+
+  auto by_site = [](const auto& a, const auto& b) {
+    return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+  };
+  std::sort(report.findings.begin(), report.findings.end(), by_site);
+  std::sort(report.suppressions.begin(), report.suppressions.end(), by_site);
+  return report;
+}
+
+int render_report(const TreeReport& report, std::string& out,
+                  bool list_suppressions) {
+  std::ostringstream os;
+  if (list_suppressions) {
+    for (const Suppression& s : report.suppressions) {
+      os << "bbrnash-lint: suppression " << s.file << ":" << s.line << " ["
+         << s.rule << "]"
+         << (s.reason.empty() ? "" : " -- " + s.reason) << "\n";
+    }
+  }
+  for (const Finding& f : report.findings) {
+    os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.detail
+       << "\n";
+  }
+  os << "bbrnash-lint: " << report.findings.size() << " violation"
+     << (report.findings.size() == 1 ? "" : "s") << ", "
+     << report.suppressions.size() << " suppression"
+     << (report.suppressions.size() == 1 ? "" : "s") << ", "
+     << report.files_scanned << " files scanned\n";
+  out = os.str();
+  return report.findings.empty() ? 0 : 1;
+}
+
+}  // namespace bbrnash::lint

@@ -1,0 +1,83 @@
+// bbrnash-lint: project-specific determinism & safety lint.
+//
+// The dynamic suites (jobs=1-vs-8 equivalence, chaos redo assertions,
+// conservation audits) enforce bit-identical reproducibility at run time,
+// but only probabilistically: a refactor that sneaks in a wall-clock read
+// or an unordered-iteration order dependence passes until a run happens to
+// exercise it. This tool makes the repo invariants a *lint-time* property:
+// it scans src/, bench/, tools/, and tests/ for constructs that are banned
+// by contract, with a scoped suppression syntax for the handful of
+// legitimate sites.
+//
+// Suppression syntax (a line comment; covers its own line through the
+// next line carrying code, so it can sit on the offending line or in a
+// possibly multi-line comment immediately above it — continuation comment
+// lines are folded into the justification):
+//
+//     allow(<rule>) -- <one-line justification>
+//
+// prefixed by the tool name and a colon (spelled out in DESIGN.md; not
+// written literally here so this header stays clean under self-scan).
+// Every suppression is parsed, counted, and listed in the report; a
+// suppression that masks nothing is itself a violation
+// (`unused-suppression`), so stale allows can't accumulate.
+//
+// Matching runs on a comment- and string-literal-stripped view of each
+// file, so prose and log messages can mention banned identifiers freely —
+// which is also what keeps this tool's own sources (full of rule patterns
+// in string literals) clean under the tree scan.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bbrnash::lint {
+
+/// One rule violation. `rule` is the stable kebab-case rule name that the
+/// suppression syntax and the fixture tests key on.
+struct Finding {
+  std::string rule;
+  std::string file;  ///< path relative to the scan root
+  int line = 0;      ///< 1-based
+  std::string detail;
+};
+
+/// One parsed allow-annotation.
+struct Suppression {
+  std::string rule;
+  std::string file;
+  int line = 0;
+  std::string reason;
+  bool used = false;  ///< did it mask at least one finding?
+};
+
+struct TreeReport {
+  std::vector<Finding> findings;
+  std::vector<Suppression> suppressions;
+  int files_scanned = 0;
+};
+
+/// Names of every rule, for help text and fixture tests.
+[[nodiscard]] std::vector<std::string> rule_names();
+
+/// Scans `dirs` (relative to `root`) recursively for *.cpp / *.hpp files
+/// and appends findings + suppressions. Paths containing the fixture
+/// corpus (`tests/lint/fixtures`) are skipped: fixtures hold deliberate
+/// violations. Findings are reported in deterministic (path, line) order.
+[[nodiscard]] TreeReport scan_tree(const std::filesystem::path& root,
+                                   const std::vector<std::string>& dirs);
+
+/// Scans a single file as `relpath` (the path rules key on). Exposed for
+/// the fixture tests.
+void scan_file(const std::filesystem::path& path, std::string_view relpath,
+               TreeReport& out);
+
+/// Renders the human-readable report (suppressions first, then findings,
+/// then a one-line summary). Returns the process exit code: 0 clean,
+/// 1 violations found.
+[[nodiscard]] int render_report(const TreeReport& report, std::string& out,
+                                bool list_suppressions);
+
+}  // namespace bbrnash::lint
