@@ -41,6 +41,12 @@ const char* to_string(ChaosClass cls) {
       return "checkpoint-torn";
     case ChaosClass::kNeCell:
       return "ne-cell";
+    case ChaosClass::kWorkerKill:
+      return "worker-kill";
+    case ChaosClass::kWorkerHang:
+      return "worker-hang";
+    case ChaosClass::kSupervisorCrash:
+      return "supervisor-crash";
   }
   return "unknown";
 }
@@ -67,13 +73,13 @@ bool ChaosInjector::should_fire(ChaosClass cls, std::string_view site) {
   const auto [it, inserted] = fired_sites_.emplace(
       static_cast<std::uint8_t>(cls), std::string{site});
   if (!inserted) return false;  // fire-once per (class, site)
-  ++fired_by_class_[static_cast<std::uint8_t>(cls) & 7];
+  ++fired_by_class_[static_cast<std::uint8_t>(cls) & 15];
   return true;
 }
 
 std::uint64_t ChaosInjector::fired(ChaosClass cls) const {
   std::lock_guard<std::mutex> lock{mu_};
-  return fired_by_class_[static_cast<std::uint8_t>(cls) & 7];
+  return fired_by_class_[static_cast<std::uint8_t>(cls) & 15];
 }
 
 std::uint64_t ChaosInjector::total_fired() const {

@@ -1,0 +1,1045 @@
+#include "exp/fabric.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "exp/chaos.hpp"
+#include "exp/checkpoint.hpp"
+#include "exp/cli_flags.hpp"
+
+namespace bbrnash {
+
+namespace {
+
+// bbrnash-lint: allow(wall-clock) -- lease deadlines, heartbeat cadence and
+// backoff windows measure the health of real OS processes, which live on
+// real time; no simulated quantity flows through this clock.
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+// --- Annotated syscall shims ----------------------------------------------
+//
+// The supervisor's whole job is managing worker processes, so this module
+// concentrates every process-control call into one shim each; the rest of
+// the file (and the lint scan) sees only these names.
+
+pid_t fork_process() {
+  // bbrnash-lint: allow(process-control) -- the fabric's single fork site;
+  // workers inherit the sweep inputs by address-space copy.
+  return ::fork();
+}
+
+pid_t reap_process(pid_t pid, int* status, int flags) {
+  // bbrnash-lint: allow(process-control) -- waitpid is how the supervisor
+  // detects worker exit and crash (the tentpole failure detector).
+  return ::waitpid(pid, status, flags);
+}
+
+void send_signal(pid_t pid, int sig) {
+  // bbrnash-lint: allow(process-control) -- supervisor-side SIGTERM/SIGKILL
+  // for hung workers and teardown; worker-side SIGKILL for the chaos drill.
+  ::kill(pid, sig);
+}
+
+[[noreturn]] void exit_process(int code) {
+  // bbrnash-lint: allow(process-control) -- forked workers must leave via
+  // _exit: running atexit/static destructors (twice) in a fork child of a
+  // gtest/CLI process corrupts shared state.
+  ::_exit(code);
+}
+
+// --- Signals ---------------------------------------------------------------
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_stop_signal(int /*sig*/) { g_stop = 1; }
+
+/// Installs SIGINT/SIGTERM handlers (no SA_RESTART, so blocking poll/read
+/// return EINTR and the supervisor/worker loops notice g_stop promptly);
+/// restores the previous handlers on destruction. The cooperative flag is
+/// what lets an interrupted sweep flush its lease/commit appends and dump
+/// incidents before exiting — a ctrl-C'd sweep resumes cleanly.
+class ScopedStopSignals {
+ public:
+  ScopedStopSignals() {
+    g_stop = 0;
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = on_stop_signal;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGINT, &sa, &old_int_);
+    sigaction(SIGTERM, &sa, &old_term_);
+    // A worker can die between our liveness check and a command write;
+    // that write must come back as EPIPE, not kill the supervisor.
+    struct sigaction ign;
+    std::memset(&ign, 0, sizeof ign);
+    ign.sa_handler = SIG_IGN;
+    sigemptyset(&ign.sa_mask);
+    sigaction(SIGPIPE, &ign, &old_pipe_);
+  }
+  ~ScopedStopSignals() {
+    sigaction(SIGINT, &old_int_, nullptr);
+    sigaction(SIGTERM, &old_term_, nullptr);
+    sigaction(SIGPIPE, &old_pipe_, nullptr);
+  }
+  ScopedStopSignals(const ScopedStopSignals&) = delete;
+  ScopedStopSignals& operator=(const ScopedStopSignals&) = delete;
+
+ private:
+  struct sigaction old_int_ {};
+  struct sigaction old_term_ {};
+  struct sigaction old_pipe_ {};
+};
+
+// --- Pipe plumbing ---------------------------------------------------------
+
+bool write_all(int fd, const char* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;  // EPIPE after supervisor death, etc.
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool write_line(int fd, const std::string& line) {
+  const std::string framed = line + "\n";
+  return write_all(fd, framed.data(), framed.size());
+}
+
+/// Incremental line splitter over a pipe fd. drain() appends every complete
+/// line currently readable; returns false once EOF has been seen.
+struct LineReader {
+  int fd = -1;
+  std::string buf;
+  bool eof = false;
+
+  bool drain(std::vector<std::string>& lines) {
+    char chunk[4096];
+    for (;;) {
+      const ssize_t r = ::read(fd, chunk, sizeof chunk);
+      if (r > 0) {
+        buf.append(chunk, static_cast<std::size_t>(r));
+        continue;
+      }
+      if (r == 0) {
+        eof = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      break;  // EAGAIN: drained for now
+    }
+    std::size_t at = 0;
+    for (;;) {
+      const std::size_t nl = buf.find('\n', at);
+      if (nl == std::string::npos) break;
+      lines.push_back(buf.substr(at, nl - at));
+      at = nl + 1;
+    }
+    buf.erase(0, at);
+    return !eof;
+  }
+};
+
+/// One blocking line read (worker side: the command pipe). Returns 1 on a
+/// line, 0 on EOF (supervisor died — orphaned workers must exit), -1 on
+/// EINTR with no complete line (caller re-checks g_stop).
+int read_line_blocking(int fd, std::string& carry, std::string* line) {
+  for (;;) {
+    const std::size_t nl = carry.find('\n');
+    if (nl != std::string::npos) {
+      *line = carry.substr(0, nl);
+      carry.erase(0, nl + 1);
+      return 1;
+    }
+    char chunk[512];
+    const ssize_t r = ::read(fd, chunk, sizeof chunk);
+    if (r > 0) {
+      carry.append(chunk, static_cast<std::size_t>(r));
+      continue;
+    }
+    if (r == 0) return 0;
+    if (errno == EINTR) return -1;
+    return 0;
+  }
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+std::string sanitize_for_line(std::string s) {
+  for (char& c : s) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return s;
+}
+
+/// Cell index out of a protocol message field; nullopt on garbage (a torn
+/// pipe write) so the caller can drop the message instead of acting on a
+/// bogus index.
+std::optional<std::size_t> parse_index(const std::string& tok,
+                                       std::size_t limit) {
+  try {
+    const std::uint64_t v = parse_u64_strict("fabric-index", tok);
+    if (v >= limit) return std::nullopt;
+    return static_cast<std::size_t>(v);
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+}
+
+// --- Worker process --------------------------------------------------------
+
+/// Command protocol, supervisor -> worker:  "run <cell-index> <fault>"
+/// (fault in {none, kill, hang}) or "quit". Worker -> supervisor:
+/// "hb <idx>", "done <idx> <jsonl record>", "fail <idx> <message>".
+/// Chaos faults are decided by the SUPERVISOR and shipped in the command:
+/// the injector's fire-once set lives in one process, so a reassigned cell
+/// is never re-faulted (a worker-local injector would re-derive the same
+/// hash and kill every respawn forever).
+[[noreturn]] void worker_main(int cmd_fd, int res_fd, const NetworkParams& net,
+                              const std::vector<FabricCell>& cells,
+                              CcKind challenger, const TrialConfig& trial,
+                              double heartbeat_ms) {
+  // A worker whose supervisor died mid-write must see EPIPE, not die.
+  std::signal(SIGPIPE, SIG_IGN);
+  {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = on_stop_signal;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+  }
+  g_stop = 0;
+
+  std::string carry;
+  std::mutex out_mu;  // heartbeat thread vs. result writes
+  for (;;) {
+    if (g_stop != 0) exit_process(0);
+    std::string line;
+    const int rc = read_line_blocking(cmd_fd, carry, &line);
+    if (rc == 0) exit_process(0);  // EOF: supervisor is gone
+    if (rc < 0) continue;          // EINTR: re-check g_stop
+    if (line == "quit") exit_process(0);
+
+    // "run <idx> <fault>"
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+    if (sp2 == std::string::npos || line.substr(0, sp1) != "run") {
+      continue;  // unknown command: ignore, stay alive
+    }
+    const auto parsed =
+        parse_index(line.substr(sp1 + 1, sp2 - sp1 - 1), cells.size());
+    if (!parsed.has_value()) continue;
+    const std::size_t idx = *parsed;
+    const std::string fault = line.substr(sp2 + 1);
+
+    // First heartbeat right away so the supervisor sees the claim is live.
+    {
+      const std::lock_guard<std::mutex> lk{out_mu};
+      if (!write_line(res_fd, "hb " + std::to_string(idx))) exit_process(0);
+    }
+    if (fault == "kill") {
+      // Chaos drill: die the way a crashed worker dies — no unwinding, no
+      // goodbye message, mid-cell from the supervisor's point of view.
+      send_signal(::getpid(), SIGKILL);
+    }
+    if (fault == "hang") {
+      // Chaos drill: stay alive but stop heartbeating; the supervisor must
+      // expire the lease and put us down.
+      for (;;) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+
+    std::atomic<bool> cell_done{false};
+    std::thread heartbeat{[&] {
+      const auto period =
+          std::chrono::duration<double, std::milli>(heartbeat_ms);
+      auto next = Clock::now() + period;
+      while (!cell_done.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        if (Clock::now() < next) continue;
+        next = Clock::now() + period;
+        const std::lock_guard<std::mutex> lk{out_mu};
+        if (!write_line(res_fd, "hb " + std::to_string(idx))) return;
+      }
+    }};
+
+    std::string reply;
+    try {
+      const MixOutcome m = run_mix_trials(net, cells[idx].num_cubic,
+                                          cells[idx].num_other, challenger,
+                                          trial);
+      reply = "done " + std::to_string(idx) + " " + mix_to_record(m).encode();
+    } catch (const std::exception& e) {
+      reply = "fail " + std::to_string(idx) + " " +
+              sanitize_for_line(e.what());
+    }
+    cell_done.store(true, std::memory_order_relaxed);
+    heartbeat.join();
+    const std::lock_guard<std::mutex> lk{out_mu};
+    if (!write_line(res_fd, reply)) exit_process(0);
+  }
+}
+
+// --- Supervisor ------------------------------------------------------------
+
+struct PendingCell {
+  std::size_t index = 0;
+  int attempts = 0;  ///< completed (failed) assignments so far
+  Clock::time_point not_before;
+};
+
+struct WorkerSlot {
+  int id = 0;
+  pid_t pid = -1;  ///< -1: no live process
+  int cmd_w = -1;
+  int res_r = -1;
+  LineReader reader;
+  long long cell = -1;  ///< index into cells; -1 idle
+  std::uint64_t epoch = 0;
+  Clock::time_point last_heartbeat;
+  Clock::time_point last_heartbeat_record;
+  int spawns = 0;
+  bool fault_armed = false;  ///< current assignment carries a chaos drill
+  int drill_deaths = 0;      ///< deaths the supervisor itself provoked
+  bool retired = false;
+  FabricWorkerStats stats;
+};
+
+class Supervisor {
+ public:
+  Supervisor(const NetworkParams& net, const std::vector<FabricCell>& cells,
+             CcKind challenger, const TrialConfig& trial,
+             const FabricConfig& cfg, std::string checkpoint_path,
+             std::string incident_path)
+      : net_(net),
+        cells_(cells),
+        challenger_(challenger),
+        trial_(trial),
+        cfg_(cfg),
+        checkpoint_path_(std::move(checkpoint_path)),
+        incident_path_(std::move(incident_path)) {
+    cell_keys_.reserve(cells_.size());
+    for (const FabricCell& c : cells_) {
+      cell_keys_.push_back(mix_checkpoint_key(net_, c.num_cubic, c.num_other,
+                                              challenger_, trial_));
+    }
+    out_.cells.assign(cells_.size(), std::nullopt);
+  }
+
+  ~Supervisor() { terminate_workers(/*force=*/true); }
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  FabricOutcome run() {
+    const Clock::time_point t0 = Clock::now();
+    replay_checkpoint(t0);
+
+    if (!pending_.empty()) {
+      const ScopedStopSignals signals;
+      const int n_workers = static_cast<int>(std::min<std::size_t>(
+          static_cast<std::size_t>(cfg_.workers), pending_.size()));
+      slots_.resize(static_cast<std::size_t>(n_workers));
+      for (int w = 0; w < n_workers; ++w) {
+        slots_[static_cast<std::size_t>(w)].id = w;
+        slots_[static_cast<std::size_t>(w)].stats.worker = w;
+      }
+      supervise();
+      // After a clean supervise() pass every worker is idle and quits on
+      // the pipe EOF; only a crash/interrupt leaves workers mid-cell.
+      terminate_workers(/*force=*/crashed_ || interrupted_);
+    }
+
+    finalize(t0);
+    return std::move(out_);
+  }
+
+ private:
+  // -- checkpoint & lease records -------------------------------------------
+
+  void replay_checkpoint(Clock::time_point now) {
+    const CheckpointLog log{checkpoint_path_};  // lookup-only: no writer
+                                                // thread exists when we fork
+    out_.stats.checkpoint_skipped_lines = log.skipped_lines();
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      if (const auto hit = log.lookup(cell_keys_[i])) {
+        out_.cells[i] = mix_from_record(*hit);
+        ++out_.stats.cells_from_checkpoint;
+        continue;
+      }
+      // A claim without a commit is a lease owned by a process that no
+      // longer exists (we are the only supervisor on this log): expire it
+      // in the log and take the cell back.
+      if (const auto lease = log.lookup(lease_key(cell_keys_[i]))) {
+        const std::string state = lease->get_string("lease");
+        if (state == "claim" || state == "heartbeat") {
+          append_lease(i, "expired", -1, 0, "stale-on-resume");
+          ++out_.stats.leases_expired;
+        }
+      }
+      pending_.push_back(PendingCell{i, 0, now});
+    }
+  }
+
+  void append_lease(std::size_t cell, const char* state, int worker,
+                    std::uint64_t epoch, const char* why) {
+    JsonlRecord rec;
+    rec.set("key", lease_key(cell_keys_[cell]));
+    rec.set("lease", state);
+    if (worker >= 0) rec.set("worker", worker);
+    rec.set("pid", static_cast<std::uint64_t>(
+                       worker >= 0 && slots_.size() >
+                                          static_cast<std::size_t>(worker)
+                           ? slots_[static_cast<std::size_t>(worker)].pid
+                           : 0));
+    rec.set("epoch", epoch);
+    if (why != nullptr && *why != '\0') rec.set("why", why);
+    append_jsonl_line(checkpoint_path_, rec.encode());
+  }
+
+  void append_commit(std::size_t cell, const JsonlRecord& measurement) {
+    JsonlRecord rec = measurement;
+    rec.set("key", cell_keys_[cell]);
+    append_jsonl_line(checkpoint_path_, rec.encode());
+  }
+
+  void write_incident(const char* trigger, const WorkerSlot* slot,
+                      long long cell, int wait_status,
+                      const std::string& note) {
+    JsonlRecord rec;
+    rec.set("type", "bbrnash-fabric-v1");
+    rec.set("trigger", trigger);
+    if (slot != nullptr) {
+      rec.set("worker", slot->id);
+      rec.set("pid", static_cast<std::uint64_t>(slot->pid > 0 ? slot->pid : 0));
+    }
+    if (cell >= 0) {
+      rec.set("cell", static_cast<std::uint64_t>(cell));
+      rec.set("cell_key", cell_keys_[static_cast<std::size_t>(cell)]);
+    }
+    if (WIFSIGNALED(wait_status)) {
+      rec.set("signal", static_cast<std::uint64_t>(WTERMSIG(wait_status)));
+    } else if (WIFEXITED(wait_status)) {
+      rec.set("exit_code",
+              static_cast<std::uint64_t>(WEXITSTATUS(wait_status)));
+    }
+    if (!note.empty()) rec.set("note", sanitize_for_line(note));
+    if (cfg_.chaos != nullptr) rec.set("chaos", cfg_.chaos->describe());
+    try {
+      append_jsonl_line(incident_path_, rec.encode());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "fabric: cannot write incident record: %s\n",
+                   e.what());
+    }
+    ++out_.stats.incidents;
+  }
+
+  // -- worker lifecycle -----------------------------------------------------
+
+  bool spawn(WorkerSlot& slot) {
+    int cmd[2];
+    int res[2];
+    if (::pipe(cmd) != 0) return false;
+    if (::pipe(res) != 0) {
+      ::close(cmd[0]);
+      ::close(cmd[1]);
+      return false;
+    }
+    const pid_t pid = fork_process();
+    if (pid < 0) {
+      for (const int fd : {cmd[0], cmd[1], res[0], res[1]}) ::close(fd);
+      return false;
+    }
+    if (pid == 0) {
+      // Child: drop every supervisor-side descriptor (other workers' pipes
+      // included) so a dead supervisor reliably EOFs every worker.
+      for (const WorkerSlot& other : slots_) {
+        if (other.cmd_w >= 0) ::close(other.cmd_w);
+        if (other.res_r >= 0) ::close(other.res_r);
+      }
+      ::close(cmd[1]);
+      ::close(res[0]);
+      worker_main(cmd[0], res[1], net_, cells_, challenger_, trial_,
+                  std::max(1.0, cfg_.lease_ms / 4.0));
+    }
+    ::close(cmd[0]);
+    ::close(res[1]);
+    slot.pid = pid;
+    slot.cmd_w = cmd[1];
+    slot.res_r = res[0];
+    set_nonblocking(slot.res_r);
+    slot.reader = LineReader{slot.res_r, std::string{}, false};
+    slot.cell = -1;
+    ++slot.spawns;
+    ++slot.stats.spawns;
+    if (slot.spawns > 1) ++out_.stats.worker_respawns;
+    return true;
+  }
+
+  void close_slot_fds(WorkerSlot& slot) {
+    if (slot.cmd_w >= 0) ::close(slot.cmd_w);
+    if (slot.res_r >= 0) ::close(slot.res_r);
+    slot.cmd_w = -1;
+    slot.res_r = -1;
+  }
+
+  /// Decides the chaos fault to ship with an assignment. At most one fault
+  /// per assignment, priority kill > hang; fire-once per (class, cell)
+  /// means a cell survives each class at most once and then runs clean —
+  /// the recovery loop provably converges.
+  std::string arm_fault(std::size_t cell) {
+    if (cfg_.chaos == nullptr) return "none";
+    if (cfg_.chaos_worker_kill &&
+        cfg_.chaos->should_fire(ChaosClass::kWorkerKill,
+                                "fabric-kill " + cell_keys_[cell])) {
+      return "kill";
+    }
+    if (cfg_.chaos_worker_hang &&
+        cfg_.chaos->should_fire(ChaosClass::kWorkerHang,
+                                "fabric-hang " + cell_keys_[cell])) {
+      return "hang";
+    }
+    return "none";
+  }
+
+  bool assign(WorkerSlot& slot, PendingCell cell) {
+    const std::string fault = arm_fault(cell.index);
+    slot.fault_armed = fault != "none";
+    slot.cell = static_cast<long long>(cell.index);
+    slot.epoch = ++epoch_counter_;
+    slot.last_heartbeat = Clock::now();
+    slot.last_heartbeat_record = slot.last_heartbeat;
+    attempts_[cell.index] = cell.attempts;
+    ++slot.stats.cells_claimed;
+    append_lease(cell.index, "claim", slot.id, slot.epoch, "");
+    if (!write_line(slot.cmd_w, "run " + std::to_string(cell.index) + " " +
+                                    fault)) {
+      // The pipe is already broken: the worker died between assignments.
+      // Put the cell back; the reaper will notice the corpse.
+      slot.cell = -1;
+      revoke_lease(slot, cell.index, "worker-exit");
+      requeue(cell.index, "assign-write-failed");
+      return false;
+    }
+    return true;
+  }
+
+  void revoke_lease(WorkerSlot& slot, std::size_t cell, const char* why) {
+    append_lease(cell, "expired", slot.id, slot.epoch, why);
+    ++slot.stats.leases_expired;
+    ++out_.stats.leases_expired;
+  }
+
+  /// Bounded retry + exponential backoff for a cell whose lease was lost.
+  void requeue(std::size_t cell, const std::string& why) {
+    const int attempts = attempts_[cell] + 1;
+    if (attempts > cfg_.max_worker_retries) {
+      ++out_.stats.retries_exhausted;
+      mark_failed(cell, "retries exhausted after " + why);
+      return;
+    }
+    const double backoff_ms =
+        std::min(cfg_.backoff_base_ms *
+                     static_cast<double>(1ULL << static_cast<unsigned>(
+                                             std::min(attempts - 1, 20))),
+                 2000.0);
+    out_.stats.backoff_seconds_total += backoff_ms / 1000.0;
+    ++out_.stats.cells_reassigned;
+    pending_.push_back(PendingCell{
+        cell, attempts,
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               backoff_ms))});
+  }
+
+  void mark_failed(std::size_t cell, const std::string& reason) {
+    ++out_.stats.cells_failed;
+    out_.failed_cells.push_back(cell);
+    if (!out_.message.empty()) out_.message += "; ";
+    out_.message += "cell " + std::to_string(cell) + ": " + reason;
+  }
+
+  // -- event handling -------------------------------------------------------
+
+  void handle_line(WorkerSlot& slot, const std::string& line) {
+    if (line.rfind("hb ", 0) == 0) {
+      slot.last_heartbeat = Clock::now();
+      // Lease heartbeats are throttled to one record per lease period so a
+      // long cell does not balloon the log.
+      if (slot.cell >= 0 &&
+          seconds_between(slot.last_heartbeat_record, slot.last_heartbeat) >=
+              cfg_.lease_ms / 1000.0) {
+        slot.last_heartbeat_record = slot.last_heartbeat;
+        append_lease(static_cast<std::size_t>(slot.cell), "heartbeat",
+                     slot.id, slot.epoch, "");
+      }
+      return;
+    }
+    const bool is_done = line.rfind("done ", 0) == 0;
+    const bool is_fail = line.rfind("fail ", 0) == 0;
+    if (!is_done && !is_fail) return;
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 = line.find(' ', sp1 + 1);
+    if (sp2 == std::string::npos) return;
+    const auto parsed =
+        parse_index(line.substr(sp1 + 1, sp2 - sp1 - 1), cells_.size());
+    if (!parsed.has_value()) return;
+    const std::size_t idx = *parsed;
+    if (slot.cell != static_cast<long long>(idx)) {
+      return;  // stale message from a revoked lease
+    }
+    const std::string payload = line.substr(sp2 + 1);
+    slot.cell = -1;
+    slot.fault_armed = false;
+
+    if (is_fail) {
+      // A deterministic in-cell error (bad scenario, zero-trial cell):
+      // retrying re-runs the identical computation into the identical
+      // throw, so fail fast instead of burning the retry budget.
+      revoke_lease(slot, idx, "cell-error");
+      write_incident("worker-cell-error", &slot, static_cast<long long>(idx),
+                     0, payload);
+      mark_failed(idx, payload);
+      return;
+    }
+
+    const auto rec = JsonlRecord::parse(payload);
+    if (!rec.has_value()) {
+      revoke_lease(slot, idx, "bad-result");
+      write_incident("worker-bad-result", &slot, static_cast<long long>(idx),
+                     0, payload.substr(0, 120));
+      requeue(idx, "unparseable result");
+      return;
+    }
+
+    // The chaos drill for the third process-level class: the supervisor
+    // dies after the worker finished but BEFORE the commit reached the
+    // log. We model the crash (tear down the pool, report a typed
+    // crash outcome) instead of literally aborting so the caller — and the
+    // test suite — can immediately re-run the fabric and watch the resume
+    // path re-measure only the uncommitted cell.
+    if (cfg_.chaos != nullptr && cfg_.chaos_supervisor_crash &&
+        cfg_.chaos->should_fire(ChaosClass::kSupervisorCrash,
+                                "fabric-commit " + cell_keys_[idx])) {
+      ++out_.stats.supervisor_crashes;
+      write_incident("supervisor-crash", &slot, static_cast<long long>(idx),
+                     0, "chaos: supervisor crashed before commit");
+      crashed_ = true;
+      return;
+    }
+
+    append_lease(idx, "commit", slot.id, slot.epoch, "");
+    append_commit(idx, *rec);
+    out_.cells[idx] = mix_from_record(*rec);
+    ++slot.stats.cells_committed;
+    ++out_.stats.cells_committed;
+  }
+
+  void reap_dead_workers() {
+    for (WorkerSlot& slot : slots_) {
+      if (slot.pid <= 0) continue;
+      int status = 0;
+      const pid_t r = reap_process(slot.pid, &status, WNOHANG);
+      if (r != slot.pid) continue;
+      // Harvest any result that made it into the pipe before death.
+      drain_slot(slot);
+      ++out_.stats.worker_deaths;
+      const char* why = WIFSIGNALED(status) ? "worker-signal" : "worker-exit";
+      if (slot.cell >= 0) {
+        const std::size_t cell = static_cast<std::size_t>(slot.cell);
+        slot.cell = -1;
+        revoke_lease(slot, cell, why);
+        write_incident(why, &slot, static_cast<long long>(cell), status,
+                       "worker died holding a lease");
+        requeue(cell, why);
+      } else {
+        write_incident(why, &slot, -1, status, "worker died idle");
+      }
+      slot.pid = -1;
+      close_slot_fds(slot);
+      maybe_retire(slot);
+    }
+  }
+
+  /// A death the supervisor provoked itself (an armed chaos drill) is the
+  /// experiment working, not evidence of a bad worker slot: only
+  /// *unexplained* deaths burn the respawn budget, otherwise a full-rate
+  /// drill would retire the whole pool before recovery could converge.
+  void maybe_retire(WorkerSlot& slot) {
+    if (slot.fault_armed) {
+      ++slot.drill_deaths;
+      slot.fault_armed = false;
+    }
+    if (slot.spawns - slot.drill_deaths > cfg_.max_worker_respawns) {
+      slot.retired = true;
+      ++out_.stats.workers_retired;
+    }
+  }
+
+  void expire_stale_leases() {
+    const Clock::time_point now = Clock::now();
+    for (WorkerSlot& slot : slots_) {
+      if (slot.pid <= 0 || slot.cell < 0) continue;
+      if (seconds_between(slot.last_heartbeat, now) * 1000.0 < cfg_.lease_ms) {
+        continue;
+      }
+      // Heartbeat deadline breached: the worker is wedged. Expire the
+      // lease, put the process down (it cannot be trusted to come back),
+      // and let the reaper + requeue path recover the cell.
+      ++out_.stats.worker_hangs;
+      const std::size_t cell = static_cast<std::size_t>(slot.cell);
+      slot.cell = -1;
+      revoke_lease(slot, cell, "heartbeat-stale");
+      write_incident("worker-hang", &slot, static_cast<long long>(cell), 0,
+                     "no heartbeat within the lease deadline");
+      send_signal(slot.pid, SIGKILL);
+      int status = 0;
+      reap_process(slot.pid, &status, 0);  // SIGKILL cannot be refused
+      ++out_.stats.worker_deaths;
+      slot.pid = -1;
+      close_slot_fds(slot);
+      requeue(cell, "heartbeat-stale");
+      maybe_retire(slot);
+    }
+  }
+
+  void drain_slot(WorkerSlot& slot) {
+    if (slot.res_r < 0) return;
+    std::vector<std::string> lines;
+    slot.reader.drain(lines);
+    for (const std::string& line : lines) {
+      handle_line(slot, line);
+      if (crashed_) return;
+    }
+  }
+
+  [[nodiscard]] std::size_t cells_in_flight() const {
+    std::size_t n = 0;
+    for (const WorkerSlot& slot : slots_) {
+      if (slot.pid > 0 && slot.cell >= 0) ++n;
+    }
+    return n;
+  }
+
+  [[nodiscard]] bool pool_exhausted() const {
+    for (const WorkerSlot& slot : slots_) {
+      if (!slot.retired) return false;
+    }
+    return true;
+  }
+
+  void assign_ready_cells() {
+    const Clock::time_point now = Clock::now();
+    for (WorkerSlot& slot : slots_) {
+      if (pending_.empty()) return;
+      if (slot.retired || slot.cell >= 0) continue;
+      // Find the first pending cell whose backoff window has elapsed.
+      auto it = std::find_if(pending_.begin(), pending_.end(),
+                             [&](const PendingCell& c) {
+                               return c.not_before <= now;
+                             });
+      if (it == pending_.end()) return;
+      if (slot.pid <= 0 && !spawn(slot)) {
+        // fork/pipe failure: retire the slot rather than spin on it.
+        slot.retired = true;
+        ++out_.stats.workers_retired;
+        continue;
+      }
+      const PendingCell cell = *it;
+      pending_.erase(it);
+      assign(slot, cell);
+    }
+  }
+
+  void supervise() {
+    while (!crashed_) {
+      if (g_stop != 0) {
+        interrupted_ = true;
+        write_incident("interrupted", nullptr, -1, 0,
+                       "SIGINT/SIGTERM: committed cells are on disk; "
+                       "re-run with the same checkpoint to resume");
+        return;
+      }
+      reap_dead_workers();
+      if (crashed_) return;
+      expire_stale_leases();
+      assign_ready_cells();
+
+      if (pending_.empty() && cells_in_flight() == 0) return;
+      if (pool_exhausted()) {
+        // Graceful degradation's last stop: no worker slot left to run the
+        // remaining cells. Report them failed instead of aborting.
+        for (const PendingCell& c : pending_) {
+          mark_failed(c.index, "no worker slots left (pool exhausted)");
+        }
+        pending_.clear();
+        return;
+      }
+
+      std::vector<struct pollfd> fds;
+      std::vector<std::size_t> fd_slot;
+      for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (slots_[i].pid > 0 && slots_[i].res_r >= 0) {
+          struct pollfd pfd;
+          pfd.fd = slots_[i].res_r;
+          pfd.events = POLLIN;
+          pfd.revents = 0;
+          fds.push_back(pfd);
+          fd_slot.push_back(i);
+        }
+      }
+      const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 20);
+      if (rc < 0) {
+        if (errno == EINTR) continue;  // g_stop is checked at loop top
+        return;
+      }
+      for (std::size_t i = 0; i < fds.size(); ++i) {
+        if ((fds[i].revents & (POLLIN | POLLHUP)) != 0) {
+          drain_slot(slots_[fd_slot[i]]);
+          if (crashed_) return;
+        }
+      }
+    }
+  }
+
+  void terminate_workers(bool force) {
+    for (WorkerSlot& slot : slots_) {
+      if (slot.pid <= 0) continue;
+      if (slot.cmd_w >= 0) write_line(slot.cmd_w, "quit");
+      close_slot_fds(slot);  // EOF is the backstop quit signal
+    }
+    if (force) {
+      // Workers may be mid-simulation and not looking at the pipe: give
+      // the cooperative path a moment, then put them down hard.
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      for (WorkerSlot& slot : slots_) {
+        if (slot.pid <= 0) continue;
+        int status = 0;
+        if (reap_process(slot.pid, &status, WNOHANG) == slot.pid) {
+          slot.pid = -1;
+          continue;
+        }
+        send_signal(slot.pid, SIGTERM);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      for (WorkerSlot& slot : slots_) {
+        if (slot.pid <= 0) continue;
+        int status = 0;
+        if (reap_process(slot.pid, &status, WNOHANG) != slot.pid) {
+          send_signal(slot.pid, SIGKILL);
+          reap_process(slot.pid, &status, 0);
+        }
+        slot.pid = -1;
+      }
+    } else {
+      for (WorkerSlot& slot : slots_) {
+        if (slot.pid <= 0) continue;
+        int status = 0;
+        reap_process(slot.pid, &status, 0);  // idle workers quit instantly
+        slot.pid = -1;
+      }
+    }
+  }
+
+  void finalize(Clock::time_point t0) {
+    FabricStats& s = out_.stats;
+    s.cells_total = cells_.size();
+    for (const WorkerSlot& slot : slots_) s.workers.push_back(slot.stats);
+    s.wall_seconds = seconds_between(t0, Clock::now());
+    s.cells_per_second =
+        s.wall_seconds > 0.0
+            ? static_cast<double>(s.cells_committed) / s.wall_seconds
+            : 0.0;
+    std::sort(out_.failed_cells.begin(), out_.failed_cells.end());
+
+    if (crashed_) {
+      out_.status = FabricStatus::kSupervisorCrashed;
+      out_.message = "chaos: supervisor crashed before commit; re-run with "
+                     "checkpoint " + checkpoint_path_ + " to resume";
+    } else if (interrupted_) {
+      out_.status = FabricStatus::kInterrupted;
+      out_.message = "interrupted by SIGINT/SIGTERM; re-run with checkpoint " +
+                     checkpoint_path_ + " to resume";
+    } else if (!out_.failed_cells.empty()) {
+      out_.status = FabricStatus::kPartial;
+    } else {
+      out_.status = FabricStatus::kComplete;
+      out_.message.clear();
+    }
+  }
+
+  const NetworkParams& net_;
+  const std::vector<FabricCell>& cells_;
+  CcKind challenger_;
+  const TrialConfig& trial_;
+  const FabricConfig& cfg_;
+  std::string checkpoint_path_;
+  std::string incident_path_;
+  std::vector<std::string> cell_keys_;
+  std::vector<WorkerSlot> slots_;
+  std::deque<PendingCell> pending_;
+  std::map<std::size_t, int> attempts_;  ///< cell -> failed assignments
+  std::uint64_t epoch_counter_ = 0;
+  bool crashed_ = false;
+  bool interrupted_ = false;
+  FabricOutcome out_;
+};
+
+}  // namespace
+
+const char* to_string(FabricStatus status) {
+  switch (status) {
+    case FabricStatus::kComplete:
+      return "complete";
+    case FabricStatus::kPartial:
+      return "partial";
+    case FabricStatus::kInterrupted:
+      return "interrupted";
+    case FabricStatus::kSupervisorCrashed:
+      return "supervisor-crashed";
+  }
+  return "unknown";
+}
+
+JsonlRecord fabric_stats_to_record(const FabricStats& stats) {
+  JsonlRecord rec;
+  rec.set("type", "bbrnash-fabric-stats-v1");
+  rec.set("workers", static_cast<std::uint64_t>(stats.workers.size()));
+  rec.set("cells_total", stats.cells_total);
+  rec.set("cells_from_checkpoint", stats.cells_from_checkpoint);
+  rec.set("cells_committed", stats.cells_committed);
+  rec.set("cells_failed", stats.cells_failed);
+  rec.set("cells_reassigned", stats.cells_reassigned);
+  rec.set("leases_expired", stats.leases_expired);
+  rec.set("worker_deaths", stats.worker_deaths);
+  rec.set("worker_hangs", stats.worker_hangs);
+  rec.set("worker_respawns", stats.worker_respawns);
+  rec.set("workers_retired", stats.workers_retired);
+  rec.set("retries_exhausted", stats.retries_exhausted);
+  rec.set("supervisor_crashes", stats.supervisor_crashes);
+  rec.set("incidents", stats.incidents);
+  rec.set("checkpoint_skipped_lines",
+          static_cast<std::uint64_t>(stats.checkpoint_skipped_lines));
+  rec.set("backoff_seconds_total", stats.backoff_seconds_total);
+  rec.set("wall_seconds", stats.wall_seconds);
+  rec.set("cells_per_second", stats.cells_per_second);
+  for (const FabricWorkerStats& w : stats.workers) {
+    std::string p{"w"};
+    p += std::to_string(w.worker);
+    p += '.';
+    rec.set(p + "spawns", w.spawns);
+    rec.set(p + "claimed", w.cells_claimed);
+    rec.set(p + "committed", w.cells_committed);
+    rec.set(p + "expired", w.leases_expired);
+  }
+  return rec;
+}
+
+FabricOutcome run_fabric_cells(const NetworkParams& net,
+                               const std::vector<FabricCell>& cells,
+                               CcKind challenger, const TrialConfig& trial,
+                               const FabricConfig& fabric) {
+  if (fabric.workers < 1) {
+    throw std::invalid_argument{"fabric: workers must be >= 1"};
+  }
+  if (!(fabric.lease_ms > 0.0)) {
+    throw std::invalid_argument{"fabric: lease_ms must be > 0"};
+  }
+  if (fabric.max_worker_retries < 0 || fabric.max_worker_respawns < 0) {
+    throw std::invalid_argument{"fabric: retry/respawn budgets must be >= 0"};
+  }
+  if (cells.empty()) {
+    throw std::invalid_argument{"fabric: no cells to run"};
+  }
+
+  std::string checkpoint = fabric.checkpoint_path;
+  if (checkpoint.empty()) {
+    // Ephemeral coordination log: still crash-safe within the run, but a
+    // fresh file per invocation (no cross-run resume was asked for).
+    const auto dir = std::filesystem::temp_directory_path();
+    checkpoint = (dir / ("bbrnash-fabric-" + std::to_string(::getpid()) +
+                         ".jsonl")).string();
+    std::error_code ec;
+    std::filesystem::remove(checkpoint, ec);
+  }
+  std::string incidents = fabric.incident_path;
+  if (incidents.empty()) incidents = checkpoint + ".incidents.jsonl";
+
+  Supervisor sup{net,   cells,      challenger, trial,
+                 fabric, checkpoint, incidents};
+  return sup.run();
+}
+
+FabricSweepOutcome run_fabric_sweep(const NetworkParams& net, int total_flows,
+                                    const NashSearchConfig& cfg,
+                                    const FabricConfig& fabric) {
+  if (total_flows < 1) {
+    throw std::invalid_argument{"fabric: total_flows must be >= 1"};
+  }
+  std::vector<FabricCell> cells;
+  cells.reserve(static_cast<std::size_t>(total_flows) + 1);
+  for (int k = 0; k <= total_flows; ++k) {
+    cells.push_back(FabricCell{total_flows - k, k});
+  }
+  FabricConfig fab = fabric;
+  if (fab.checkpoint_path.empty()) fab.checkpoint_path = cfg.checkpoint_path;
+
+  FabricOutcome cells_out =
+      run_fabric_cells(net, cells, cfg.challenger, cfg.trial, fab);
+
+  FabricSweepOutcome out;
+  out.status = cells_out.status;
+  out.message = std::move(cells_out.message);
+  out.stats = std::move(cells_out.stats);
+  out.payoffs.cubic_mbps.assign(cells.size(), 0.0);
+  out.payoffs.other_mbps.assign(cells.size(), 0.0);
+  for (std::size_t k = 0; k < cells.size(); ++k) {
+    const auto& m = cells_out.cells[k];
+    if (!m.has_value() || m->trials_completed == 0) {
+      // measure_payoffs throws for a zero-trial cell; the fabric's typed
+      // outcome reports it as failed instead so survivors are kept.
+      out.failed_k.push_back(static_cast<int>(k));
+      continue;
+    }
+    out.payoffs.cubic_mbps[k] = m->per_flow_cubic_mbps;
+    out.payoffs.other_mbps[k] = m->per_flow_other_mbps;
+  }
+  if (!out.failed_k.empty() && out.status == FabricStatus::kComplete) {
+    out.status = FabricStatus::kPartial;
+    out.message = "cells with zero completed trials: " +
+                  std::to_string(out.failed_k.size());
+  }
+  return out;
+}
+
+}  // namespace bbrnash

@@ -1,0 +1,190 @@
+// Crash-tolerant multi-process sweep fabric.
+//
+// PR 2's TrialPool parallelises sweep cells across *threads*; one crashed
+// or wedged process still loses the whole run. The fabric moves the unit
+// of failure to the process: a supervisor forks N workers, hands each a
+// sweep cell over a pipe, and tracks progress through **lease records**
+// appended to the same crash-safe JSONL checkpoint log the in-process
+// sweeps use — the log stays the single coordination *and* resume
+// substrate.
+//
+// Lease protocol (all records written by the supervisor, so the log keeps
+// its single-writer whole-line append guarantee):
+//
+//   claim      the cell was assigned to worker W (pid P, claim epoch E)
+//   heartbeat  W is alive and still computing the cell (throttled to one
+//              record per lease period)
+//   expired    the lease was revoked: the worker exited, was signalled,
+//              or its heartbeat went stale past the lease deadline
+//   commit     the cell's MixOutcome record was appended (the ordinary
+//              checkpoint record IS the commit; the lease record marks it)
+//
+// A lease with a stale heartbeat is expired and its cell reassigned; a
+// resumed supervisor treats every claim without a commit as stale (the
+// previous process is dead by definition) and simply re-runs those cells.
+//
+// Failure handling is the headline:
+//   * worker exit/crash is detected via waitpid, hang via the heartbeat
+//     deadline (the worker heartbeats from a side thread while the cell
+//     simulates);
+//   * a lost cell is reassigned with bounded per-cell retries and
+//     exponential backoff;
+//   * a dead worker slot is respawned up to a budget, after which the
+//     pool shrinks and the run finishes on the survivors;
+//   * when no workers survive, the run returns a typed partial outcome
+//     (per-cell results + failed-cell list) instead of aborting;
+//   * every abnormal worker end appends a `bbrnash-fabric-v1` incident
+//     record (flight-recorder style post-mortem).
+//
+// Determinism: a cell's numbers are a pure function of (net, cell, trial
+// config) — per-trial seeds derive from (config, trial index), and
+// MixOutcome round-trips through the checkpoint encoding bit-exactly — so
+// ANY claim/crash/reassignment schedule yields results bit-identical to a
+// single-process run. The chaos drills (worker SIGKILL mid-cell, worker
+// heartbeat stall, supervisor crash-before-commit) assert exactly that.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cc/congestion_control.hpp"
+#include "exp/nash_search.hpp"
+#include "exp/sweeps.hpp"
+#include "model/network_params.hpp"
+#include "util/jsonl.hpp"
+
+namespace bbrnash {
+
+class ChaosInjector;
+
+/// One sweep cell: a (num_cubic x CUBIC) vs (num_other x challenger) mix.
+struct FabricCell {
+  int num_cubic = 0;
+  int num_other = 0;
+};
+
+struct FabricConfig {
+  /// Worker processes to fork (>= 1; capped to the number of cells).
+  int workers = 2;
+  /// Heartbeat deadline: a leased cell whose worker has not heartbeat for
+  /// this long is considered hung; the worker is killed and the cell
+  /// reassigned. Workers heartbeat at a quarter of this period.
+  double lease_ms = 2000.0;
+  /// Reassignments allowed per cell before it is marked failed.
+  int max_worker_retries = 3;
+  /// Respawns allowed per worker slot before the slot is retired and the
+  /// pool shrinks ("workers keep dying" degradation).
+  int max_worker_respawns = 3;
+  /// First reassignment backoff; doubles per retry, capped at 2 s.
+  double backoff_base_ms = 50.0;
+  /// Coordination + resume substrate. Empty = a fresh file under the
+  /// system temp directory (no resume across runs, still crash-safe).
+  std::string checkpoint_path;
+  /// `bbrnash-fabric-v1` incident records (one per abnormal worker end).
+  /// Empty = "<checkpoint_path>.incidents.jsonl".
+  std::string incident_path;
+  /// Process-level chaos (drills). The supervisor arms at most one fault
+  /// per assignment, in priority order kill > hang, and fire-once per
+  /// (class, cell) bookkeeping guarantees convergence; crash-before-commit
+  /// is armed at commit time. All decisions are made in the supervisor so
+  /// a reassigned cell is never re-faulted by a fresh process's injector.
+  std::shared_ptr<ChaosInjector> chaos;
+  bool chaos_worker_kill = true;      ///< eligible: SIGKILL mid-cell
+  bool chaos_worker_hang = true;      ///< eligible: heartbeat stall
+  bool chaos_supervisor_crash = true; ///< eligible: crash before commit
+};
+
+enum class FabricStatus {
+  kComplete,          ///< every cell has a measurement
+  kPartial,           ///< some cells failed permanently; survivors reported
+  kInterrupted,       ///< SIGINT/SIGTERM: committed cells flushed, resumable
+  kSupervisorCrashed, ///< chaos crash-before-commit: re-run to resume
+};
+
+[[nodiscard]] const char* to_string(FabricStatus status);
+
+/// Per-worker-slot counters (slot = logical worker id; a respawned process
+/// keeps its slot).
+struct FabricWorkerStats {
+  int worker = 0;
+  std::uint64_t spawns = 0;          ///< processes forked for this slot
+  std::uint64_t cells_claimed = 0;
+  std::uint64_t cells_committed = 0;
+  std::uint64_t leases_expired = 0;  ///< claims revoked from this slot
+};
+
+struct FabricStats {
+  std::vector<FabricWorkerStats> workers;
+  std::uint64_t cells_total = 0;
+  std::uint64_t cells_from_checkpoint = 0;  ///< resumed, not re-run
+  std::uint64_t cells_committed = 0;        ///< computed this run
+  std::uint64_t cells_failed = 0;
+  std::uint64_t cells_reassigned = 0;
+  std::uint64_t leases_expired = 0;
+  std::uint64_t worker_deaths = 0;   ///< exits/signals noticed via waitpid
+  std::uint64_t worker_hangs = 0;    ///< heartbeat-deadline expiries
+  std::uint64_t worker_respawns = 0;
+  std::uint64_t workers_retired = 0; ///< slots whose respawn budget ran out
+  std::uint64_t retries_exhausted = 0;
+  std::uint64_t supervisor_crashes = 0;  ///< chaos crash-before-commit
+  std::uint64_t incidents = 0;       ///< bbrnash-fabric-v1 records written
+  std::size_t checkpoint_skipped_lines = 0;  ///< torn lines on replay
+  double backoff_seconds_total = 0.0;
+  double wall_seconds = 0.0;
+  double cells_per_second = 0.0;     ///< committed cells / wall_seconds
+};
+
+/// Flat `bbrnash-fabric-stats-v1` record (--fabric-stats). The schema is
+/// pinned by tests/exp/test_fabric.cpp; extend it, don't mutate it.
+[[nodiscard]] JsonlRecord fabric_stats_to_record(const FabricStats& stats);
+
+struct [[nodiscard]] FabricOutcome {
+  FabricStatus status = FabricStatus::kComplete;
+  /// Aligned with the input cells; nullopt = failed permanently (or not
+  /// reached before an interrupt/crash).
+  std::vector<std::optional<MixOutcome>> cells;
+  std::vector<std::size_t> failed_cells;  ///< indices with no measurement
+  std::string message;                    ///< non-empty unless kComplete
+  FabricStats stats;
+
+  [[nodiscard]] bool complete() const noexcept {
+    return status == FabricStatus::kComplete;
+  }
+};
+
+/// Runs every cell across `fabric.workers` forked worker processes.
+/// Results are reduced into `cells` slots by index, so the returned
+/// numbers are bit-identical to a serial run_mix_trials loop regardless
+/// of the claim/crash schedule. Throws std::invalid_argument for an
+/// ill-formed config; process-level failures never throw — they degrade
+/// into the typed outcome.
+[[nodiscard]] FabricOutcome run_fabric_cells(const NetworkParams& net,
+                                             const std::vector<FabricCell>& cells,
+                                             CcKind challenger,
+                                             const TrialConfig& trial,
+                                             const FabricConfig& fabric);
+
+struct [[nodiscard]] FabricSweepOutcome {
+  FabricStatus status = FabricStatus::kComplete;
+  EmpiricalPayoffs payoffs;     ///< zero rows for failed cells
+  std::vector<int> failed_k;    ///< k values without a measurement
+  std::string message;
+  FabricStats stats;
+
+  [[nodiscard]] bool complete() const noexcept {
+    return status == FabricStatus::kComplete;
+  }
+};
+
+/// The full payoff grid k = 0..total_flows (measure_payoffs' cells) on the
+/// fabric. A complete outcome's payoffs are bit-identical to
+/// measure_payoffs(net, total_flows, cfg) with the same trial config.
+[[nodiscard]] FabricSweepOutcome run_fabric_sweep(const NetworkParams& net,
+                                                  int total_flows,
+                                                  const NashSearchConfig& cfg,
+                                                  const FabricConfig& fabric);
+
+}  // namespace bbrnash

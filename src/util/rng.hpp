@@ -72,6 +72,8 @@ class Rng {
   bool chance(double p) noexcept { return next_double() < p; }
 
   /// Derives an independent child generator (for per-flow streams).
+  // bbrnash-lint: allow(process-control) -- fork() here splits a PRNG
+  // stream deterministically; it is not the process-control syscall.
   Rng fork() noexcept { return Rng{next_u64()}; }
 
  private:

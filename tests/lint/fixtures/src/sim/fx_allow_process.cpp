@@ -1,0 +1,7 @@
+// Fixture: annotated process-control call — suppressed, listed, clean.
+#include <unistd.h>
+
+int fx_allow_process() {
+  // bbrnash-lint: allow(process-control) -- fixture exercises the suppression
+  return fork();
+}

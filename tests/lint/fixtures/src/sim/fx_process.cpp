@@ -1,0 +1,6 @@
+// Fixture: process control outside the fabric's annotated shims.
+#include <unistd.h>
+
+int fx_process() {
+  return fork();
+}

@@ -35,6 +35,8 @@ TreeReport scan_fixtures() {
 int run_lint(const std::string& argv_tail) {
   const std::string cmd =
       std::string{BBRNASH_LINT_BIN} + " " + argv_tail + " > /dev/null 2>&1";
+  // bbrnash-lint: allow(process-control) -- std::system drives the driver
+  // binary's exit-code contract, the very thing this test pins.
   const int status = std::system(cmd.c_str());
   EXPECT_TRUE(WIFEXITED(status)) << cmd;
   return WEXITSTATUS(status);
@@ -62,6 +64,7 @@ TEST(LintFixtures, EveryRuleFiresAtItsExactSite) {
       {"float-type", "src/model/fx_float.cpp", 3},
       {"float-equality", "src/model/fx_float.cpp", 4},
       {"pragma-once", "src/sim/fx_missing_pragma.hpp", 1},
+      {"process-control", "src/sim/fx_process.cpp", 5},
       {"unused-suppression", "src/sim/fx_unused_suppression.cpp", 2},
   };
   for (const auto& [rule, file, line] : expected) {
@@ -92,6 +95,7 @@ TEST(LintFixtures, AllowAnnotationsMaskAndAreListed) {
       {"reinterpret-cast", "src/sim/fx_allow_reinterpret.cpp", 7},
       {"raw-parse", "src/exp/fx_allow_raw_parse.cpp", 5},
       {"float-equality", "src/model/fx_allow_float_eq.cpp", 3},
+      {"process-control", "src/sim/fx_allow_process.cpp", 5},
   };
   for (const auto& [rule, file, line] : expected) {
     const auto it = std::find_if(
@@ -106,7 +110,7 @@ TEST(LintFixtures, AllowAnnotationsMaskAndAreListed) {
     EXPECT_FALSE(has_finding(r, rule, file, line + 1))
         << "suppression failed to mask " << file;
   }
-  // 6 used annotations + the deliberately stale one.
+  // 7 used annotations + the deliberately stale one.
   EXPECT_EQ(r.suppressions.size(), expected.size() + 1);
 }
 
@@ -143,8 +147,8 @@ TEST(LintFixtures, ReportRendersSitesAndSummary) {
   EXPECT_NE(out.find("src/sim/fx_wall_clock.cpp:5: [wall-clock]"),
             std::string::npos)
       << out;
-  EXPECT_NE(out.find("11 violations"), std::string::npos) << out;
-  EXPECT_NE(out.find("7 suppressions"), std::string::npos) << out;
+  EXPECT_NE(out.find("12 violations"), std::string::npos) << out;
+  EXPECT_NE(out.find("8 suppressions"), std::string::npos) << out;
 
   // Clean tree: exit 0, nothing to report.
   const TreeReport clean = bbrnash::lint::scan_tree(

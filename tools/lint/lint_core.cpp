@@ -525,6 +525,29 @@ void rule_float(const FileContext& ctx) {
   }
 }
 
+void rule_process_control(const FileContext& ctx) {
+  // Forking, signalling, reaping or replacing processes makes results
+  // depend on OS scheduling and host process state. The sweep fabric
+  // (src/exp/fabric.cpp) concentrates every such call into annotated
+  // shims; anywhere else the call needs its own justifying annotation.
+  static const std::string_view kCalls[] = {
+      "fork",  "vfork", "waitpid", "wait",  "kill",  "raise", "system",
+      "popen", "_exit", "_Exit",   "execv", "execve", "execvp", "execl"};
+  for (std::size_t i = 0; i < ctx.f.code.size(); ++i) {
+    const std::string& line = ctx.f.code[i];
+    for (const std::string_view fn : kCalls) {
+      for_each_token(line, fn, [&](std::size_t pos) {
+        if (!is_free_call(line, pos, fn)) return;
+        ctx.add("process-control", static_cast<int>(i + 1),
+                std::string{fn} +
+                    "(): process control outside the fabric's annotated "
+                    "shims; route through src/exp/fabric.cpp or justify "
+                    "with an allow annotation");
+      });
+    }
+  }
+}
+
 void rule_pragma_once(const FileContext& ctx) {
   if (ctx.relpath.size() < 4 ||
       ctx.relpath.substr(ctx.relpath.size() - 4) != ".hpp") {
@@ -542,7 +565,7 @@ std::vector<std::string> rule_names() {
   return {"wall-clock",       "nondeterminism",      "unordered-container",
           "unordered-iteration", "const-cast",       "reinterpret-cast",
           "raw-parse",        "float-type",          "float-equality",
-          "pragma-once",      "unused-suppression"};
+          "pragma-once",      "process-control",     "unused-suppression"};
 }
 
 void scan_file(const std::filesystem::path& path, std::string_view relpath,
@@ -556,6 +579,7 @@ void scan_file(const std::filesystem::path& path, std::string_view relpath,
   rule_casts(ctx);
   rule_raw_parse(ctx);
   rule_float(ctx);
+  rule_process_control(ctx);
   rule_pragma_once(ctx);
 
   std::vector<Suppression> sups = f.annotations;
