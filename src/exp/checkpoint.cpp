@@ -16,9 +16,10 @@ namespace {
 constexpr const char* kKeyField = "key";
 
 void append_kv(std::string& out, const char* key, double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, " %s=%.17g", key, v);
-  out += buf;
+  out += ' ';
+  out += key;
+  out += '=';
+  out += canonical_double(v);
 }
 
 void append_kv(std::string& out, const char* key, long long v) {
@@ -57,6 +58,12 @@ void append_impairments(std::string& out, const std::string& tag,
 }
 
 }  // namespace
+
+std::string canonical_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
 
 CheckpointLog::CheckpointLog(std::string path, ChaosInjector* chaos)
     : path_(std::move(path)), chaos_(chaos) {
@@ -171,7 +178,11 @@ std::string mix_checkpoint_key(const NetworkParams& net, int num_cubic,
                                const TrialConfig& cfg) {
   std::string key = "mix";
   key.reserve(640);
-  append_kv(key, "c", static_cast<long long>(net.capacity));
+  // Capacity is a double (bytes/sec); keying it through a long long cast
+  // truncated sub-byte/sec differences into collisions and made the key
+  // depend on the cast instead of the value. canonical_double round-trips
+  // the exact bits — same fix for scheduled rates below.
+  append_kv(key, "c", net.capacity);
   append_kv(key, "b", static_cast<long long>(net.buffer_bytes));
   append_kv(key, "r", static_cast<long long>(net.base_rtt));
   append_kv(key, "nc", static_cast<long long>(num_cubic));
@@ -188,7 +199,7 @@ std::string mix_checkpoint_key(const NetworkParams& net, int num_cubic,
   // but different flap times/rates must not collide.
   for (const RateChange& c : cfg.capacity_schedule) {
     append_kv(key, "sc.at", static_cast<long long>(c.at));
-    append_kv(key, "sc.rate", static_cast<long long>(c.rate));
+    append_kv(key, "sc.rate", c.rate);
   }
   // Guard policy: watchdog limits change where an aborted trial stops (and
   // so which trials are excluded from the averages), retries and injected

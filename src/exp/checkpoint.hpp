@@ -82,12 +82,25 @@ class CheckpointLog {
   std::thread writer_;  ///< started lazily on the first record()
 };
 
+/// Canonical text form of a floating-point knob inside a checkpoint or
+/// oracle key: %.17g, the same full round-trip precision JsonlRecord uses
+/// for values. Every float that enters a key MUST go through this one
+/// helper — a key computed before a crash and recomputed after resume
+/// (possibly from a value that round-tripped through the log) must be the
+/// same string, or the resumed run silently re-runs (or worse, collides)
+/// cells. Pinned by tests/exp/test_oracle.cpp.
+[[nodiscard]] std::string canonical_double(double v);
+
 /// Key for one run_mix_trials cell: network, mix, trial plan, every knob of
 /// both impairment configs (raw Gilbert-Elliott parameters, not the
 /// stationary rate), the full capacity schedule (each step's time and
 /// rate), and the guard policy (watchdog limits, retries, injected
 /// failures). Everything that changes the measured numbers is in here, so
-/// one log file can serve a whole multi-dimension sweep.
+/// one log file can serve a whole multi-dimension sweep. Floating-point
+/// knobs (capacity and scheduled rates are doubles) are canonicalized via
+/// canonical_double, NOT truncated to integers — two capacities that differ
+/// below 1 byte/sec must not collide, and a key must survive a
+/// value->text->value round trip unchanged.
 [[nodiscard]] std::string mix_checkpoint_key(const NetworkParams& net,
                                              int num_cubic, int num_other,
                                              CcKind other,

@@ -1,0 +1,60 @@
+#include "model/model_band.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bbrnash {
+
+std::optional<ModelBand> model_band(const NetworkParams& net, int num_cubic,
+                                    int num_bbr, double duration_sec) {
+  if (num_cubic < 1 || num_bbr < 1) return std::nullopt;
+  const auto iv = prediction_interval(net, num_cubic, num_bbr);
+  if (!iv) return std::nullopt;
+
+  ModelBand band;
+  band.cubic_low =
+      std::min(iv->sync.per_flow_cubic, iv->desync.per_flow_cubic);
+  band.cubic_high =
+      std::max(iv->sync.per_flow_cubic, iv->desync.per_flow_cubic);
+  band.bbr_low = std::min(iv->sync.per_flow_bbr, iv->desync.per_flow_bbr);
+  band.bbr_high = std::max(iv->sync.per_flow_bbr, iv->desync.per_flow_bbr);
+  band.mishra_mid_cubic = 0.5 * (band.cubic_low + band.cubic_high);
+  band.mishra_mid_bbr = 0.5 * (band.bbr_low + band.bbr_high);
+
+  // Widen by the Ware baseline: its always-full-buffer assumption biases
+  // BBR low in shallow buffers and high in deep ones, so folding it into
+  // the envelope covers the regimes where the Mishra interval is tightest
+  // exactly where real (and interpolated) cells scatter most.
+  const WarePrediction ware = ware_prediction(
+      net, WareInputs{num_bbr, duration_sec, 1500});
+  band.ware_bbr_per_flow = ware.lambda_bbr / num_bbr;
+  band.bbr_low = std::min(band.bbr_low, band.ware_bbr_per_flow);
+  band.bbr_high = std::max(band.bbr_high, band.ware_bbr_per_flow);
+  const double ware_cubic_per_flow = ware.lambda_cubic / num_cubic;
+  band.cubic_low = std::min(band.cubic_low, ware_cubic_per_flow);
+  band.cubic_high = std::max(band.cubic_high, ware_cubic_per_flow);
+  return band;
+}
+
+namespace {
+
+/// Distance of v outside [low, high], relative to the band midpoint.
+double outside_frac(double v, double low, double high, double mid) {
+  if (!(mid > 0.0)) return 0.0;  // degenerate band: nothing to compare
+  if (v < low) return (low - v) / mid;
+  if (v > high) return (v - high) / mid;
+  return 0.0;
+}
+
+}  // namespace
+
+double band_deviation(const ModelBand& band, double cubic_bps,
+                      double bbr_bps) {
+  const double dc = outside_frac(cubic_bps, band.cubic_low, band.cubic_high,
+                                 band.mishra_mid_cubic);
+  const double db = outside_frac(bbr_bps, band.bbr_low, band.bbr_high,
+                                 band.mishra_mid_bbr);
+  return std::max(dc, db);
+}
+
+}  // namespace bbrnash

@@ -1,0 +1,49 @@
+// Closed-form throughput band for oracle cross-checks.
+//
+// The payoff oracle (exp/oracle.hpp) answers most queries without touching
+// the simulator: exact memo hits, then multilinear interpolation between
+// cached cells. Interpolation needs a sanity envelope — a blended value
+// that lands far from every closed form is a lattice artefact (e.g. the
+// cached corners straddle the buffer-full knee), not an answer. This unit
+// evaluates the Mishra sync/desync interval (Eqs. 21/22) plus the Ware
+// et al. baseline at one operating point and reports how far a candidate
+// per-flow throughput pair falls outside the widest band the closed forms
+// span. The oracle rejects interpolations past a configured deviation and
+// falls through to computing the cell for real.
+#pragma once
+
+#include <optional>
+
+#include "model/mishra_model.hpp"
+#include "model/network_params.hpp"
+#include "model/ware_model.hpp"
+
+namespace bbrnash {
+
+/// Per-flow throughput envelope at one (net, N_c, N_b) point, bytes/sec.
+/// Bounds come from the Mishra sync/desync pair widened by the Ware
+/// baseline (aggregate BBR share spread evenly over N_b).
+struct ModelBand {
+  double cubic_low = 0.0;   ///< per-flow CUBIC, bytes/sec
+  double cubic_high = 0.0;
+  double bbr_low = 0.0;     ///< per-flow BBR, bytes/sec
+  double bbr_high = 0.0;
+  double ware_bbr_per_flow = 0.0;  ///< Ware baseline, bytes/sec
+  double mishra_mid_cubic = 0.0;   ///< midpoint of the Mishra interval
+  double mishra_mid_bbr = 0.0;
+};
+
+/// nullopt when the closed forms do not apply: needs N_c >= 1, N_b >= 1
+/// and B >= 1 BDP (the model's validity floor). `duration_sec` feeds the
+/// Ware ProbeRTT term (the paper's 2-minute default).
+[[nodiscard]] std::optional<ModelBand> model_band(const NetworkParams& net,
+                                                  int num_cubic, int num_bbr,
+                                                  double duration_sec = 120.0);
+
+/// Relative distance of (cubic_bps, bbr_bps) outside `band`, normalized by
+/// the band midpoint of the corresponding class: 0 when both lie inside
+/// [low, high]. The oracle compares this against its rejection threshold.
+[[nodiscard]] double band_deviation(const ModelBand& band, double cubic_bps,
+                                    double bbr_bps);
+
+}  // namespace bbrnash
