@@ -51,6 +51,7 @@
 #include "exp/cli_flags.hpp"
 #include "exp/oracle.hpp"
 #include "util/jsonl.hpp"
+#include "util/stats.hpp"
 #include "util/units.hpp"
 
 namespace bbrnash {
@@ -71,12 +72,13 @@ struct TierStats {
     for (const double v : ns) sum += v;
     return sum / static_cast<double>(ns.size());
   }
-  [[nodiscard]] double percentile_ns(double p) {
-    if (ns.empty()) return 0.0;
-    std::sort(ns.begin(), ns.end());
-    const auto idx = static_cast<std::size_t>(
-        p * static_cast<double>(ns.size() - 1));
-    return ns[idx];
+  /// Delegates to the shared util/stats percentile (numpy-style linear
+  /// interpolation). The old local copy truncated the rank, so p99 of a
+  /// small sample silently reported a lower quantile (for n < 100 it could
+  /// equal the median); one implementation, pinned by tests/util, now
+  /// serves every consumer.
+  [[nodiscard]] double percentile_ns(double p) const {
+    return percentile(ns, p);
   }
   [[nodiscard]] double qps() const {
     const double m = mean_ns();

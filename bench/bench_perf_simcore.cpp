@@ -34,6 +34,12 @@
 //               case regresses below (1 - F) x baseline events/sec
 //               (default F = 0.01). Timing-dependent — for perf triage on a
 //               quiet machine, not for CI (CI uses the timing-free --check).
+//     --check-events FILE
+//               bit-identity gate: exit non-zero when any case's steady
+//               event count differs from the recorded baseline. Event
+//               counts are a pure function of the workload (no timing), so
+//               this IS CI-safe — it is the `perf` ctest preset's gate
+//               that optimizations stay semantics-preserving.
 
 #include <algorithm>
 #include <chrono>
@@ -47,6 +53,7 @@
 #include <string>
 #include <vector>
 
+#include "cc/cc_variant.hpp"
 #include "cc/congestion_control.hpp"
 #include "flow/receiver.hpp"
 #include "flow/sender.hpp"
@@ -168,7 +175,7 @@ Measurement run_case(const PerfCase& pc) {
                                                      : CcKind::kCubic;
     ImpairmentStage<Packet>* stage = stages[i].get();
     senders.push_back(std::make_unique<Sender>(
-        sim, i, SenderConfig{}, make_congestion_control(kind, cfg),
+        sim, i, SenderConfig{}, make_cc_variant(kind, cfg),
         [&link, stage](const Packet& p) {
           if (stage != nullptr) {
             stage->send(p);
@@ -327,6 +334,51 @@ void write_baseline(const std::string& path, bool quick,
               cases.size());
 }
 
+/// Timing-free bit-identity gate (CI-safe, unlike the events/sec compare):
+/// steady-state event counts are a pure function of the workload, so any
+/// deviation from the recorded baseline means simulation semantics changed.
+/// Returns the number of mismatching cases; cases without a baseline entry
+/// are reported but don't fail (a new case has nothing to diverge from).
+int check_event_counts(const std::string& path,
+                       const std::vector<PerfCase>& cases,
+                       const std::vector<Measurement>& results) {
+  std::size_t skipped = 0;
+  const std::vector<JsonlRecord> records = read_jsonl(path, &skipped);
+  if (skipped > 0) {
+    std::fprintf(stderr, "warning: %zu unparseable line(s) in %s\n", skipped,
+                 path.c_str());
+  }
+  if (records.empty()) {
+    std::fprintf(stderr,
+                 "error: no baseline records in %s (run with "
+                 "--write-baseline first)\n",
+                 path.c_str());
+    return -1;
+  }
+  std::map<std::string, std::uint64_t> base;
+  for (const JsonlRecord& r : records) {
+    base[r.get_string("name")] =
+        static_cast<std::uint64_t>(r.get_double("steady_events"));
+  }
+  int mismatches = 0;
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const auto it = base.find(cases[i].name);
+    if (it == base.end()) {
+      std::printf("events   %-12s (no baseline entry)\n",
+                  cases[i].name.c_str());
+      continue;
+    }
+    const bool ok = results[i].steady_events == it->second;
+    if (!ok) ++mismatches;
+    std::printf("events   %-12s %14llu vs %14llu recorded %s\n",
+                cases[i].name.c_str(),
+                static_cast<unsigned long long>(results[i].steady_events),
+                static_cast<unsigned long long>(it->second),
+                ok ? "ok" : "MISMATCH");
+  }
+  return mismatches;
+}
+
 /// Returns the number of cases that regressed below (1 - tolerance) x
 /// their baseline events/sec. Cases without a baseline entry are reported
 /// but don't fail the run (a new case has nothing to regress against).
@@ -382,12 +434,14 @@ int main(int argc, char** argv) {
   std::string only;
   std::string baseline_in;
   std::string baseline_out;
+  std::string events_baseline;
   const auto usage = [] {
     std::fprintf(stderr,
                  "usage: bench_perf_simcore [--quick] [--repeat N] "
                  "[--check] [--trap] [--only CASE] [--json PATH]\n"
                  "                          [--write-baseline FILE] "
-                 "[--baseline FILE] [--tolerance F]\n");
+                 "[--baseline FILE] [--tolerance F]\n"
+                 "                          [--check-events FILE]\n");
     return 2;
   };
   try {
@@ -409,6 +463,8 @@ int main(int argc, char** argv) {
         baseline_out = argv[++i];
       } else if (arg == "--baseline" && i + 1 < argc) {
         baseline_in = argv[++i];
+      } else if (arg == "--check-events" && i + 1 < argc) {
+        events_baseline = argv[++i];
       } else if (arg == "--tolerance" && i + 1 < argc) {
         tolerance = parse_double_strict("--tolerance", argv[++i]);
         if (tolerance < 0.0 || tolerance >= 1.0) {
@@ -462,6 +518,15 @@ int main(int argc, char** argv) {
     const int regressions =
         compare_baseline(baseline_in, tolerance, cases, results);
     if (regressions != 0) return 1;
+  }
+  if (!events_baseline.empty()) {
+    const int mismatches = check_event_counts(events_baseline, cases, results);
+    if (mismatches != 0) {
+      std::fprintf(stderr,
+                   "FAIL: steady-state event counts diverged from the "
+                   "recorded baseline (semantics changed)\n");
+      return 1;
+    }
   }
   if (check && !clean) {
     std::fprintf(stderr,

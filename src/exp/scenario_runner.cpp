@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "cc/cc_variant.hpp"
 #include "exp/chaos.hpp"
 #include "flow/receiver.hpp"
 #include "flow/sender.hpp"
@@ -335,7 +336,9 @@ ExecOutcome execute_scenario(const Scenario& scenario,
     cc_cfg.initial_cwnd = 10 * scenario.mss;
     cc_cfg.seed = rng.next_u64();
     cc_cfg.bbr_cwnd_gain = scenario.bbr_cwnd_gain;
-    auto cc = make_congestion_control(spec.cc, cc_cfg);
+    CcVariant cc = scenario.virtual_cc_dispatch
+                       ? CcVariant{make_congestion_control(spec.cc, cc_cfg)}
+                       : make_cc_variant(spec.cc, cc_cfg);
 
     SenderConfig snd_cfg;
     snd_cfg.mss = scenario.mss;
@@ -579,9 +582,13 @@ ExecOutcome execute_scenario(const Scenario& scenario,
     }
     if (sim.budget_exhausted()) {
       out.status = RunStatus::kAbortedEventBudget;
+      // Live backlog only: the budget itself counts *executed* events and
+      // size() excludes lazily-cancelled corpses, so cancellation-heavy
+      // CCAs neither trip the watchdog early nor inflate this report.
       out.diagnostics.message =
           "watchdog: event budget of " + std::to_string(watchdog.max_events) +
-          " exhausted at simulated t=" + std::to_string(sim.now()) + " ns";
+          " exhausted at simulated t=" + std::to_string(sim.now()) + " ns (" +
+          std::to_string(sim.pending_events()) + " live events pending)";
       break;
     }
     if (watchdog.max_wall_seconds > 0.0) {
@@ -675,6 +682,7 @@ ExecOutcome execute_scenario(const Scenario& scenario,
   }
 
   out.diagnostics.events_executed = sim.events_executed();
+  out.diagnostics.pending_events = sim.pending_events();  // live count
   out.diagnostics.sim_time_reached = sim.now();
 
   // End-of-run audit: per-flow goodput bounded by the peak bottleneck rate.

@@ -5,21 +5,32 @@
 
 namespace bbrnash {
 
-Sender::Sender(Simulator& sim, FlowId flow, SenderConfig cfg,
-               std::unique_ptr<CongestionControl> cc, TransmitFn transmit)
+namespace {
+
+CcVariant adapt(std::unique_ptr<CongestionControl> cc) {
+  assert(cc && "sender requires a congestion control instance");
+  return CcVariant{std::move(cc)};
+}
+
+}  // namespace
+
+Sender::Sender(Simulator& sim, FlowId flow, SenderConfig cfg, CcVariant cc,
+               TransmitFn transmit)
     : sim_(sim),
       flow_(flow),
       cfg_(cfg),
       cc_(std::move(cc)),
-      transmit_(std::move(transmit)) {
-  assert(cc_ && "sender requires a congestion control instance");
-}
+      transmit_(std::move(transmit)) {}
+
+Sender::Sender(Simulator& sim, FlowId flow, SenderConfig cfg,
+               std::unique_ptr<CongestionControl> cc, TransmitFn transmit)
+    : Sender(sim, flow, cfg, adapt(std::move(cc)), std::move(transmit)) {}
 
 void Sender::start(TimeNs at) {
   assert(!started_);
   started_ = true;
   sim_.schedule_at(at, [this] {
-    cc_->on_start(sim_.now());
+    cc_.on_start(sim_.now());
     delivered_time_ = sim_.now();
     maybe_send();
   });
@@ -49,7 +60,24 @@ Sender::TxRecord* Sender::record_for(SeqNo seq) {
 }
 
 void Sender::maybe_send() {
-  const Bytes window = cc_->cwnd();
+  // Every gate input is loop-invariant: the loop never runs a CC callback
+  // and never advances the clock (transmit_ only enqueues/schedules), so
+  // cwnd, now, the pacing rate, and the derived burst geometry are read
+  // once per dispatch instead of once per packet.
+  const Bytes window = cc_.cwnd();
+  const TimeNs now = sim_.now();
+  const BytesPerSec rate = cc_.pacing_rate();
+  const bool paced = rate < kNoPacing;
+  TimeNs pkt_time = 0;
+  TimeNs burst_ahead = 0;
+  if (paced) {
+    const Bytes wire = cfg_.mss + cfg_.header_bytes;
+    pkt_time = serialization_time(wire, rate);
+    const int quantum = std::max(
+        1,
+        std::min(cfg_.pacing_quantum_segments, cc_.pacing_burst_segments()));
+    burst_ahead = pkt_time * (quantum - 1);
+  }
   while (true) {
     // Anything to send? Retransmissions take priority over new data.
     const bool have_retx = !retx_queue_.empty();
@@ -60,27 +88,15 @@ void Sender::maybe_send() {
     // The pacing clock may run up to (Q-1) packet-times ahead of now, so
     // packets leave in TSO-like bursts of up to Q at the exact long-run
     // rate.
-    const TimeNs now = sim_.now();
-    const BytesPerSec rate = cc_->pacing_rate();
-    TimeNs pkt_time = 0;
-    TimeNs burst_ahead = 0;
-    if (rate < kNoPacing) {
-      const Bytes wire = cfg_.mss + cfg_.header_bytes;
-      pkt_time = serialization_time(wire, rate);
-      const int quantum = std::max(
-          1, std::min(cfg_.pacing_quantum_segments,
-                      cc_->pacing_burst_segments()));
-      burst_ahead = pkt_time * (quantum - 1);
-      if (next_send_allowed_ > now + burst_ahead) {
-        if (!pacing_timer_armed_) {
-          pacing_timer_armed_ = true;
-          sim_.schedule_at(next_send_allowed_ - burst_ahead, [this] {
-            pacing_timer_armed_ = false;
-            maybe_send();
-          });
-        }
-        return;
+    if (paced && next_send_allowed_ > now + burst_ahead) {
+      if (!pacing_timer_armed_) {
+        pacing_timer_armed_ = true;
+        sim_.schedule_at(next_send_allowed_ - burst_ahead, [this] {
+          pacing_timer_armed_ = false;
+          maybe_send();
+        });
       }
+      return;
     }
 
     SeqNo seq;
@@ -103,7 +119,7 @@ void Sender::maybe_send() {
     }
     transmit_seq(seq, is_retx);
 
-    if (rate < kNoPacing) {
+    if (paced) {
       // Tokens cap at the bucket depth: a long idle period grants at most
       // one full burst, never unbounded catch-up.
       next_send_allowed_ =
@@ -243,7 +259,7 @@ void Sender::on_ack(const Ack& ack) {
     ev.rate_app_limited = false;
     ev.inflight = inflight_;
     ev.in_recovery = in_recovery_;
-    cc_->on_ack(ev);
+    cc_.on_ack(ev);
   }
 
   maybe_send();
@@ -273,7 +289,7 @@ void Sender::mark_lost(SeqNo seq) {
   note_inflight_change();
   retx_queue_.push_back(seq);
   episode_lost_ += cfg_.mss;
-  cc_->on_packet_lost(sim_.now(), cfg_.mss, inflight_);
+  cc_.on_packet_lost(sim_.now(), cfg_.mss, inflight_);
 }
 
 void Sender::enter_recovery_if_needed(Bytes newly_lost) {
@@ -286,7 +302,7 @@ void Sender::enter_recovery_if_needed(Bytes newly_lost) {
   ev.inflight = inflight_;
   ev.lost_bytes = episode_lost_;
   ev.delivered = delivered_;
-  cc_->on_congestion_event(ev);
+  cc_.on_congestion_event(ev);
 }
 
 TimeNs Sender::current_rto() const {
@@ -328,7 +344,7 @@ void Sender::on_rto_fired() {
   // RTO resets any recovery episode: the CC gets the dedicated signal.
   in_recovery_ = false;
   episode_lost_ = 0;
-  cc_->on_rto(sim_.now());
+  cc_.on_rto(sim_.now());
   // Back off the RTT estimator's variance (classic Karn backoff is modelled
   // by simply doubling the smoothed estimate's variance term).
   rttvar_ *= 2;

@@ -19,6 +19,7 @@
 #include <functional>
 #include <memory>
 
+#include "cc/cc_variant.hpp"
 #include "cc/congestion_control.hpp"
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
@@ -54,6 +55,13 @@ class Sender {
   /// like a real endpoint.
   using TransmitFn = std::function<void(const Packet&)>;
 
+  /// Hot-path constructor: the CC is held by value inside the variant, so
+  /// its callbacks inline into the transport loop (see cc_variant.hpp).
+  Sender(Simulator& sim, FlowId flow, SenderConfig cfg, CcVariant cc,
+         TransmitFn transmit);
+
+  /// Virtual-dispatch adapter for tests, examples, and custom algorithms:
+  /// identical behaviour at the old indirect-call cost.
   Sender(Simulator& sim, FlowId flow, SenderConfig cfg,
          std::unique_ptr<CongestionControl> cc, TransmitFn transmit);
 
@@ -95,8 +103,10 @@ class Sender {
   }
   /// Completion timestamp, or kTimeNone while incomplete/unbounded.
   [[nodiscard]] TimeNs completed_at() const noexcept { return completed_at_; }
-  [[nodiscard]] const CongestionControl& cc() const noexcept { return *cc_; }
-  [[nodiscard]] CongestionControl& cc() noexcept { return *cc_; }
+  [[nodiscard]] const CongestionControl& cc() const noexcept {
+    return cc_.base();
+  }
+  [[nodiscard]] CongestionControl& cc() noexcept { return cc_.base(); }
   [[nodiscard]] TimeNs smoothed_rtt() const noexcept { return srtt_; }
 
   /// RTT statistics and inflight time-average accumulate from
@@ -198,7 +208,7 @@ class Sender {
   Simulator& sim_;
   FlowId flow_;
   SenderConfig cfg_;
-  std::unique_ptr<CongestionControl> cc_;
+  CcVariant cc_;
   TransmitFn transmit_;
 
   // Sequence space. records_ is indexed by (seq - base_seq_).

@@ -4,46 +4,66 @@
 // for the same instant fire in the order they were scheduled (FIFO via a
 // monotone sequence number). This makes simulations fully deterministic.
 //
-// Representation. The queue is an explicit 4-ary min-heap over packed
-// 16-byte sort keys (when + a meta word carrying the schedule sequence,
-// the payload-slot index, and the cancellable flag); the callables live
-// beside the heap in a pooled array of fixed-size payload slots recycled
-// through a free list. The key array is allocated 64-byte aligned with the
-// root offset so that every sibling group of four keys occupies exactly
-// one cache line: the sift loops — which profiling shows dominate the
-// whole simulator — touch one line per level instead of three. Payloads
-// are written once at schedule() and copied out once at dispatch, never
-// moved while the heap re-orders itself.
+// Representation: a timing wheel with a far-horizon heap overflow.
+//
+//   * The dense near-horizon band (pacing ticks, serialization times, ACK
+//     deliveries, propagation delays — everything within ~67 ms) lives in
+//     a 16384-bucket timing wheel with 4096 ns granularity. A bucket is an
+//     intrusive singly-linked chain threaded through a node array that
+//     parallels the payload pool, so scheduling is O(1): compute the
+//     bucket, push the chain head, set an occupancy bit.
+//   * Events at or beyond the wheel horizon (RTO timers, rtprop probes,
+//     measurement boundaries) overflow into a small 4-ary min-heap of
+//     packed 16-byte keys — the same cache-aligned sift machinery that
+//     used to hold *all* events, now holding only the sparse far band.
+//     As the wheel cursor advances, heap events that fall inside the
+//     horizon migrate into their buckets, so every event is fired from
+//     the wheel path. Invariant: heap events always live at a bucket the
+//     cursor has not reached.
+//   * The bucket the cursor is parked on is kept *loaded*: its chain is
+//     pulled into a reusable scratch vector, sorted by the exact total
+//     order (when, then schedule sequence), and drained front to back.
+//     Events scheduled at or before the cursor's bucket (same-instant
+//     chains, or a fresh event behind an eagerly advanced cursor) are
+//     inserted into the scratch's pending region at their sorted
+//     position, which preserves the exact heap ordering semantics:
+//     among pending events the fire order is always (when, sequence).
+//
+// Dispatch runs the callable in place: payload slots live in fixed-size
+// chunks that never move once allocated, so run_one() fires the event
+// directly from pooled storage and recycles the slot after the callable
+// returns (never before — the callable's own captures live in that slot).
+// The cold Popped/pop() path still copies the payload out first.
 //
 // Each payload slot embeds its callable in a fixed 64-byte inline buffer,
 // so the packet hot path (arrivals, departures, ACK deliveries, pacing
 // and RTO timers — all of which capture at most a packet plus a couple of
 // pointers) schedules and fires events with ZERO heap allocations in
-// steady state: slots are recycled in place and the arrays stop growing
-// once the simulation reaches its high-water event count. Callables that
-// are larger than the inline buffer or not trivially copyable are boxed
-// on the heap (cold paths only: test lambdas, callables routed through
+// steady state: slots are recycled in place and every auxiliary array
+// (scratch, chains, free list, heap keys) stops growing once the
+// simulation reaches its high-water event count. Callables that are
+// larger than the inline buffer or not trivially copyable are boxed on
+// the heap (cold paths only: test lambdas, callables routed through
 // std::function).
 //
-// This design also removes the undefined behaviour the previous
-// std::priority_queue implementation had in pop(): it const_cast the
-// container's top() and moved out of it. The heap is now our own array,
-// and dispatch copies the (trivially copyable) payload out before the slot
-// is recycled — no const object is ever mutated, which the ASan/UBSan
-// preset verifies.
-//
-// Cancellation is lazy: cancelled entries stay in the heap and are skipped
-// at pop time. Only events scheduled via schedule_cancellable() pay the
-// hash-set bookkeeping; the hot path (packet arrivals/departures, which
-// are never cancelled) stays allocation-free. size() reports only live
-// entries (watchdog diagnostics must not overreport); raw_size() includes
-// the lazily-cancelled dead entries still occupying pool slots.
+// Cancellation is lazy: cancelled entries stay where they are (scratch,
+// chain, or heap) and are skipped when they reach the scratch front. Only
+// events scheduled via schedule_cancellable() pay the hash-set
+// bookkeeping; the hot path (packet arrivals/departures, which are never
+// cancelled) stays allocation-free. Cancellation is keyed on the globally
+// unique schedule sequence, never the pool slot, so a stale EventId whose
+// slot has been recycled to a new event can never kill the new event, and
+// double-cancel is a counted no-op. size() reports only live entries
+// (watchdog diagnostics must not overreport); raw_size() includes the
+// lazily-cancelled dead entries still occupying pool slots.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <new>
 #include <stdexcept>
 #include <type_traits>
@@ -64,7 +84,7 @@ inline constexpr std::size_t kEventInlineBytes = 64;
 
 class EventQueue {
  private:
-  /// What the heap sifts: 16 bytes, four per cache line. meta packs
+  /// What the wheel and heap order on: 16 bytes. meta packs
   /// (sequence << kSeqShift) | (slot << 1) | cancellable — the sequence
   /// occupies the high bits, so comparing meta words compares sequences
   /// (slot and flag only differ when sequences differ, and sequences are
@@ -84,9 +104,10 @@ class EventQueue {
   static constexpr std::uint64_t kSlotMask = (1u << kSlotBits) - 1;
 
   /// One pooled payload: the callable plus its dispatch thunks. Written at
-  /// schedule(), copied out at dispatch, recycled through free_. Trivially
-  /// copyable by construction (inline callables are restricted to
-  /// trivially-copyable types), so the copy out is a plain assignment.
+  /// schedule(), fired in place at dispatch, recycled through free_.
+  /// Trivially copyable by construction (inline callables are restricted
+  /// to trivially-copyable types), so the cold pop() copy-out is a plain
+  /// assignment.
   struct Slot {
     void (*invoke)(std::byte*);
     void (*cleanup)(std::byte*);  ///< frees a boxed callable; null = inline
@@ -96,8 +117,8 @@ class EventQueue {
 
   /// Releases a dispatched slot's boxed callable at scope exit, so the box
   /// is freed even when the callable throws (a throwing event — e.g. an
-  /// injected chaos fault — unwinds through the run loop after its slot
-  /// was already recycled, where no other owner would clean it).
+  /// injected chaos fault — unwinds through the run loop after its key
+  /// was already consumed, where no other owner would clean it).
   struct FireGuard {
     Slot& s;
     ~FireGuard() {
@@ -105,23 +126,45 @@ class EventQueue {
     }
   };
 
+  /// run_one() fires callables in place from pooled storage; the slot must
+  /// only return to the free list after the callable (whose captures live
+  /// in that storage) finishes — including via an exception unwind.
+  struct DispatchGuard {
+    EventQueue& q;
+    Slot& s;
+    std::uint32_t idx;
+    ~DispatchGuard() {
+      if (s.cleanup != nullptr) s.cleanup(s.storage);
+      q.free_.push_back(idx);
+    }
+  };
+
  public:
-  EventQueue() = default;
+  EventQueue() {
+    heads_.assign(kWheelSize, kNil);
+    bitmap_.assign(kWheelSize / 64, 0);
+  }
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
   ~EventQueue() {
-    for (std::size_t i = 0; i < n_; ++i) {
-      Slot& s = slots_[slot_of(root_[i])];
-      if (s.cleanup != nullptr) s.cleanup(s.storage);
+    for (std::size_t i = drain_; i < scratch_.size(); ++i) {
+      release_boxed(scratch_[i]);
     }
+    for (std::uint32_t head : heads_) {
+      for (std::uint32_t node = head; node != kNil; node = nodes_[node].next) {
+        Slot& s = slot_ref(nodes_[node].slot);
+        if (s.cleanup != nullptr) s.cleanup(s.storage);
+      }
+    }
+    for (std::size_t i = 0; i < heap_n_; ++i) release_boxed(root_[i]);
     ::operator delete(base_, std::align_val_t{kLineBytes});
   }
 
   /// Schedules a non-cancellable event at absolute time `when`.
   template <typename F>
   void schedule(TimeNs when, F&& fn) {
-    push_key(when, make_meta(false), fill_slot(std::forward<F>(fn)));
+    insert_key(when, make_meta(false), fill_slot(std::forward<F>(fn)));
   }
 
   /// Schedules a cancellable event; returns a handle for cancel().
@@ -130,21 +173,21 @@ class EventQueue {
     const std::uint64_t meta = make_meta(true);
     const EventId seq = meta >> kSeqShift;
     pending_.insert(seq);
-    push_key(when, meta, fill_slot(std::forward<F>(fn)));
+    insert_key(when, meta, fill_slot(std::forward<F>(fn)));
     return seq;
   }
 
-  /// Cancels a pending cancellable event. Cancelling an already-fired or
-  /// unknown id is a harmless no-op. The dead record stays pooled until it
-  /// reaches the top of the heap (lazy deletion).
+  /// Cancels a pending cancellable event. Cancelling an already-fired,
+  /// already-cancelled, or unknown id is a harmless no-op: ids are the
+  /// globally unique schedule sequence (not the recycled pool slot), so a
+  /// stale id can never match a newer event, and the erase-guarded dead_
+  /// counter cannot drift (so size() cannot underflow). The dead record
+  /// stays pooled until it reaches the scratch front (lazy deletion).
   void cancel(EventId id) {
     if (pending_.erase(id) != 0) ++dead_;
   }
 
-  [[nodiscard]] bool empty() {
-    prune();
-    return n_ == 0;
-  }
+  [[nodiscard]] bool empty() { return !ensure_next(); }
 
   /// Number of LIVE events (excludes lazily-cancelled dead entries, so
   /// watchdog diagnostics never overreport the backlog).
@@ -153,19 +196,18 @@ class EventQueue {
   /// Number of pool slots currently occupied, dead entries included.
   [[nodiscard]] std::size_t raw_size() const { return n_; }
 
-  /// Pre-sizes the event pool to `n` slots so neither the key heap nor the
-  /// payload pool reallocates while the simulation grows toward its
-  /// high-water event count.
+  /// Pre-sizes the event pool to `n` slots so neither the payload chunks
+  /// nor the bookkeeping arrays reallocate while the simulation grows
+  /// toward its high-water event count.
   void reserve(std::size_t n) {
-    if (n > key_cap_) grow_keys(n);
-    slots_.reserve(n);
+    while (chunks_.size() * kChunkSlots < n) add_chunk();
     free_.reserve(n);
+    scratch_.reserve(std::min<std::size_t>(n, 1024));
   }
 
   /// Time of the next live event; kTimeInf when empty.
   [[nodiscard]] TimeNs next_time() {
-    prune();
-    return n_ == 0 ? kTimeInf : root_[0].when;
+    return ensure_next() ? scratch_[drain_].when : kTimeInf;
   }
 
   /// A popped event: fire it with fn() (at most once). If destroyed
@@ -205,36 +247,38 @@ class EventQueue {
 
   /// Pops and returns the next live event. Pre: !empty().
   [[nodiscard]] Popped pop() {
-    prune();
-    assert(n_ != 0 && "pop() on an empty queue");
-    Key top;
-    pop_root(top);
+    const bool has_next = ensure_next();
+    assert(has_next && "pop() on an empty queue");
+    (void)has_next;
+    const Key top = scratch_[drain_++];
+    --n_;
     retire(top);
     Popped out;
     out.when = top.when;
-    out.slot_ = slots_[slot_of(top)];  // copy out: callbacks may grow the pool
+    out.slot_ = slot_ref(slot_of(top));  // copy out: callbacks may grow the pool
     out.live_ = true;
     free_.push_back(slot_of(top));
     return out;
   }
 
-  /// Combined prune + deadline check + pop + dispatch — the simulator run
+  /// Combined prune + deadline check + dispatch — the simulator run
   /// loop's one call per event. If the next live event is due at or before
   /// `deadline`, advances `clock` to its timestamp, fires it, and returns
   /// true; otherwise leaves the queue untouched and returns false. The
-  /// payload is copied to the stack before the callable runs, so the
-  /// callable may freely schedule new events (growing the pool).
+  /// callable runs in place from its (address-stable) pooled chunk; its
+  /// slot is recycled only after it returns, so it may freely schedule new
+  /// events.
   bool run_one(TimeNs deadline, TimeNs& clock) {
-    prune();
-    if (n_ == 0 || root_[0].when > deadline) return false;
-    Key top;
-    pop_root(top);
+    if (!ensure_next()) return false;
+    const Key top = scratch_[drain_];
+    if (top.when > deadline) return false;
+    ++drain_;
+    --n_;
     retire(top);
-    Slot local = slots_[slot_of(top)];
-    free_.push_back(slot_of(top));
     clock = top.when;
-    FireGuard guard{local};
-    local.invoke(local.storage);
+    Slot& s = slot_ref(slot_of(top));
+    DispatchGuard guard{*this, s, slot_of(top)};
+    s.invoke(s.storage);
     return true;
   }
 
@@ -273,6 +317,24 @@ class EventQueue {
     return (next_seq_++ << kSeqShift) | (cancellable ? 1u : 0u);
   }
 
+  // --- Payload pool (chunked; slots never move once allocated) ----------
+
+  static constexpr std::size_t kChunkShift = 12;  ///< 4096 slots per chunk
+  static constexpr std::size_t kChunkSlots = std::size_t{1} << kChunkShift;
+  static constexpr std::size_t kChunkMask = kChunkSlots - 1;
+
+  [[nodiscard]] Slot& slot_ref(std::uint32_t idx) {
+    return chunks_[idx >> kChunkShift][idx & kChunkMask];
+  }
+
+  void add_chunk() {
+    if (chunks_.size() * kChunkSlots > kSlotMask) {
+      throw std::length_error{"event pool exhausted (16M live events)"};
+    }
+    chunks_.push_back(std::make_unique<Slot[]>(kChunkSlots));
+    nodes_.resize(chunks_.size() * kChunkSlots);
+  }
+
   /// Takes a slot from the free list (or grows the pool) and constructs
   /// the callable into it. Returns the slot index.
   template <typename F>
@@ -283,13 +345,10 @@ class EventQueue {
       idx = free_.back();
       free_.pop_back();
     } else {
-      if (slots_.size() > kSlotMask) {
-        throw std::length_error{"event pool exhausted (16M live events)"};
-      }
-      idx = static_cast<std::uint32_t>(slots_.size());
-      slots_.emplace_back();
+      if (used_slots_ == chunks_.size() * kChunkSlots) add_chunk();
+      idx = static_cast<std::uint32_t>(used_slots_++);
     }
-    Slot& s = slots_[idx];
+    Slot& s = slot_ref(idx);
     constexpr bool fits_inline =
         sizeof(Fn) <= kEventInlineBytes &&
         alignof(Fn) <= alignof(std::max_align_t) &&
@@ -307,12 +366,192 @@ class EventQueue {
     return idx;
   }
 
+  /// Frees a key's boxed callable (if any) and recycles its pool slot.
+  void release_slot(std::uint32_t idx) {
+    Slot& s = slot_ref(idx);
+    if (s.cleanup != nullptr) s.cleanup(s.storage);
+    free_.push_back(idx);
+  }
+
+  /// Destructor-only: boxed cleanup without free-list bookkeeping.
+  void release_boxed(const Key& k) {
+    Slot& s = slot_ref(slot_of(k));
+    if (s.cleanup != nullptr) s.cleanup(s.storage);
+  }
+
   /// Strict total order: (when, schedule sequence). Sequences are unique,
   /// so ties never happen and FIFO-at-same-timestamp is exact.
   [[nodiscard]] static bool before(const Key& a, const Key& b) {
     if (a.when != b.when) return a.when < b.when;
     return a.meta < b.meta;
   }
+
+  // --- Timing wheel (near horizon) ---------------------------------------
+
+  /// 16384 buckets x 4096 ns = a 67 ms horizon: wide enough that pacing
+  /// ticks, serialization times, and propagation delays (tens of ms) all
+  /// land directly in the wheel; only RTO-scale timers overflow to the
+  /// heap. Bucket chains are threaded through nodes_ (parallel to the
+  /// payload pool), so scheduling allocates nothing. The granularity is
+  /// tuned so a loaded bucket holds a handful of events (sorting it is a
+  /// few compares) while cursor advances stay rare relative to events.
+  static constexpr std::uint64_t kBucketShift = 12;
+  static constexpr std::uint64_t kWheelBits = 14;
+  static constexpr std::uint64_t kWheelSize = std::uint64_t{1} << kWheelBits;
+  static constexpr std::uint64_t kWheelMask = kWheelSize - 1;
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  struct Node {
+    TimeNs when;
+    std::uint64_t meta;
+    std::uint32_t slot;  ///< == slot_of(meta); kept to avoid re-unpacking
+    std::uint32_t next;
+  };
+
+  [[nodiscard]] static constexpr std::uint64_t bucket_of(TimeNs when) {
+    return static_cast<std::uint64_t>(when) >> kBucketShift;
+  }
+
+  /// Routes a fresh (or heap-migrated) key to scratch, wheel, or heap.
+  /// Pre for the wheel arm: wheel_pos_ < bucket_of(when) < wheel_pos_ +
+  /// kWheelSize, which makes physical slot <-> absolute bucket a
+  /// bijection (two in-horizon buckets congruent mod kWheelSize are
+  /// equal), so a chain only ever holds one absolute bucket's events.
+  void insert_key(TimeNs when, std::uint64_t meta, std::uint32_t slot) {
+    const Key key{when, (meta & ~(kSlotMask << 1)) |
+                            (static_cast<std::uint64_t>(slot) << 1)};
+    ++n_;
+    const std::uint64_t b = bucket_of(when);
+    if (b <= wheel_pos_) {
+      // The cursor's own bucket (same-instant chained events), or behind
+      // an eagerly advanced cursor: splice into the scratch's pending
+      // region at the exact (when, sequence) position. Everything already
+      // drained compares strictly less (fired whens <= this when, and
+      // this sequence is the largest yet issued), so the pending region
+      // stays totally sorted and the global fire order is unchanged from
+      // a single ordered heap.
+      const auto pos = std::upper_bound(
+          scratch_.begin() + static_cast<std::ptrdiff_t>(drain_),
+          scratch_.end(), key,
+          [](const Key& a, const Key& c) { return before(a, c); });
+      scratch_.insert(pos, key);
+    } else if (b - wheel_pos_ < kWheelSize) {
+      chain_push(key);
+    } else {
+      push_heap_key(key);
+    }
+  }
+
+  /// Pushes an in-horizon key onto its bucket chain. Pre: see insert_key.
+  void chain_push(const Key& key) {
+    const auto s =
+        static_cast<std::uint32_t>(bucket_of(key.when) & kWheelMask);
+    const std::uint32_t idx = slot_of(key);
+    nodes_[idx] = Node{key.when, key.meta, idx, heads_[s]};
+    heads_[s] = idx;
+    bitmap_[s >> 6] |= std::uint64_t{1} << (s & 63);
+    ++wheel_count_;
+  }
+
+  /// Smallest absolute bucket > wheel_pos_ with a non-empty chain.
+  /// Pre: wheel_count_ != 0. Scans the occupancy bitmap starting just
+  /// past the cursor's slot; because every chained event's bucket lies in
+  /// (wheel_pos_, wheel_pos_ + kWheelSize), the first set bit in cyclic
+  /// slot order is the earliest bucket.
+  [[nodiscard]] std::uint64_t next_occupied_bucket() const {
+    const auto start =
+        static_cast<std::uint32_t>((wheel_pos_ + 1) & kWheelMask);
+    const auto words = static_cast<std::uint32_t>(kWheelSize / 64);
+    std::uint32_t w = start >> 6;
+    std::uint64_t word = bitmap_[w] & (~std::uint64_t{0} << (start & 63));
+    for (;;) {
+      if (word != 0) {
+        const auto s = static_cast<std::uint32_t>(
+            (w << 6) + static_cast<std::uint32_t>(__builtin_ctzll(word)));
+        const auto dist =
+            static_cast<std::uint32_t>((s - start) & kWheelMask);
+        return wheel_pos_ + 1 + dist;
+      }
+      w = (w + 1) & (words - 1);
+      word = bitmap_[w];
+    }
+  }
+
+  /// Moves the cursor to the earliest non-empty bucket, pulls that
+  /// bucket's chain (plus any heap events that the advance brought inside
+  /// the horizon) into scratch_, and sorts it. Pre: scratch_ is drained.
+  /// Returns false when no events remain anywhere.
+  bool advance_cursor() {
+    scratch_.clear();
+    drain_ = 0;
+    std::uint64_t target;
+    if (wheel_count_ != 0) {
+      target = next_occupied_bucket();
+      if (heap_n_ != 0) {
+        const std::uint64_t hb = bucket_of(root_[0].when);
+        if (hb < target) target = hb;
+      }
+    } else if (heap_n_ != 0) {
+      // Wheel empty: rebase the cursor straight to the heap top's bucket
+      // (this is how the cursor crosses long event-free gaps in O(1)).
+      target = bucket_of(root_[0].when);
+    } else {
+      return false;
+    }
+    wheel_pos_ = target;
+    const auto s = static_cast<std::uint32_t>(target & kWheelMask);
+    std::uint32_t node = heads_[s];
+    heads_[s] = kNil;
+    bitmap_[s >> 6] &= ~(std::uint64_t{1} << (s & 63));
+    while (node != kNil) {
+      scratch_.push_back(Key{nodes_[node].when, nodes_[node].meta});
+      --wheel_count_;
+      node = nodes_[node].next;
+    }
+    // Restore the heap invariant (all heap events beyond the horizon of
+    // the *new* cursor): migrate anything the advance uncovered. The heap
+    // pops in time order, so these go to their exact buckets.
+    while (heap_n_ != 0 &&
+           bucket_of(root_[0].when) < wheel_pos_ + kWheelSize) {
+      Key k;
+      pop_root(k);
+      if (bucket_of(k.when) == wheel_pos_) {
+        scratch_.push_back(k);
+      } else {
+        chain_push(k);
+      }
+    }
+    std::sort(scratch_.begin(), scratch_.end(),
+              [](const Key& a, const Key& b) { return before(a, b); });
+    return true;
+  }
+
+  /// Advances past lazily-cancelled entries until scratch_[drain_] is the
+  /// earliest live event queue-wide (loading buckets as needed). Returns
+  /// false when no live events exist.
+  bool ensure_next() {
+    for (;;) {
+      while (drain_ < scratch_.size()) {
+        const Key k = scratch_[drain_];
+        if ((k.meta & 1) == 0 ||
+            pending_.find(k.meta >> kSeqShift) != pending_.end()) {
+          return true;
+        }
+        ++drain_;
+        --n_;
+        --dead_;
+        release_slot(slot_of(k));
+      }
+      if (!advance_cursor()) return false;
+    }
+  }
+
+  /// Post-pop bookkeeping for a cancellable key that fired live.
+  void retire(const Key& top) {
+    if ((top.meta & 1) != 0) pending_.erase(top.meta >> kSeqShift);
+  }
+
+  // --- Far-horizon heap ---------------------------------------------------
 
   static constexpr std::size_t kArity = 4;
   static constexpr std::size_t kLineBytes = 64;
@@ -328,19 +567,17 @@ class EventQueue {
     while (cap < min_cap) cap *= 2;
     auto* fresh = static_cast<Key*>(::operator new(
         (cap + kRootPad) * sizeof(Key), std::align_val_t{kLineBytes}));
-    if (n_ != 0) std::memcpy(fresh + kRootPad, root_, n_ * sizeof(Key));
+    if (heap_n_ != 0) std::memcpy(fresh + kRootPad, root_, heap_n_ * sizeof(Key));
     ::operator delete(base_, std::align_val_t{kLineBytes});
     base_ = fresh;
     root_ = fresh + kRootPad;
     key_cap_ = cap;
   }
 
-  void push_key(TimeNs when, std::uint64_t meta, std::uint32_t slot) {
-    if (n_ == key_cap_) grow_keys(n_ + 1);
-    const Key key{when, (meta & ~(kSlotMask << 1)) |
-                            (static_cast<std::uint64_t>(slot) << 1)};
+  void push_heap_key(const Key& key) {
+    if (heap_n_ == key_cap_) grow_keys(heap_n_ + 1);
     // Sift up with a hole: parents slide down until key's level is found.
-    std::size_t i = n_++;
+    std::size_t i = heap_n_++;
     while (i > 0) {
       const std::size_t parent = (i - 1) / kArity;
       if (!before(key, root_[parent])) break;
@@ -353,16 +590,16 @@ class EventQueue {
   /// Copies the root key into `out` and restores the heap invariant.
   void pop_root(Key& out) {
     out = root_[0];
-    const Key last = root_[--n_];
-    if (n_ == 0) return;
+    const Key last = root_[--heap_n_];
+    if (heap_n_ == 0) return;
     // Sift down with a hole: the smallest child bubbles up until `last`
     // fits. Each sibling group is one aligned cache line.
     std::size_t i = 0;
     for (;;) {
       const std::size_t first_child = kArity * i + 1;
-      if (first_child >= n_) break;
+      if (first_child >= heap_n_) break;
       const std::size_t end_child =
-          first_child + kArity < n_ ? first_child + kArity : n_;
+          first_child + kArity < heap_n_ ? first_child + kArity : heap_n_;
       std::size_t best = first_child;
       for (std::size_t c = first_child + 1; c < end_child; ++c) {
         if (before(root_[c], root_[best])) best = c;
@@ -374,34 +611,31 @@ class EventQueue {
     root_[i] = last;
   }
 
-  /// Post-pop bookkeeping for a cancellable key that fired live.
-  void retire(const Key& top) {
-    if ((top.meta & 1) != 0) pending_.erase(top.meta >> kSeqShift);
-  }
+  // --- State --------------------------------------------------------------
 
-  /// Drops cancelled entries sitting at the top of the heap.
-  void prune() {
-    while (n_ != 0) {
-      const Key& top = root_[0];
-      if ((top.meta & 1) == 0 ||
-          pending_.find(top.meta >> kSeqShift) != pending_.end()) {
-        return;
-      }
-      Key dead;
-      pop_root(dead);
-      Slot& s = slots_[slot_of(dead)];
-      if (s.cleanup != nullptr) s.cleanup(s.storage);
-      free_.push_back(slot_of(dead));
-      --dead_;
-    }
-  }
+  // Payload pool: fixed-size chunks (slots never move), LIFO free list.
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::size_t used_slots_ = 0;  ///< slots handed out at least once
+  std::vector<std::uint32_t> free_;
 
+  // Wheel: per-slot chain nodes, bucket heads, occupancy bitmap, cursor.
+  std::vector<Node> nodes_;            ///< parallel to the payload pool
+  std::vector<std::uint32_t> heads_;   ///< kWheelSize chain heads
+  std::vector<std::uint64_t> bitmap_;  ///< kWheelSize occupancy bits
+  std::uint64_t wheel_pos_ = 0;  ///< absolute bucket the cursor is parked on
+  std::size_t wheel_count_ = 0;  ///< events currently threaded in chains
+
+  // Loaded bucket: sorted, drained front to back.
+  std::vector<Key> scratch_;
+  std::size_t drain_ = 0;
+
+  // Far-horizon heap.
   Key* base_ = nullptr;  ///< 64-byte-aligned allocation (kRootPad lead-in)
   Key* root_ = nullptr;  ///< heap element 0 (= base_ + kRootPad)
   std::size_t key_cap_ = 0;  ///< heap capacity in keys (excludes the pad)
-  std::size_t n_ = 0;        ///< heap size
-  std::vector<Slot> slots_;  ///< payload pool
-  std::vector<std::uint32_t> free_;  ///< recycled payload slots (LIFO)
+  std::size_t heap_n_ = 0;   ///< heap size
+
+  std::size_t n_ = 0;  ///< occupied slots: scratch pending + chains + heap
   // bbrnash-lint: allow(unordered-container) -- lookup-only (insert /
   // erase / count); never iterated, so hash order cannot affect results.
   std::unordered_set<EventId> pending_;

@@ -1,0 +1,186 @@
+// jobs x dispatch equivalence: the devirtualized CcVariant hot path and the
+// virtual-dispatch CongestionControl adapter are the SAME algorithms behind
+// two calling conventions, so every observable of a run must be
+// bit-identical between them — executed event counts, per-flow goodput,
+// full RunOutcome serializations — across the golden 1-30 BDP grid and an
+// impaired scenario, and for every --jobs value (dispatch mode and worker
+// count must both be execution details, never semantics knobs).
+// Checkpoint keys deliberately exclude the dispatch mode, so a log written
+// under one mode resumes bit-identically under the other; that contract is
+// pinned here too.
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "exp/checkpoint.hpp"
+#include "exp/scenario_runner.hpp"
+#include "exp/sweeps.hpp"
+#include "model/network_params.hpp"
+
+namespace bbrnash {
+namespace {
+
+// The golden figures' operating points (100 Mbps / 40 ms, 1-30 BDP), at
+// quick fidelity so the full grid stays cheap under sanitizers.
+constexpr double kCapacityMbps = 100.0;
+constexpr double kRttMs = 40.0;
+constexpr int kMinBdp = 1;
+constexpr int kMaxBdp = 30;
+
+Scenario grid_scenario(int bdp, bool virtual_dispatch) {
+  Scenario s = make_mix_scenario(make_params(kCapacityMbps, kRttMs, bdp),
+                                 /*num_cubic=*/2, /*num_other=*/2);
+  s.duration = from_sec(4);
+  s.warmup = from_sec(1);
+  s.seed = 7 + static_cast<std::uint64_t>(bdp);
+  s.virtual_cc_dispatch = virtual_dispatch;
+  return s;
+}
+
+void append(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g,", v);
+  out += buf;
+}
+
+void append(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+  out += ',';
+}
+
+/// %.17g serialization of every field of a RunOutcome — doubles round-trip
+/// bit-exactly, so string equality IS bit-identity.
+std::string encode(const RunOutcome& o) {
+  std::string out;
+  out += to_string(o.status);
+  out += '|';
+  append(out, o.seed_used);
+  append(out, static_cast<std::uint64_t>(o.attempts));
+  append(out, o.diagnostics.events_executed);
+  append(out, o.diagnostics.pending_events);
+  append(out, static_cast<std::uint64_t>(o.diagnostics.sim_time_reached));
+  out += '|';
+  const RunResult& r = o.result;
+  append(out, r.avg_queue_delay_ms);
+  append(out, r.avg_queue_bytes);
+  append(out, r.link_utilization);
+  append(out, r.total_drops);
+  append(out, r.cubic_buffer_avg);
+  append(out, static_cast<std::uint64_t>(r.cubic_buffer_min));
+  append(out, static_cast<std::uint64_t>(r.cubic_buffer_max));
+  append(out, r.noncubic_buffer_avg);
+  for (const ImpairmentCounters& c : {r.data_impairments, r.ack_impairments}) {
+    append(out, c.offered);
+    append(out, c.dropped);
+    append(out, c.duplicated);
+    append(out, c.reordered);
+  }
+  for (const FlowResult& f : r.flows) {
+    out += '|';
+    out += to_string(f.cc);
+    out += ',';
+    append(out, static_cast<std::uint64_t>(f.base_rtt));
+    append(out, f.stats.goodput_bps);
+    append(out, f.stats.avg_rtt_ms);
+    append(out, f.stats.min_rtt_ms);
+    append(out, f.stats.max_rtt_ms);
+    append(out, f.stats.retransmits);
+    append(out, f.stats.rtos);
+    append(out, f.stats.avg_inflight_bytes);
+    append(out, static_cast<std::uint64_t>(f.stats.completed_at));
+    append(out, f.stats.avg_queue_occupancy_bytes);
+    append(out, static_cast<std::uint64_t>(f.stats.min_queue_occupancy_bytes));
+    append(out, static_cast<std::uint64_t>(f.stats.max_queue_occupancy_bytes));
+  }
+  return out;
+}
+
+std::string encode(const MixOutcome& m) { return mix_to_record(m).encode(); }
+
+TEST(DispatchEquivalence, GoldenGridRunOutcomesBitIdentical) {
+  for (int bdp = kMinBdp; bdp <= kMaxBdp; ++bdp) {
+    const RunOutcome variant =
+        run_scenario_guarded(grid_scenario(bdp, false), {});
+    const RunOutcome adapter =
+        run_scenario_guarded(grid_scenario(bdp, true), {});
+    ASSERT_TRUE(variant.ok()) << "bdp " << bdp;
+    // Event counts are the sharpest observable: one extra or reordered
+    // event anywhere in the run diverges them immediately.
+    EXPECT_EQ(variant.diagnostics.events_executed,
+              adapter.diagnostics.events_executed)
+        << "bdp " << bdp;
+    EXPECT_EQ(encode(variant), encode(adapter)) << "bdp " << bdp;
+  }
+}
+
+TEST(DispatchEquivalence, ImpairedScenarioBitIdentical) {
+  Scenario s = grid_scenario(/*bdp=*/3, /*virtual_dispatch=*/false);
+  s.impairments.loss_rate = 0.02;
+  s.impairments.jitter = from_ms(2);
+  s.ack_impairments.loss_rate = 0.01;
+  s.capacity_schedule = {{from_sec(2), mbps(60)}, {from_sec(3), mbps(100)}};
+  const RunOutcome variant = run_scenario_guarded(s, {});
+  s.virtual_cc_dispatch = true;
+  const RunOutcome adapter = run_scenario_guarded(s, {});
+  ASSERT_TRUE(variant.ok());
+  // The impairments must actually bite, or this pin is vacuous.
+  EXPECT_GT(variant.result.data_impairments.dropped, 0u);
+  EXPECT_EQ(encode(variant), encode(adapter));
+}
+
+// --- jobs x dispatch matrix ----------------------------------------------
+
+TrialConfig quick_trials(int jobs, bool virtual_dispatch) {
+  TrialConfig cfg;
+  cfg.duration = from_sec(6);
+  cfg.warmup = from_sec(2);
+  cfg.trials = 4;
+  cfg.jobs = jobs;
+  cfg.virtual_cc_dispatch = virtual_dispatch;
+  return cfg;
+}
+
+TEST(DispatchEquivalence, JobsByDispatchMatrixBitIdentical) {
+  const NetworkParams net = make_params(kCapacityMbps, kRttMs, 3);
+  const std::string reference = encode(
+      run_mix_trials(net, 2, 2, CcKind::kBbr, quick_trials(1, false)));
+  for (const int jobs : {1, 8}) {
+    for (const bool virtual_dispatch : {false, true}) {
+      const std::string got = encode(run_mix_trials(
+          net, 2, 2, CcKind::kBbr, quick_trials(jobs, virtual_dispatch)));
+      EXPECT_EQ(reference, got)
+          << "jobs=" << jobs << " virtual=" << virtual_dispatch;
+    }
+  }
+}
+
+TEST(DispatchEquivalence, CheckpointKeysIgnoreDispatchMode) {
+  const NetworkParams net = make_params(kCapacityMbps, kRttMs, 3);
+  // The key encodes everything that determines the measured numbers; the
+  // dispatch mode is not one of those things, so the keys must collide...
+  EXPECT_EQ(mix_checkpoint_key(net, 2, 2, CcKind::kBbr, quick_trials(1, false)),
+            mix_checkpoint_key(net, 2, 2, CcKind::kBbr, quick_trials(8, true)));
+
+  // ...and a log filled by the virtual adapter must resume bit-identically
+  // under variant dispatch (the recorded cell is reused, not re-run).
+  const std::string path = testing::TempDir() + "dispatch_ckpt.jsonl";
+  std::remove(path.c_str());
+  std::string recorded;
+  {
+    CheckpointLog log{path};
+    recorded = encode(run_mix_trials_checkpointed(net, 2, 2, CcKind::kBbr,
+                                                  quick_trials(1, true), &log));
+  }
+  {
+    CheckpointLog log{path};
+    EXPECT_EQ(recorded,
+              encode(run_mix_trials_checkpointed(net, 2, 2, CcKind::kBbr,
+                                                 quick_trials(8, false), &log)));
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bbrnash

@@ -1,0 +1,9 @@
+#pragma once
+// Fixture named after the real interface header: cc-virtual's path allowlist
+// exempts src/cc/congestion_control.hpp — virtual dispatch lives here by
+// design (the thin adapter seam behind CcVariant), so none of these fire.
+class FxCongestionControl {
+ public:
+  virtual ~FxCongestionControl() = default;
+  virtual void on_ack() = 0;
+};

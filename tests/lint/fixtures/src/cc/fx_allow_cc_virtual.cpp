@@ -1,0 +1,7 @@
+// Fixture: annotated virtual under src/cc/ — suppressed, listed, not a
+// violation.
+class FxAllowCcVirtual {
+ public:
+  // bbrnash-lint: allow(cc-virtual) -- fixture exercises the suppression path
+  virtual void on_ack() = 0;
+};

@@ -1,0 +1,5 @@
+// Fixture: virtual member under src/cc/ outside the sanctioned interface.
+class FxCcVirtual {
+ public:
+  virtual void on_ack() = 0;
+};

@@ -1,7 +1,7 @@
 // Fixture tests for bbrnash-lint: one deliberate violation per rule and one
 // exercised allow-annotation per suppressible rule live under
-// tests/lint/fixtures/ (a mini repo root with src/sim, src/model, src/exp
-// subtrees so the scoped rules and path allowlists are all reachable).
+// tests/lint/fixtures/ (a mini repo root with src/sim, src/model, src/exp,
+// src/cc subtrees so the scoped rules and path allowlists are all reachable).
 // These tests pin the EXACT rule name and file:line of every finding, the
 // suppression bookkeeping, and the driver binary's exit-code contract
 // (0 clean / 1 violations / 2 usage error).
@@ -65,6 +65,7 @@ TEST(LintFixtures, EveryRuleFiresAtItsExactSite) {
       {"float-equality", "src/model/fx_float.cpp", 4},
       {"pragma-once", "src/sim/fx_missing_pragma.hpp", 1},
       {"process-control", "src/sim/fx_process.cpp", 5},
+      {"cc-virtual", "src/cc/fx_cc_virtual.cpp", 4},
       {"unused-suppression", "src/sim/fx_unused_suppression.cpp", 2},
   };
   for (const auto& [rule, file, line] : expected) {
@@ -78,11 +79,13 @@ TEST(LintFixtures, EveryRuleFiresAtItsExactSite) {
 
 TEST(LintFixtures, PathAllowlistsExemptTheDesignatedFiles) {
   const TreeReport r = scan_fixtures();
-  // src/exp/cli_flags.cpp holds a raw strtod and src/exp/scenario_runner.cpp
-  // a steady_clock read; both are allowlisted, so neither may appear.
+  // src/exp/cli_flags.cpp holds a raw strtod, src/exp/scenario_runner.cpp a
+  // steady_clock read, and src/cc/congestion_control.hpp two virtuals; all
+  // three are allowlisted, so none may appear.
   for (const Finding& f : r.findings) {
     EXPECT_NE(f.file, "src/exp/cli_flags.cpp") << f.rule;
     EXPECT_NE(f.file, "src/exp/scenario_runner.cpp") << f.rule;
+    EXPECT_NE(f.file, "src/cc/congestion_control.hpp") << f.rule;
   }
 }
 
@@ -96,6 +99,7 @@ TEST(LintFixtures, AllowAnnotationsMaskAndAreListed) {
       {"raw-parse", "src/exp/fx_allow_raw_parse.cpp", 5},
       {"float-equality", "src/model/fx_allow_float_eq.cpp", 3},
       {"process-control", "src/sim/fx_allow_process.cpp", 5},
+      {"cc-virtual", "src/cc/fx_allow_cc_virtual.cpp", 5},
   };
   for (const auto& [rule, file, line] : expected) {
     const auto it = std::find_if(
@@ -110,7 +114,7 @@ TEST(LintFixtures, AllowAnnotationsMaskAndAreListed) {
     EXPECT_FALSE(has_finding(r, rule, file, line + 1))
         << "suppression failed to mask " << file;
   }
-  // 7 used annotations + the deliberately stale one.
+  // 8 used annotations + the deliberately stale one.
   EXPECT_EQ(r.suppressions.size(), expected.size() + 1);
 }
 
@@ -147,8 +151,8 @@ TEST(LintFixtures, ReportRendersSitesAndSummary) {
   EXPECT_NE(out.find("src/sim/fx_wall_clock.cpp:5: [wall-clock]"),
             std::string::npos)
       << out;
-  EXPECT_NE(out.find("12 violations"), std::string::npos) << out;
-  EXPECT_NE(out.find("8 suppressions"), std::string::npos) << out;
+  EXPECT_NE(out.find("13 violations"), std::string::npos) << out;
+  EXPECT_NE(out.find("9 suppressions"), std::string::npos) << out;
 
   // Clean tree: exit 0, nothing to report.
   const TreeReport clean = bbrnash::lint::scan_tree(

@@ -247,5 +247,147 @@ TEST(EventQueue, PoolRecyclingKeepsOrderingExact) {
   EXPECT_EQ(fired.size(), 50u * 16u);
 }
 
+// --- cancel() audit pins (double-cancel / stale-id) ----------------------
+
+// Cancelling the same id repeatedly must count the kill exactly once:
+// the dead_ counter is guarded by the pending-set erase, so size() (n_ -
+// dead_) cannot underflow no matter how many times an id is replayed.
+TEST(EventQueue, DoubleCancelCountsOnce) {
+  EventQueue q;
+  const EventId a = q.schedule_cancellable(10, [] {});
+  q.schedule_cancellable(20, [] {});
+  q.schedule(30, [] {});
+  q.cancel(a);
+  q.cancel(a);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 2u);      // would be 0 if each cancel() decremented
+  EXPECT_EQ(q.raw_size(), 3u);
+  int fired = 0;
+  while (!q.empty()) {
+    q.pop().fn();
+    ++fired;
+  }
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.raw_size(), 0u);
+}
+
+// A stale EventId whose pool slot has been recycled to a NEW event must
+// not kill the new event: ids are the globally unique schedule sequence,
+// never the slot index.
+TEST(EventQueue, StaleIdAfterSlotRecycleIsInert) {
+  EventQueue q;
+  int first = 0;
+  const EventId old_id = q.schedule_cancellable(1, [&] { ++first; });
+  q.pop().fn();  // fires and frees the slot
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(q.raw_size(), 0u);
+
+  // The next schedule reuses the freed slot (LIFO free list) — the stale
+  // id must not reach it.
+  int second = 0;
+  q.schedule_cancellable(2, [&] { ++second; });
+  q.cancel(old_id);  // stale: already fired
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().fn();
+  EXPECT_EQ(second, 1);
+}
+
+// Same recycle scenario through the lazy-deletion path: the old event is
+// cancelled (its corpse still occupies a slot), drains away, and a new
+// event takes over the slot. Replaying the old id must stay a no-op.
+TEST(EventQueue, StaleIdAfterLazyDrainAndRecycleIsInert) {
+  EventQueue q;
+  const EventId old_id = q.schedule_cancellable(1, [] { FAIL(); });
+  q.schedule(2, [] {});
+  q.cancel(old_id);
+  q.pop().fn();  // drains past the corpse, freeing its slot
+  EXPECT_EQ(q.raw_size(), 0u);
+
+  int fired = 0;
+  q.schedule_cancellable(3, [&] { ++fired; });
+  q.cancel(old_id);  // replay of an already-counted cancel
+  q.cancel(old_id);
+  EXPECT_EQ(q.size(), 1u);  // size() must not have underflowed
+  q.pop().fn();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+// --- timing-wheel front-end ordering pins --------------------------------
+//
+// The wheel covers a ~67 ms near horizon (16384 buckets x 4096 ns); events
+// beyond it wait in the overflow heap and migrate inward as the cursor
+// advances. These constants exercise every boundary without depending on
+// the exact bucket math.
+
+TEST(EventQueue, FarHorizonEventsMigrateInOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  const TimeNs far = from_ms(500);  // deep in heap territory
+  q.schedule(far + 30, [&] { order.push_back(5); });
+  q.schedule(3, [&] { order.push_back(0); });
+  q.schedule(far + 10, [&] { order.push_back(3); });
+  q.schedule(from_ms(40), [&] { order.push_back(1); });  // in-wheel
+  q.schedule(far + 20, [&] { order.push_back(4); });
+  q.schedule(from_ms(90), [&] { order.push_back(2); });  // past horizon
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(EventQueue, SameInstantFifoAcrossHeapMigration) {
+  EventQueue q;
+  std::vector<int> order;
+  const TimeNs t = from_ms(300);  // beyond the wheel horizon at schedule time
+  for (int i = 0; i < 32; ++i) {
+    q.schedule(t, [&order, i] { order.push_back(i); });
+  }
+  q.schedule(1, [&] { order.push_back(-1); });
+  while (!q.empty()) q.pop().fn();
+  ASSERT_EQ(order.size(), 33u);
+  EXPECT_EQ(order[0], -1);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i + 1)], i);
+  }
+}
+
+// An empty wheel rebases straight to the heap's top bucket instead of
+// scanning through every intermediate empty bucket.
+TEST(EventQueue, EmptyWheelRebasesToHeapTop) {
+  EventQueue q;
+  std::vector<TimeNs> when;
+  for (int i = 9; i >= 0; --i) {
+    q.schedule(from_sec(10) * (i + 1), [&when, i] {
+      when.push_back(from_sec(10) * (i + 1));
+    });
+  }
+  TimeNs last = 0;
+  while (!q.empty()) {
+    auto ev = q.pop();
+    EXPECT_GT(ev.when, last);
+    last = ev.when;
+    ev.fn();
+  }
+  EXPECT_EQ(when.size(), 10u);
+}
+
+// Handlers scheduling at the *current* instant (zero-delay chains, e.g. a
+// link handing off to a delay line) must run after every event already
+// queued for that instant — FIFO extends to insertions made mid-drain.
+TEST(EventQueue, MidDrainSameInstantInsertKeepsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  TimeNs clock = 0;
+  q.schedule(100, [&] {
+    order.push_back(0);
+    q.schedule(100, [&] { order.push_back(2); });
+  });
+  q.schedule(100, [&] { order.push_back(1); });
+  while (q.run_one(kTimeInf, clock)) {
+  }
+  EXPECT_EQ(clock, 100);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
 }  // namespace
 }  // namespace bbrnash

@@ -88,6 +88,41 @@ TEST(Simulator, CancellableTimerCanBeRearmed) {
   EXPECT_EQ(fired, 2);
 }
 
+// Watchdog pin: the event budget counts EXECUTED events and the reported
+// backlog is the LIVE count — a large lazily-cancelled batch must neither
+// consume budget nor show up in pending_events(). Cancellation-heavy CCAs
+// (timer-churny RTO/pacing patterns) were the motivating case: counting
+// the dead entries via raw_size() would trip the budget far too early.
+TEST(Simulator, EventBudgetAndBacklogUseLiveCountNotRawSlots) {
+  Simulator sim;
+  constexpr int kBatch = 1000;
+  std::vector<EventId> ids;
+  ids.reserve(kBatch);
+  for (int i = 0; i < kBatch; ++i) {
+    ids.push_back(
+        sim.schedule_cancellable_at(from_ms(1) + i, [] { FAIL(); }));
+  }
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(from_ms(5) + i, [&] { ++fired; });
+  }
+  for (const EventId id : ids) sim.cancel(id);
+
+  // Live backlog excludes the 1000 corpses; the raw slot count sees them.
+  EXPECT_EQ(sim.pending_events(), 10u);
+  EXPECT_EQ(sim.pending_events_raw(), 1010u);
+
+  // Budget of 100 dwarfs the 10 live events but not the 1010 raw slots:
+  // the run must complete without exhausting it.
+  sim.set_event_budget(100);
+  sim.run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_FALSE(sim.budget_exhausted());
+  EXPECT_EQ(sim.events_executed(), 10u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.pending_events_raw(), 0u);
+}
+
 TEST(Simulator, EventChainSimulatesPeriodicProcess) {
   Simulator sim;
   int ticks = 0;

@@ -105,6 +105,57 @@ TEST(Percentile, ClampsQuantile) {
   EXPECT_DOUBLE_EQ(percentile({1, 2}, 2.0), 2.0);
 }
 
+// Small-sample pins: bench_oracle_queries carried its own truncating
+// percentile (idx = size_t(p * (n-1)), no interpolation) whose p99 of <100
+// samples silently collapsed to a lower rank. These pin the shared
+// implementation's behaviour at exactly the sizes where that bug bit.
+TEST(Percentile, SingleSampleIsThatSampleAtEveryQuantile) {
+  EXPECT_DOUBLE_EQ(percentile({7.5}, 0.0), 7.5);
+  EXPECT_DOUBLE_EQ(percentile({7.5}, 0.5), 7.5);
+  EXPECT_DOUBLE_EQ(percentile({7.5}, 0.99), 7.5);
+  EXPECT_DOUBLE_EQ(percentile({7.5}, 1.0), 7.5);
+}
+
+TEST(Percentile, TwoSamplesInterpolateLinearly) {
+  EXPECT_DOUBLE_EQ(percentile({10, 20}, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile({20, 10}, 0.5), 15.0);
+  EXPECT_DOUBLE_EQ(percentile({10, 20}, 0.99), 19.9);  // truncation gave 10
+  EXPECT_DOUBLE_EQ(percentile({10, 20}, 1.0), 20.0);
+}
+
+TEST(Percentile, ThreeSamplesHitAndBracketRanks) {
+  // pos = q * 2: q=0.5 lands exactly on the middle rank, q=0.25/0.75
+  // bracket it, q=0.99 must stay between the top two samples (the
+  // truncating version returned the median for every q in [0.5, 1)).
+  EXPECT_DOUBLE_EQ(percentile({30, 10, 20}, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(percentile({30, 10, 20}, 0.25), 15.0);
+  EXPECT_DOUBLE_EQ(percentile({30, 10, 20}, 0.75), 25.0);
+  EXPECT_DOUBLE_EQ(percentile({30, 10, 20}, 0.99), 29.8);
+}
+
+TEST(Percentile, ExactRankBoundariesNeedNoInterpolation) {
+  // With 5 samples, q in {0, .25, .5, .75, 1} lands exactly on a rank;
+  // the interpolation term must vanish (frac == 0) rather than bleed into
+  // the neighbour.
+  const std::vector<double> s{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(s, 0.00), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(s, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(s, 0.50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(s, 0.75), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(s, 1.00), 5.0);
+}
+
+TEST(Percentile, P99NeverIndexesPastTheEnd) {
+  // 99 samples: pos = 0.99 * 98 = 97.02 — lo=97, hi=98 (the last valid
+  // index). The interpolated value must stay within [sample 98, sample 99].
+  std::vector<double> s;
+  for (int i = 1; i <= 99; ++i) s.push_back(static_cast<double>(i));
+  const double p99 = percentile(s, 0.99);
+  EXPECT_GE(p99, 98.0);
+  EXPECT_LE(p99, 99.0);
+  EXPECT_DOUBLE_EQ(p99, 98.02);
+}
+
 TEST(MeanOf, BasicAndEmpty) {
   EXPECT_DOUBLE_EQ(mean_of({1, 2, 3}), 2.0);
   EXPECT_DOUBLE_EQ(mean_of({}), 0.0);

@@ -548,6 +548,26 @@ void rule_process_control(const FileContext& ctx) {
   }
 }
 
+void rule_cc_virtual(const FileContext& ctx) {
+  // The CC hot path is devirtualized (CcVariant, see DESIGN.md §6a): a new
+  // `virtual` member under src/cc/ silently reopens the indirect-dispatch
+  // cost the variant removed, and — worse — a virtual added to a concrete
+  // CCA would be invisible through the variant's direct dispatch. The
+  // CongestionControl interface itself and the variant adapter around it
+  // are the two sanctioned homes for virtual dispatch; anywhere else needs
+  // a justifying allow annotation.
+  if (!starts_with(ctx.relpath, "src/cc/")) return;
+  if (ctx.relpath == "src/cc/congestion_control.hpp") return;
+  for (std::size_t i = 0; i < ctx.f.code.size(); ++i) {
+    for_each_token(ctx.f.code[i], "virtual", [&](std::size_t) {
+      ctx.add("cc-virtual", static_cast<int>(i + 1),
+              "virtual member under src/cc/: the CC hot path is "
+              "devirtualized (cc_variant.hpp); extend the variant instead, "
+              "or justify the virtual with an allow annotation");
+    });
+  }
+}
+
 void rule_pragma_once(const FileContext& ctx) {
   if (ctx.relpath.size() < 4 ||
       ctx.relpath.substr(ctx.relpath.size() - 4) != ".hpp") {
@@ -565,7 +585,8 @@ std::vector<std::string> rule_names() {
   return {"wall-clock",       "nondeterminism",      "unordered-container",
           "unordered-iteration", "const-cast",       "reinterpret-cast",
           "raw-parse",        "float-type",          "float-equality",
-          "pragma-once",      "process-control",     "unused-suppression"};
+          "pragma-once",      "process-control",     "cc-virtual",
+          "unused-suppression"};
 }
 
 void scan_file(const std::filesystem::path& path, std::string_view relpath,
@@ -580,6 +601,7 @@ void scan_file(const std::filesystem::path& path, std::string_view relpath,
   rule_raw_parse(ctx);
   rule_float(ctx);
   rule_process_control(ctx);
+  rule_cc_virtual(ctx);
   rule_pragma_once(ctx);
 
   std::vector<Suppression> sups = f.annotations;
