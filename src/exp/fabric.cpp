@@ -89,7 +89,10 @@ class ScopedStopSignals {
     std::memset(&sa, 0, sizeof sa);
     sa.sa_handler = on_stop_signal;
     sigemptyset(&sa.sa_mask);
+    // bbrnash-lint: allow(process-control) -- the supervisor's stop-signal
+    // shim: ctrl-C/SIGTERM become a graceful interrupt, not a dead sweep.
     sigaction(SIGINT, &sa, &old_int_);
+    // bbrnash-lint: allow(process-control) -- stop-signal shim, as above.
     sigaction(SIGTERM, &sa, &old_term_);
     // A worker can die between our liveness check and a command write;
     // that write must come back as EPIPE, not kill the supervisor.
@@ -97,11 +100,17 @@ class ScopedStopSignals {
     std::memset(&ign, 0, sizeof ign);
     ign.sa_handler = SIG_IGN;
     sigemptyset(&ign.sa_mask);
+    // bbrnash-lint: allow(process-control) -- EPIPE-not-SIGPIPE for
+    // supervisor writes to dead workers.
     sigaction(SIGPIPE, &ign, &old_pipe_);
   }
   ~ScopedStopSignals() {
+    // bbrnash-lint: allow(process-control) -- restore the caller's
+    // SIGINT disposition on scope exit.
     sigaction(SIGINT, &old_int_, nullptr);
+    // bbrnash-lint: allow(process-control) -- restore, as above.
     sigaction(SIGTERM, &old_term_, nullptr);
+    // bbrnash-lint: allow(process-control) -- restore, as above.
     sigaction(SIGPIPE, &old_pipe_, nullptr);
   }
   ScopedStopSignals(const ScopedStopSignals&) = delete;
@@ -230,13 +239,17 @@ std::optional<std::size_t> parse_index(const std::string& tok,
                               CcKind challenger, const TrialConfig& trial,
                               double heartbeat_ms) {
   // A worker whose supervisor died mid-write must see EPIPE, not die.
+  // bbrnash-lint: allow(process-control) -- EPIPE-not-SIGPIPE in workers.
   std::signal(SIGPIPE, SIG_IGN);
   {
     struct sigaction sa;
     std::memset(&sa, 0, sizeof sa);
     sa.sa_handler = on_stop_signal;
     sigemptyset(&sa.sa_mask);
+    // bbrnash-lint: allow(process-control) -- worker stop-signal shim:
+    // SIGINT/SIGTERM abort the current cell cleanly.
     sigaction(SIGINT, &sa, nullptr);
+    // bbrnash-lint: allow(process-control) -- worker stop-signal shim.
     sigaction(SIGTERM, &sa, nullptr);
   }
   g_stop = 0;

@@ -1,0 +1,1057 @@
+#include "exp/serve.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "exp/checkpoint.hpp"
+#include "exp/cli_flags.hpp"
+#include "model/network_params.hpp"
+#include "util/ipc.hpp"
+
+namespace bbrnash {
+
+namespace {
+
+// bbrnash-lint: allow(wall-clock) -- see file header: socket-deadline
+// policy, never simulation state.
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+// Keep incident notes / error frames one-line (mirrors the fabric).
+std::string sanitize_for_line(std::string s) {
+  for (char& ch : s) {
+    if (ch == '\n' || ch == '\r') ch = ' ';
+  }
+  return s;
+}
+
+// Deterministic u01 for backoff jitter: a splitmix64 finalizer over
+// (seed, attempt), so a test replaying the same seed sees the same sleep
+// schedule.
+double jitter_u01(std::uint64_t seed, int attempt) {
+  std::uint64_t z =
+      seed + 0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(attempt + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z = z ^ (z >> 31);
+  return static_cast<double>(z >> 11) * (1.0 / 9007199254740992.0);
+}
+
+// EINTR-safe write of one byte to the self-wake pipe (a pipe, not a
+// socket, so ipc_write_some's send() does not apply). The pipe is
+// nonblocking; a full pipe is fine — the poll loop is already pending.
+void wake_pipe_poke(int fd) {
+  for (;;) {
+    const ssize_t w = ::write(fd, "x", 1);
+    if (w >= 0 || errno != EINTR) return;
+  }
+}
+
+void drain_pipe(int fd) {
+  char buf[256];
+  while (::read(fd, buf, sizeof(buf)) > 0) {
+  }
+}
+
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void serve_stop_handler(int) { g_serve_stop = 1; }
+
+// SIGTERM/SIGINT handlers for the CLI daemon mode, without SA_RESTART so
+// the poll loop wakes immediately. Restores the old dispositions on scope
+// exit.
+class ScopedServeSignals {
+ public:
+  ScopedServeSignals() {
+    g_serve_stop = 0;
+    struct sigaction sa{};
+    sa.sa_handler = &serve_stop_handler;
+    sigemptyset(&sa.sa_mask);
+    // bbrnash-lint: allow(process-control) -- the daemon's SIGTERM-drain
+    // entry point (finish in-flight, flush cache, unlink socket).
+    sigaction(SIGINT, &sa, &old_int_);
+    // bbrnash-lint: allow(process-control) -- SIGTERM drain, as above.
+    sigaction(SIGTERM, &sa, &old_term_);
+  }
+  ~ScopedServeSignals() {
+    // bbrnash-lint: allow(process-control) -- restore the caller's
+    // SIGINT/SIGTERM dispositions on scope exit.
+    sigaction(SIGINT, &old_int_, nullptr);
+    // bbrnash-lint: allow(process-control) -- restore, as above.
+    sigaction(SIGTERM, &old_term_, nullptr);
+  }
+  ScopedServeSignals(const ScopedServeSignals&) = delete;
+  ScopedServeSignals& operator=(const ScopedServeSignals&) = delete;
+
+ private:
+  struct sigaction old_int_ {};
+  struct sigaction old_term_ {};
+};
+
+std::optional<CcKind> parse_cc_name(const std::string& name) {
+  for (const CcKind k : {CcKind::kCubic, CcKind::kReno, CcKind::kBbr,
+                         CcKind::kBbrV2, CcKind::kCopa, CcKind::kVivace,
+                         CcKind::kVegas}) {
+    if (name == to_string(k)) return k;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+// --- Wire protocol helpers -------------------------------------------------
+
+const std::vector<std::string>& serve_query_keys() {
+  static const std::vector<std::string> kKeys = {
+      "capacity", "rtt",      "buffer-bdp", "cubic", "other", "challenger",
+      "trials",   "duration", "warmup",     "seed",  "jobs"};
+  return kKeys;
+}
+
+std::map<std::string, std::string> parse_query_tokens(
+    const std::string& line) {
+  std::map<std::string, std::string> kv;
+  const std::vector<std::string>& allowed = serve_query_keys();
+  std::stringstream tokens{line};
+  std::string tok;
+  while (tokens >> tok) {
+    if (tok[0] == '#') break;  // trailing comment
+    const auto eq = tok.find('=');
+    const std::string key = tok.substr(0, eq);
+    if (eq == std::string::npos ||
+        std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
+      throw std::invalid_argument{"bad query token '" + tok + "'"};
+    }
+    kv[key] = tok.substr(eq + 1);
+  }
+  return kv;
+}
+
+OracleQuery oracle_query_from_tokens(
+    const std::map<std::string, std::string>& kv) {
+  const auto num = [&kv](const std::string& key, double fallback) {
+    const auto it = kv.find(key);
+    if (it == kv.end()) return fallback;
+    return parse_double_strict(key, it->second);
+  };
+  const auto integer = [&kv](const std::string& key, int fallback) {
+    const auto it = kv.find(key);
+    if (it == kv.end()) return fallback;
+    return parse_int_strict(key, it->second);
+  };
+  OracleQuery q;
+  q.net = make_params(num("capacity", 100), num("rtt", 40),
+                      num("buffer-bdp", 5));
+  q.num_cubic = integer("cubic", 1);
+  q.num_other = integer("other", 1);
+  if (q.num_cubic < 0 || q.num_other < 0) {
+    throw std::invalid_argument{"cubic/other flow counts must be >= 0"};
+  }
+  const auto cit = kv.find("challenger");
+  if (cit != kv.end()) {
+    const auto challenger = parse_cc_name(cit->second);
+    if (!challenger) {
+      throw std::invalid_argument{"unknown challenger '" + cit->second + "'"};
+    }
+    q.challenger = *challenger;
+  }
+  q.trial.trials = integer("trials", 3);
+  q.trial.duration = from_sec(num("duration", 30));
+  q.trial.warmup = from_sec(num("warmup", num("duration", 30) / 4));
+  const auto sit = kv.find("seed");
+  if (sit != kv.end()) q.trial.seed = parse_u64_strict("seed", sit->second);
+  q.trial.jobs = integer("jobs", 1);
+  return q;
+}
+
+JsonlRecord serve_answer_record(const OracleAnswer& a) {
+  // Start from the MixOutcome fields for ok answers, then overlay the
+  // answer metadata. JsonlRecord::encode() sorts keys, so two equal
+  // answers are equal strings — the kill-drill bit-identity contract.
+  JsonlRecord rec;
+  if (a.ok()) rec = mix_to_record(a.outcome);
+  rec.set("schema", "bbrnash-oracle-v1");
+  rec.set("status", to_string(a.status));
+  rec.set("fidelity", to_string(a.fidelity));
+  rec.set("key", a.key);
+  if (a.band_deviation >= 0.0) rec.set("band_dev", a.band_deviation);
+  if (!a.reason.empty()) rec.set("reason", a.reason);
+  if (!a.message.empty()) rec.set("message", sanitize_for_line(a.message));
+  return rec;
+}
+
+JsonlRecord serve_stats_to_record(const ServeStats& s) {
+  JsonlRecord rec;
+  rec.set("schema", "bbrnash-serve-stats-v1");
+  rec.set("clients_accepted", s.clients_accepted);
+  rec.set("clients_disconnected", s.clients_disconnected);
+  rec.set("slow_clients_dropped", s.slow_clients_dropped);
+  rec.set("requests", s.requests);
+  rec.set("answered_inline", s.answered_inline);
+  rec.set("computed", s.computed);
+  rec.set("shed", s.shed);
+  rec.set("timeouts", s.timeouts);
+  rec.set("bad_requests", s.bad_requests);
+  rec.set("incidents", s.incidents);
+  return rec;
+}
+
+const char* to_string(ClientStatus s) {
+  switch (s) {
+    case ClientStatus::kOk:
+      return "ok";
+    case ClientStatus::kConnectFailed:
+      return "connect-failed";
+    case ClientStatus::kTimeout:
+      return "timeout";
+    case ClientStatus::kDisconnected:
+      return "disconnected";
+    case ClientStatus::kProtocolError:
+      return "protocol-error";
+  }
+  return "unknown";
+}
+
+// --- Daemon ----------------------------------------------------------------
+
+struct OracleDaemon::Impl {
+  struct PendingRequest {
+    std::uint64_t client_id = 0;
+    std::uint64_t wire_id = 0;
+    OracleQuery q;
+    std::string key;
+    Clock::time_point deadline{};
+    bool has_deadline = false;
+    std::atomic<bool> answered{false};
+  };
+
+  struct Completion {
+    std::shared_ptr<PendingRequest> req;
+    OracleAnswer ans;
+  };
+
+  struct Client {
+    int fd = -1;
+    std::uint64_t id = 0;
+    IpcLineReader reader;
+    std::string out;                    ///< reply bytes not yet written
+    Clock::time_point last_progress{};  ///< last successful write / empty out
+    bool chaos_stalled = false;         ///< kSlowClient drill: suppress writes
+    bool reads_done = false;            ///< EOF seen or draining
+    bool dead = false;
+    std::size_t in_flight = 0;          ///< queued/running compute requests
+  };
+
+  explicit Impl(ServeConfig cfg) : cfg_(std::move(cfg)), oracle_(cfg_.oracle) {
+    if (cfg_.socket_path.empty()) {
+      throw std::invalid_argument{"ServeConfig.socket_path is required"};
+    }
+    incident_path_ = cfg_.incident_path;
+    if (incident_path_.empty()) {
+      incident_path_ = (cfg_.oracle.cache_path.empty()
+                            ? cfg_.socket_path
+                            : cfg_.oracle.cache_path) +
+                       ".incidents.jsonl";
+    }
+  }
+
+  ~Impl() { stop_workers_and_join(); }
+
+  // -- incidents ------------------------------------------------------------
+
+  void write_incident(const char* trigger, std::uint64_t client_id,
+                      const std::string& key, const std::string& note) {
+    JsonlRecord rec;
+    rec.set("type", "bbrnash-serve-v1");
+    rec.set("trigger", trigger);
+    rec.set("pid", static_cast<std::uint64_t>(getpid()));
+    rec.set("client", client_id);
+    if (!key.empty()) rec.set("cell_key", key);
+    if (!note.empty()) rec.set("note", sanitize_for_line(note));
+    if (cfg_.chaos) rec.set("chaos", cfg_.chaos->describe());
+    try {
+      const std::lock_guard<std::mutex> lk{incident_mu_};
+      append_jsonl_line(incident_path_, rec.encode());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "serve: cannot write incident record: %s\n",
+                   e.what());
+    }
+    const std::lock_guard<std::mutex> lk{stats_mu_};
+    ++stats_.incidents;
+  }
+
+  // -- compute workers ------------------------------------------------------
+
+  void worker_loop() {
+    for (;;) {
+      std::shared_ptr<PendingRequest> req;
+      {
+        std::unique_lock<std::mutex> lk{queue_mu_};
+        queue_cv_.wait(lk,
+                       [&] { return workers_quit_ || !queue_.empty(); });
+        if (queue_.empty()) return;
+        req = queue_.front();
+        queue_.pop_front();
+      }
+      if (cfg_.chaos && cfg_.chaos_serve_crash &&
+          cfg_.chaos->should_fire(ChaosClass::kServeCrash,
+                                  "serve-crash " + req->key)) {
+        // Mid-compute crash drill: the cell has NOT been memoized, the
+        // socket file is left in place (stale), and clients see a raw
+        // disconnect — exactly the kill -9 shape. The incident record is
+        // the one breadcrumb (a real SIGKILL leaves none, which the
+        // restart path must also survive; tests drill both).
+        write_incident("serve-crash", req->client_id, req->key,
+                       "chaos: daemon killed mid-compute");
+        // bbrnash-lint: allow(process-control) -- kServeCrash drill: die
+        // without unwinding, like kill -9, so restart recovery is honest.
+        std::_Exit(42);
+      }
+      Completion done;
+      done.ans = oracle_.query_compute(req->q);
+      done.req = std::move(req);
+      {
+        const std::lock_guard<std::mutex> lk{completion_mu_};
+        completions_.push_back(std::move(done));
+      }
+      wake_pipe_poke(wake_fds_[1]);
+    }
+  }
+
+  void start_workers() {
+    workers_quit_ = false;
+    const int n = std::max(1, cfg_.compute_threads);
+    for (int i = 0; i < n; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  void stop_workers_and_join() {
+    {
+      const std::lock_guard<std::mutex> lk{queue_mu_};
+      workers_quit_ = true;
+    }
+    queue_cv_.notify_all();
+    for (std::thread& t : workers_) {
+      if (t.joinable()) t.join();
+    }
+    workers_.clear();
+  }
+
+  // -- client/session plumbing ----------------------------------------------
+
+  void enqueue_out(Client& c, const std::string& frame) {
+    if (c.dead) return;
+    if (c.out.empty()) c.last_progress = Clock::now();
+    c.out += frame;
+    c.out += '\n';
+    if (c.out.size() > cfg_.max_reply_buffer) {
+      drop_slow_client(c, "reply buffer over max_reply_buffer");
+      return;
+    }
+    flush_client(c);
+  }
+
+  void post_answer(Client& c, std::uint64_t wire_id, const OracleAnswer& a) {
+    if (cfg_.chaos && cfg_.chaos_slow_client && !c.chaos_stalled &&
+        cfg_.chaos->should_fire(ChaosClass::kSlowClient,
+                                "serve-slow " + a.key)) {
+      // Write-stall drill: stop flushing this client so the genuine
+      // stall detector (write_stall_ms with no progress) trips and the
+      // drop/incident path executes for real.
+      c.chaos_stalled = true;
+    }
+    enqueue_out(c, "answer " + std::to_string(wire_id) + " " +
+                       serve_answer_record(a).encode());
+  }
+
+  void flush_client(Client& c) {
+    if (c.dead || c.chaos_stalled) return;
+    while (!c.out.empty()) {
+      const long w = ipc_write_some(c.fd, c.out.data(), c.out.size());
+      if (w > 0) {
+        c.out.erase(0, static_cast<std::size_t>(w));
+        c.last_progress = Clock::now();
+        continue;
+      }
+      if (w == 0) return;  // EAGAIN: poll will retry
+      // Hard error (EPIPE from a vanished peer — delivered as a return
+      // value, never a SIGPIPE): typed incident, not process death.
+      write_incident("client-disconnect", c.id, "",
+                     "write failed with " + std::string{std::strerror(errno)} +
+                         "; " + std::to_string(c.out.size()) +
+                         " reply bytes dropped");
+      mark_dead(c, /*count_disconnect=*/true);
+      return;
+    }
+  }
+
+  void drop_slow_client(Client& c, const std::string& why) {
+    write_incident("slow-client", c.id, "",
+                   why + "; dropping client with " +
+                       std::to_string(c.out.size()) + " unsent reply bytes");
+    {
+      const std::lock_guard<std::mutex> lk{stats_mu_};
+      ++stats_.slow_clients_dropped;
+    }
+    mark_dead(c, /*count_disconnect=*/false);
+  }
+
+  void mark_dead(Client& c, bool count_disconnect) {
+    if (c.dead) return;
+    c.dead = true;
+    ipc_close(c.fd);
+    c.fd = -1;
+    c.out.clear();
+    if (count_disconnect) {
+      const std::lock_guard<std::mutex> lk{stats_mu_};
+      ++stats_.clients_disconnected;
+    }
+  }
+
+  Client* find_client(std::uint64_t id) {
+    const auto it = clients_.find(id);
+    return it == clients_.end() ? nullptr : &it->second;
+  }
+
+  // Returns false when the client was dropped mid-handling (stop
+  // processing its remaining lines).
+  bool handle_line(Client& c, const std::string& line) {
+    std::stringstream ss{line};
+    std::string verb;
+    std::string id_tok;
+    ss >> verb >> id_tok;
+    std::uint64_t id = 0;
+    if (!id_tok.empty()) {
+      try {
+        id = parse_u64_strict("request id", id_tok);
+      } catch (const std::exception&) {
+        bump_bad_request();
+        enqueue_out(c, "error 0 unparseable request id '" +
+                           sanitize_for_line(id_tok) + "'");
+        return !c.dead;
+      }
+    }
+    if (verb == "ping") {
+      enqueue_out(c, "pong " + std::to_string(id));
+      return !c.dead;
+    }
+    if (verb == "stats") {
+      JsonlRecord rec = serve_stats_to_record(stats());
+      const OracleStats os = oracle_.stats();
+      rec.set("oracle_queries", os.queries);
+      rec.set("oracle_exact_hits", os.exact_hits);
+      rec.set("oracle_interpolated", os.interpolated);
+      rec.set("oracle_model_only", os.model_only);
+      rec.set("oracle_computed", os.computed);
+      rec.set("oracle_pending", os.pending);
+      rec.set("cache_size", static_cast<std::uint64_t>(oracle_.cache_size()));
+      enqueue_out(c, "stats " + std::to_string(id) + " " + rec.encode());
+      return !c.dead;
+    }
+    if (verb != "query") {
+      bump_bad_request();
+      enqueue_out(c, "error " + std::to_string(id) + " unknown verb '" +
+                         sanitize_for_line(verb) + "'");
+      return !c.dead;
+    }
+
+    {
+      const std::lock_guard<std::mutex> lk{stats_mu_};
+      ++stats_.requests;
+    }
+    OracleQuery q;
+    try {
+      std::string rest;
+      std::getline(ss, rest);
+      q = oracle_query_from_tokens(parse_query_tokens(rest));
+    } catch (const std::exception& e) {
+      bump_bad_request();
+      enqueue_out(c, "error " + std::to_string(id) + " " +
+                         sanitize_for_line(e.what()));
+      return !c.dead;
+    }
+    const std::string key = oracle_key(q);
+
+    if (cfg_.chaos && cfg_.chaos_client_disconnect &&
+        cfg_.chaos->should_fire(ChaosClass::kClientDisconnect,
+                                "serve-disconnect " + key)) {
+      // Mid-request disconnect drill: sever the session before the reply,
+      // as if the peer vanished. The client's bounded retry reconnects
+      // and (fire-once) the resent request is answered normally.
+      write_incident("client-disconnect", c.id, key,
+                     "chaos: client connection severed mid-request");
+      mark_dead(c, /*count_disconnect=*/true);
+      return false;
+    }
+
+    const auto cached = oracle_.query_cached(q);
+    if (cached) {
+      {
+        const std::lock_guard<std::mutex> lk{stats_mu_};
+        ++stats_.answered_inline;
+      }
+      post_answer(c, id, *cached);
+      return !c.dead;
+    }
+    if (cfg_.oracle.no_compute) {
+      {
+        const std::lock_guard<std::mutex> lk{stats_mu_};
+        ++stats_.answered_inline;
+      }
+      post_answer(c, id, oracle_.answer_without_compute(q, "no-compute"));
+      return !c.dead;
+    }
+    bool shed_now = false;
+    {
+      const std::lock_guard<std::mutex> lk{queue_mu_};
+      if (queue_.size() >= cfg_.shed_queue_limit) {
+        shed_now = true;
+      } else {
+        auto req = std::make_shared<PendingRequest>();
+        req->client_id = c.id;
+        req->wire_id = id;
+        req->q = q;
+        req->key = key;
+        if (cfg_.request_deadline_ms > 0.0) {
+          req->has_deadline = true;
+          req->deadline =
+              Clock::now() + std::chrono::microseconds(static_cast<long long>(
+                                 cfg_.request_deadline_ms * 1000.0));
+        }
+        queue_.push_back(req);
+        live_.push_back(std::move(req));
+        ++c.in_flight;
+      }
+    }
+    if (shed_now) {
+      // Load shedding: answer NOW from the degraded tiers (model-only when
+      // the closed forms apply, else kPending reason=shed) instead of
+      // blocking the poll thread or growing the backlog unboundedly. The
+      // fidelity tag rides along — numbers are never fabricated.
+      {
+        const std::lock_guard<std::mutex> lk{stats_mu_};
+        ++stats_.shed;
+      }
+      post_answer(c, id, oracle_.answer_without_compute(q, "shed"));
+      return !c.dead;
+    }
+    queue_cv_.notify_one();
+    return !c.dead;
+  }
+
+  void bump_bad_request() {
+    const std::lock_guard<std::mutex> lk{stats_mu_};
+    ++stats_.bad_requests;
+  }
+
+  void read_client(Client& c) {
+    if (c.dead || c.reads_done) return;
+    std::vector<std::string> lines;
+    const bool open = c.reader.drain(c.fd, &lines);
+    for (const std::string& line : lines) {
+      if (line.empty()) continue;
+      if (!handle_line(c, line)) return;
+    }
+    if (!open) {
+      c.reads_done = true;
+      if (c.in_flight > 0 || !c.out.empty() || c.reader.buffered() > 0) {
+        // The peer vanished with work outstanding: typed incident. The
+        // in-flight computes still finish and land in the memo, so a
+        // reconnecting client gets exact answers.
+        write_incident("client-disconnect", c.id, "",
+                       "EOF with " + std::to_string(c.in_flight) +
+                           " request(s) in flight and " +
+                           std::to_string(c.out.size()) +
+                           " unsent reply bytes");
+      }
+      // The slot stays in clients_ until in-flight computes complete
+      // (their answers are discarded; the memoization is the point) —
+      // reap_dead_clients() erases it once in_flight hits 0.
+      mark_dead(c, /*count_disconnect=*/true);
+    }
+  }
+
+  void pump_completions() {
+    std::vector<Completion> done;
+    {
+      const std::lock_guard<std::mutex> lk{completion_mu_};
+      done.swap(completions_);
+    }
+    for (Completion& comp : done) {
+      const std::shared_ptr<PendingRequest>& req = comp.req;
+      Client* c = find_client(req->client_id);
+      if (c != nullptr && c->in_flight > 0) --c->in_flight;
+      const bool first = !req->answered.exchange(true);
+      if (first && c != nullptr && !c->dead) {
+        {
+          const std::lock_guard<std::mutex> lk{stats_mu_};
+          ++stats_.computed;
+        }
+        post_answer(*c, req->wire_id, comp.ans);
+      }
+      // Not-first (deadline already answered) or dead client: the reply is
+      // dropped, but query_compute already memoized the cell — a retry is
+      // an exact hit.
+      live_.erase(std::remove(live_.begin(), live_.end(), req), live_.end());
+    }
+  }
+
+  void sweep_deadlines() {
+    const Clock::time_point now = Clock::now();
+    for (const std::shared_ptr<PendingRequest>& req : live_) {
+      if (!req->has_deadline || now < req->deadline) continue;
+      if (req->answered.exchange(true)) continue;
+      {
+        const std::lock_guard<std::mutex> lk{stats_mu_};
+        ++stats_.timeouts;
+      }
+      Client* c = find_client(req->client_id);
+      if (c != nullptr && !c->dead) {
+        // Typed timeout: kPending(reason=timeout) — the compute is NOT
+        // cancelled, so the memo warms and a retry converges on exact.
+        post_answer(*c, req->wire_id,
+                    oracle_.answer_without_compute(req->q, "timeout"));
+      }
+    }
+  }
+
+  void sweep_stalls() {
+    if (cfg_.write_stall_ms <= 0.0) return;
+    const Clock::time_point now = Clock::now();
+    for (auto& [id, c] : clients_) {
+      if (c.dead || c.out.empty()) continue;
+      if (ms_between(c.last_progress, now) > cfg_.write_stall_ms) {
+        drop_slow_client(c, "no write progress for " +
+                                std::to_string(static_cast<long long>(
+                                    cfg_.write_stall_ms)) +
+                                " ms");
+      }
+    }
+  }
+
+  void reap_dead_clients() {
+    for (auto it = clients_.begin(); it != clients_.end();) {
+      if (it->second.dead && it->second.in_flight == 0) {
+        it = clients_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void begin_drain() {
+    if (draining_) return;
+    draining_ = true;
+    // One final read per client: everything the peer already sent is
+    // answered before the socket goes away ("finish in-flight").
+    for (auto& [id, c] : clients_) {
+      if (!c.dead && !c.reads_done) {
+        read_client(c);
+        c.reads_done = true;
+      }
+    }
+  }
+
+  bool drain_complete() {
+    if (!live_.empty()) return false;
+    {
+      const std::lock_guard<std::mutex> lk{queue_mu_};
+      if (!queue_.empty()) return false;
+    }
+    for (const auto& [id, c] : clients_) {
+      if (!c.dead && !c.out.empty()) return false;
+    }
+    return true;
+  }
+
+  bool run() {
+    std::string err;
+    listen_fd_ = ipc_listen(cfg_.socket_path, &err);
+    if (listen_fd_ < 0) {
+      error_ = err;
+      return false;
+    }
+    ipc_set_nonblocking(listen_fd_);
+    if (pipe(wake_fds_) != 0) {
+      error_ = "pipe() failed";
+      ipc_close(listen_fd_);
+      ipc_unlink(cfg_.socket_path);
+      return false;
+    }
+    ipc_set_nonblocking(wake_fds_[0]);
+    ipc_set_nonblocking(wake_fds_[1]);
+    start_workers();
+
+    std::unique_ptr<ScopedServeSignals> signals;
+    if (cfg_.handle_signals) signals = std::make_unique<ScopedServeSignals>();
+    serving_.store(true);
+
+    std::vector<pollfd> fds;
+    std::vector<std::uint64_t> fd_client;  // parallel: client id or 0
+    for (;;) {
+      if ((stop_.load() || (cfg_.handle_signals && g_serve_stop != 0)) &&
+          !draining_) {
+        begin_drain();
+      }
+      pump_completions();
+      sweep_deadlines();
+      sweep_stalls();
+      reap_dead_clients();
+      if (draining_ && drain_complete()) break;
+
+      fds.clear();
+      fd_client.clear();
+      fds.push_back({wake_fds_[0], POLLIN, 0});
+      fd_client.push_back(0);
+      if (!draining_) {
+        fds.push_back({listen_fd_, POLLIN, 0});
+        fd_client.push_back(0);
+      }
+      for (auto& [id, c] : clients_) {
+        if (c.dead) continue;
+        short events = 0;
+        if (!c.reads_done) events |= POLLIN;
+        if (!c.out.empty() && !c.chaos_stalled) events |= POLLOUT;
+        if (events == 0) continue;
+        fds.push_back({c.fd, events, 0});
+        fd_client.push_back(id);
+      }
+      const int rc = poll(fds.data(), static_cast<nfds_t>(fds.size()), 20);
+      if (rc < 0) {
+        if (errno == EINTR) continue;  // signal: loop re-checks stop flags
+        error_ = std::string{"poll(): "} + std::strerror(errno);
+        break;
+      }
+      for (std::size_t i = 0; i < fds.size(); ++i) {
+        const pollfd& p = fds[i];
+        if (p.revents == 0) continue;
+        if (p.fd == wake_fds_[0]) {
+          drain_pipe(wake_fds_[0]);
+          continue;
+        }
+        if (p.fd == listen_fd_) {
+          for (;;) {
+            const int cfd = ipc_accept(listen_fd_);
+            if (cfd < 0) break;
+            ipc_set_nonblocking(cfd);
+            Client c;
+            c.fd = cfd;
+            c.id = next_client_id_++;
+            c.last_progress = Clock::now();
+            clients_.emplace(c.id, std::move(c));
+            const std::lock_guard<std::mutex> lk{stats_mu_};
+            ++stats_.clients_accepted;
+          }
+          continue;
+        }
+        Client* c = find_client(fd_client[i]);
+        if (c == nullptr || c->dead) continue;
+        if ((p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+            (p.revents & POLLIN) == 0) {
+          // Peer reset with nothing readable: treat as EOF.
+          read_client(*c);
+          continue;
+        }
+        if ((p.revents & POLLIN) != 0) read_client(*c);
+        if (c->dead) continue;
+        if ((p.revents & POLLOUT) != 0) flush_client(*c);
+      }
+    }
+
+    stop_workers_and_join();
+    pump_completions();  // workers may have posted on the way out
+    // Close sessions AFTER their replies flushed (drain_complete checked),
+    // so clients read every answer and then a clean EOF.
+    for (auto& [id, c] : clients_) {
+      if (!c.dead) mark_dead(c, /*count_disconnect=*/false);
+    }
+    clients_.clear();
+    oracle_.flush();
+    ipc_close(listen_fd_);
+    listen_fd_ = -1;
+    ipc_close(wake_fds_[0]);
+    ipc_close(wake_fds_[1]);
+    ipc_unlink(cfg_.socket_path);
+    serving_.store(false);
+    return error_.empty();
+  }
+
+  ServeStats stats() const {
+    const std::lock_guard<std::mutex> lk{stats_mu_};
+    return stats_;
+  }
+
+  ServeConfig cfg_;
+  PayoffOracle oracle_;
+  std::string incident_path_;
+  std::string error_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> serving_{false};
+  bool draining_ = false;
+
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};
+  std::uint64_t next_client_id_ = 1;
+  std::map<std::uint64_t, Client> clients_;
+  std::vector<std::shared_ptr<PendingRequest>> live_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<PendingRequest>> queue_;
+  bool workers_quit_ = false;
+  std::vector<std::thread> workers_;
+
+  std::mutex completion_mu_;
+  std::vector<Completion> completions_;
+
+  std::mutex incident_mu_;
+  mutable std::mutex stats_mu_;
+  ServeStats stats_;
+};
+
+OracleDaemon::OracleDaemon(ServeConfig cfg)
+    : impl_(std::make_unique<Impl>(std::move(cfg))) {}
+
+OracleDaemon::~OracleDaemon() = default;
+
+bool OracleDaemon::run() { return impl_->run(); }
+
+void OracleDaemon::request_stop() { impl_->stop_.store(true); }
+
+bool OracleDaemon::serving() const { return impl_->serving_.load(); }
+
+ServeStats OracleDaemon::stats() const { return impl_->stats(); }
+
+OracleStats OracleDaemon::oracle_stats() const {
+  return impl_->oracle_.stats();
+}
+
+std::string OracleDaemon::error() const { return impl_->error_; }
+
+// --- Client ----------------------------------------------------------------
+
+OracleClient::OracleClient(ClientConfig cfg) : cfg_(std::move(cfg)) {}
+
+OracleClient::~OracleClient() { ipc_close(fd_); }
+
+void OracleClient::backoff_sleep(int attempt) {
+  double delay = cfg_.backoff_base_ms;
+  for (int i = 1; i < attempt; ++i) {
+    delay *= 2.0;
+    if (delay >= cfg_.backoff_cap_ms) break;
+  }
+  delay = std::min(delay, cfg_.backoff_cap_ms);
+  delay *= 0.5 + 0.5 * jitter_u01(cfg_.jitter_seed, attempt);
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<long long>(delay * 1000.0)));
+}
+
+bool OracleClient::ensure_connected() {
+  if (fd_ >= 0) return true;
+  for (int attempt = 1; attempt <= cfg_.max_attempts; ++attempt) {
+    std::string err;
+    fd_ = ipc_connect(cfg_.socket_path, &err);
+    if (fd_ >= 0) {
+      // The reply loop polls before draining; the fd must be nonblocking or
+      // IpcLineReader::drain would block in recv() once the buffered bytes
+      // are consumed.
+      ipc_set_nonblocking(fd_);
+      // Any connection after the client's first is a RE-connection — the
+      // observable the disconnect drills assert on — whether or not this
+      // particular connect() needed a retry.
+      if (connected_before_) ++reconnects_;
+      connected_before_ = true;
+      return true;
+    }
+    if (attempt < cfg_.max_attempts) backoff_sleep(attempt);
+  }
+  return false;
+}
+
+void OracleClient::drop_connection() {
+  ipc_close(fd_);
+  fd_ = -1;
+}
+
+namespace {
+
+// One parsed daemon frame.
+struct Frame {
+  std::string verb;
+  std::uint64_t id = 0;
+  std::string payload;
+};
+
+std::optional<Frame> parse_frame(const std::string& line) {
+  std::stringstream ss{line};
+  Frame f;
+  std::string id_tok;
+  if (!(ss >> f.verb >> id_tok)) return std::nullopt;
+  try {
+    f.id = parse_u64_strict("reply id", id_tok);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  std::getline(ss, f.payload);
+  if (!f.payload.empty() && f.payload[0] == ' ') f.payload.erase(0, 1);
+  return f;
+}
+
+}  // namespace
+
+ClientStatus OracleClient::query_lines(
+    const std::vector<std::string>& query_lines,
+    std::vector<ServeReply>* replies) {
+  replies->clear();
+  replies->resize(query_lines.size());
+  std::vector<bool> answered(query_lines.size(), false);
+  std::size_t remaining = query_lines.size();
+  if (remaining == 0) return ClientStatus::kOk;
+
+  bool ever_connected = fd_ >= 0;
+  int session_attempt = 0;
+  while (remaining > 0) {
+    ++session_attempt;
+    if (session_attempt > cfg_.max_attempts) {
+      return ever_connected ? ClientStatus::kDisconnected
+                            : ClientStatus::kConnectFailed;
+    }
+    if (session_attempt > 1) backoff_sleep(session_attempt - 1);
+    if (!ensure_connected()) return ClientStatus::kConnectFailed;
+    ever_connected = true;
+
+    // (Re)send every still-unanswered request on this connection; answered
+    // entries keep their first reply.
+    std::map<std::uint64_t, std::size_t> pending;
+    bool send_ok = true;
+    for (std::size_t i = 0; i < query_lines.size(); ++i) {
+      if (answered[i]) continue;
+      const std::uint64_t id = next_id_++;
+      if (!ipc_write_line(fd_, "query " + std::to_string(id) + " " +
+                                   query_lines[i])) {
+        send_ok = false;
+        break;
+      }
+      pending.emplace(id, i);
+    }
+    if (!send_ok) {
+      drop_connection();
+      continue;
+    }
+
+    IpcLineReader reader;
+    Clock::time_point last_reply = Clock::now();
+    bool disconnected = false;
+    while (!pending.empty() && !disconnected) {
+      pollfd p{fd_, POLLIN, 0};
+      const int rc = poll(&p, 1, 50);
+      if (rc < 0 && errno != EINTR) {
+        disconnected = true;
+        break;
+      }
+      if (cfg_.reply_timeout_ms > 0.0 &&
+          ms_between(last_reply, Clock::now()) > cfg_.reply_timeout_ms) {
+        return ClientStatus::kTimeout;
+      }
+      if (rc <= 0 || (p.revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+        continue;
+      }
+      std::vector<std::string> lines;
+      const bool open = reader.drain(fd_, &lines);
+      for (const std::string& line : lines) {
+        const auto frame = parse_frame(line);
+        if (!frame) return ClientStatus::kProtocolError;
+        const auto it = pending.find(frame->id);
+        if (it == pending.end()) continue;  // duplicate/stale id
+        const std::size_t idx = it->second;
+        if (frame->verb == "answer") {
+          (*replies)[idx].raw = frame->payload;
+          const auto rec = JsonlRecord::parse(frame->payload);
+          if (!rec) return ClientStatus::kProtocolError;
+          (*replies)[idx].record = *rec;
+        } else if (frame->verb == "error") {
+          // The request itself was malformed: a typed failed record, no
+          // retry (resending the same bad tokens cannot succeed).
+          JsonlRecord rec;
+          rec.set("schema", "bbrnash-oracle-v1");
+          rec.set("status", "failed");
+          rec.set("message", frame->payload);
+          (*replies)[idx].raw = "";
+          (*replies)[idx].record = rec;
+        } else {
+          return ClientStatus::kProtocolError;
+        }
+        answered[idx] = true;
+        --remaining;
+        pending.erase(it);
+        last_reply = Clock::now();
+      }
+      if (!open) disconnected = true;
+    }
+    if (disconnected && remaining > 0) {
+      drop_connection();
+      continue;
+    }
+  }
+  return ClientStatus::kOk;
+}
+
+ClientStatus OracleClient::fetch_stats(JsonlRecord* out) {
+  for (int attempt = 1; attempt <= cfg_.max_attempts; ++attempt) {
+    if (attempt > 1) backoff_sleep(attempt - 1);
+    if (!ensure_connected()) return ClientStatus::kConnectFailed;
+    const std::uint64_t id = next_id_++;
+    if (!ipc_write_line(fd_, "stats " + std::to_string(id))) {
+      drop_connection();
+      continue;
+    }
+    IpcLineReader reader;
+    const Clock::time_point start = Clock::now();
+    for (;;) {
+      pollfd p{fd_, POLLIN, 0};
+      const int rc = poll(&p, 1, 50);
+      if (rc < 0 && errno != EINTR) break;
+      if (cfg_.reply_timeout_ms > 0.0 &&
+          ms_between(start, Clock::now()) > cfg_.reply_timeout_ms) {
+        return ClientStatus::kTimeout;
+      }
+      if (rc <= 0 || (p.revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+        continue;
+      }
+      std::vector<std::string> lines;
+      const bool open = reader.drain(fd_, &lines);
+      for (const std::string& line : lines) {
+        const auto frame = parse_frame(line);
+        if (!frame || frame->verb != "stats" || frame->id != id) continue;
+        const auto rec = JsonlRecord::parse(frame->payload);
+        if (!rec) return ClientStatus::kProtocolError;
+        *out = *rec;
+        return ClientStatus::kOk;
+      }
+      if (!open) break;
+    }
+    drop_connection();
+  }
+  return ClientStatus::kDisconnected;
+}
+
+}  // namespace bbrnash

@@ -1,0 +1,260 @@
+// `bbrnash serve`: a crash-tolerant payoff-oracle daemon.
+//
+// One long-lived process owns one PayoffOracle and serves the existing
+// batch protocol (key=value lines, `bbrnash-oracle-v1` fidelity tags) to
+// concurrent clients over a Unix-domain socket, so a fleet of NE searches
+// shares one memo instead of each paying the hydration and compute cost.
+//
+// Wire protocol (newline-framed text, one message per line):
+//
+//   client -> daemon
+//     query <id> <key=value tokens>   same token grammar as `bbrnash
+//                                     oracle --batch` (capacity=, rtt=,
+//                                     buffer-bdp=, cubic=, other=,
+//                                     challenger=, trials=, duration=,
+//                                     warmup=, seed=, jobs=)
+//     stats <id>                      daemon + oracle counters
+//     ping <id>                       liveness probe
+//
+//   daemon -> client
+//     answer <id> <jsonl>             one bbrnash-oracle-v1 record: status,
+//                                     fidelity, key, reason (for pending),
+//                                     band_dev, message, and the MixOutcome
+//                                     fields when status=ok. JsonlRecord
+//                                     encodes keys in sorted order, so two
+//                                     answers for the same cell are
+//                                     BIT-IDENTICAL strings — the kill-drill
+//                                     tests compare them verbatim.
+//     stats <id> <jsonl>
+//     pong <id>
+//     error <id> <message>            malformed request (unknown verb, bad
+//                                     tokens); the daemon never disconnects
+//                                     a client for a bad request.
+//
+// Robustness model (each row is drilled in tests/exp/test_serve.cpp):
+//
+//   failure                  detection              recovery
+//   ------------------------ ---------------------- ------------------------
+//   queue pressure           compute backlog >=     shed: answer model-only
+//                            shed_queue_limit       or kPending(reason=shed)
+//                                                   inline — never block,
+//                                                   never fabricate
+//   slow compute             per-request deadline   answer kPending(reason=
+//                                                   timeout); the compute
+//                                                   still finishes and is
+//                                                   memoized, so a retry
+//                                                   gets the exact cell
+//   client vanishes          EPIPE/EOF (SIGPIPE is  drop the session, write
+//   (kClientDisconnect)      never raised: all      a typed incident record
+//                            writes use             to <cache>.incidents.
+//                            MSG_NOSIGNAL)          jsonl; in-flight compute
+//                                                   still lands in the memo
+//   client stops reading     no write progress for  drop + `slow-client`
+//   (kSlowClient)            write_stall_ms or      incident; the daemon's
+//                            reply buffer over      other clients never
+//                            max_reply_buffer       stall behind it
+//   SIGTERM                  signal handler sets    drain: finish queued +
+//                            stop flag              in-flight requests for
+//                                                   data already received,
+//                                                   flush the cache, unlink
+//                                                   the socket, exit 0
+//   kill -9 / kServeCrash    nothing runs           restart: stale-socket
+//                                                   detection rebinds the
+//                                                   path, the cache re-
+//                                                   hydrates every record
+//                                                   that reached disk, and
+//                                                   resumed answers are
+//                                                   bit-identical to an
+//                                                   uninterrupted daemon
+//
+// Client policy: bounded retry with exponential backoff + deterministic
+// jitter (seeded — tests replay the exact schedule), reconnect on
+// disconnect, and resend of only the unanswered requests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/chaos.hpp"
+#include "exp/oracle.hpp"
+#include "util/jsonl.hpp"
+
+namespace bbrnash {
+
+struct ServeConfig {
+  /// Unix-domain socket path the daemon binds (sun_path-limited, ~107
+  /// bytes). Required.
+  std::string socket_path;
+  /// The daemon's oracle (cache path, tiers, compute policy). The serve
+  /// loop itself never fabricates: every degraded answer flows through
+  /// PayoffOracle::answer_without_compute with its fidelity tag intact.
+  OracleConfig oracle;
+  /// Per-request deadline. A miss whose compute has not finished within
+  /// this budget is answered kPending(reason=timeout); the compute still
+  /// runs to completion and is memoized. <= 0 disables deadlines.
+  double request_deadline_ms = 10000.0;
+  /// Compute backlog (queued, not yet started or running) beyond which new
+  /// misses are shed instead of enqueued.
+  std::size_t shed_queue_limit = 64;
+  /// Worker threads running tier-3 computes off the poll thread.
+  int compute_threads = 1;
+  /// A client with pending reply bytes and no write progress for this long
+  /// is dropped with a `slow-client` incident. <= 0 disables the check.
+  double write_stall_ms = 2000.0;
+  /// Hard cap on one client's buffered reply bytes (backstop for the
+  /// stall check).
+  std::size_t max_reply_buffer = 1u << 20;
+  /// Abnormal-session records (fabric incident schema). Empty = derived:
+  /// "<cache_path>.incidents.jsonl", or "<socket_path>.incidents.jsonl"
+  /// when the oracle is cache-less.
+  std::string incident_path;
+  /// Fault drills. The daemon owns the injector: fire-once bookkeeping
+  /// spans every client retry, so drills converge.
+  std::shared_ptr<ChaosInjector> chaos;
+  bool chaos_client_disconnect = true;
+  bool chaos_serve_crash = true;
+  bool chaos_slow_client = true;
+  /// Install SIGTERM/SIGINT handlers in run() (the CLI daemon mode). Leave
+  /// false when the daemon is hosted on a thread (tests, --smoke, bench):
+  /// use request_stop() instead.
+  bool handle_signals = false;
+};
+
+/// Monotone daemon counters; snapshot via OracleDaemon::stats() or the
+/// `stats` wire verb.
+struct ServeStats {
+  std::uint64_t clients_accepted = 0;
+  std::uint64_t clients_disconnected = 0;  ///< EOF/EPIPE before daemon close
+  std::uint64_t slow_clients_dropped = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t answered_inline = 0;  ///< exact/interpolated cache hits
+  std::uint64_t computed = 0;         ///< tier-3 answers delivered
+  std::uint64_t shed = 0;             ///< misses downgraded under pressure
+  std::uint64_t timeouts = 0;         ///< deadline-expired answers
+  std::uint64_t bad_requests = 0;
+  std::uint64_t incidents = 0;
+};
+
+[[nodiscard]] JsonlRecord serve_stats_to_record(const ServeStats& s);
+
+/// The one reply-record builder: every answer the daemon emits — cached,
+/// computed, shed, timed out — is encoded by this function, so equal
+/// answers are equal STRINGS (JsonlRecord sorts keys). Exposed for the
+/// bit-identity assertions in tests.
+[[nodiscard]] JsonlRecord serve_answer_record(const OracleAnswer& a);
+
+/// Token keys a `query` wire line (and `bbrnash oracle --batch` line) may
+/// carry.
+[[nodiscard]] const std::vector<std::string>& serve_query_keys();
+
+/// Parses "k=v k=v ..." tokens (the batch grammar: '#' comments, blank ok)
+/// against serve_query_keys(). Throws std::invalid_argument on malformed
+/// or unknown tokens.
+[[nodiscard]] std::map<std::string, std::string> parse_query_tokens(
+    const std::string& line);
+
+/// Builds the OracleQuery a token map describes (defaults: 100 Mbps, 40 ms,
+/// 1 BDP buffer, 1v1, BBR challenger). Throws std::invalid_argument on bad
+/// values. Shared by the daemon, the client CLI, and `bbrnash oracle`.
+[[nodiscard]] OracleQuery oracle_query_from_tokens(
+    const std::map<std::string, std::string>& kv);
+
+/// The daemon. Construct, then run() until request_stop()/SIGTERM.
+class OracleDaemon {
+ public:
+  explicit OracleDaemon(ServeConfig cfg);
+  ~OracleDaemon();
+
+  OracleDaemon(const OracleDaemon&) = delete;
+  OracleDaemon& operator=(const OracleDaemon&) = delete;
+
+  /// Binds the socket (stale-endpoint recovery included) and serves until
+  /// stopped. Returns true on a clean drain; false when the socket could
+  /// not be bound (error()) — e.g. a LIVE daemon already owns the path.
+  bool run();
+
+  /// Thread-safe stop request: run() drains and returns.
+  void request_stop();
+
+  /// True once run() has bound the socket and entered its poll loop.
+  [[nodiscard]] bool serving() const;
+
+  [[nodiscard]] ServeStats stats() const;
+  [[nodiscard]] OracleStats oracle_stats() const;
+  [[nodiscard]] std::string error() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Client-side retry policy. All delays deterministic given jitter_seed.
+struct ClientConfig {
+  std::string socket_path;
+  /// Connect/reconnect attempts per operation (>= 1).
+  int max_attempts = 4;
+  double backoff_base_ms = 25.0;
+  double backoff_cap_ms = 2000.0;
+  /// Seeds the jitter hash; attempt k sleeps
+  /// min(base * 2^(k-1), cap) * (0.5 + 0.5 * u01(seed, k)).
+  std::uint64_t jitter_seed = 1;
+  /// Max wait for any single reply before the batch returns kTimeout.
+  /// <= 0 waits forever.
+  double reply_timeout_ms = 120000.0;
+};
+
+enum class ClientStatus : std::uint8_t {
+  kOk,             ///< every request got a reply
+  kConnectFailed,  ///< no connection after max_attempts
+  kTimeout,        ///< a reply outlasted reply_timeout_ms
+  kDisconnected,   ///< daemon vanished and reconnect attempts ran out
+  kProtocolError,  ///< daemon spoke an unknown frame
+};
+[[nodiscard]] const char* to_string(ClientStatus s);
+
+/// One reply: the raw jsonl payload exactly as the daemon framed it (the
+/// unit of the bit-identity tests) plus its parsed record.
+struct ServeReply {
+  std::string raw;
+  JsonlRecord record;
+};
+
+/// Deterministic-backoff client for the serve protocol.
+class OracleClient {
+ public:
+  explicit OracleClient(ClientConfig cfg);
+  ~OracleClient();
+
+  OracleClient(const OracleClient&) = delete;
+  OracleClient& operator=(const OracleClient&) = delete;
+
+  /// Sends one `query` per entry of `query_lines` (each a "k=v k=v" token
+  /// line) and collects the replies in input order. On disconnect the
+  /// client reconnects (bounded by max_attempts) and resends only the
+  /// still-unanswered requests — answered entries keep their first reply.
+  ClientStatus query_lines(const std::vector<std::string>& query_lines,
+                           std::vector<ServeReply>* replies);
+
+  /// Fetches the daemon's stats record.
+  ClientStatus fetch_stats(JsonlRecord* out);
+
+  /// Reconnections performed so far (drill observability).
+  [[nodiscard]] int reconnects() const { return reconnects_; }
+
+ private:
+  [[nodiscard]] bool ensure_connected();
+  void drop_connection();
+  void backoff_sleep(int attempt);
+
+  ClientConfig cfg_;
+  int fd_ = -1;
+  bool connected_before_ = false;
+  int reconnects_ = 0;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace bbrnash

@@ -1,0 +1,290 @@
+#include "util/ipc.hpp"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace bbrnash {
+
+namespace {
+
+// sockaddr_un for `path`, or false when the path exceeds sun_path.
+bool fill_addr(const std::string& path, sockaddr_un* addr, std::string* error) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr->sun_path)) {
+    if (error != nullptr) {
+      *error = "socket path empty or longer than sun_path (" +
+               std::to_string(sizeof(addr->sun_path) - 1) +
+               " bytes): " + path;
+    }
+    return false;
+  }
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+int make_stream_socket(std::string* error) {
+  // bbrnash-lint: allow(process-control) -- the serve stack's one socket
+  // factory; every daemon/client endpoint is created here.
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0 && error != nullptr) {
+    *error = std::string{"socket(): "} + std::strerror(errno);
+  }
+  return fd;
+}
+
+// One probe connect used by stale-socket detection. Distinguishes "nobody
+// accepting" (stale file, safe to remove) from "live daemon" (refuse to
+// displace).
+enum class ProbeResult { kLive, kStale, kError };
+
+ProbeResult probe_endpoint(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  if (!fill_addr(path, &addr, error)) {
+    return ProbeResult::kError;
+  }
+  const int fd = make_stream_socket(error);
+  if (fd < 0) {
+    return ProbeResult::kError;
+  }
+  // bbrnash-lint: allow(process-control) -- stale-socket probe: a refused
+  // connect proves no daemon is accepting on the leftover path.
+  // bbrnash-lint: allow(reinterpret-cast) -- the POSIX sockaddr pun: the
+  // sockets ABI requires passing sockaddr_un as struct sockaddr*.
+  const int rc = connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                         sizeof(addr));
+  const int saved = errno;
+  ipc_close(fd);
+  if (rc == 0) {
+    return ProbeResult::kLive;
+  }
+  if (saved == ECONNREFUSED) {
+    return ProbeResult::kStale;
+  }
+  if (error != nullptr) {
+    *error = std::string{"connect() probe: "} + std::strerror(saved);
+  }
+  return ProbeResult::kError;
+}
+
+int bind_and_listen(const std::string& path, sockaddr_un* addr,
+                    std::string* error) {
+  const int fd = make_stream_socket(error);
+  if (fd < 0) {
+    return -1;
+  }
+  // bbrnash-lint: allow(process-control) -- the daemon's one bind site;
+  // EADDRINUSE feeds the stale-socket recovery path in ipc_listen().
+  // bbrnash-lint: allow(reinterpret-cast) -- the POSIX sockaddr pun: the
+  // sockets ABI requires passing sockaddr_un as struct sockaddr*.
+  if (bind(fd, reinterpret_cast<const sockaddr*>(addr), sizeof(*addr)) != 0) {
+    if (error != nullptr) {
+      *error = std::string{"bind(): "} + std::strerror(errno) +
+               (errno == EADDRINUSE ? std::string{" (path: "} + path + ")"
+                                    : std::string{});
+    }
+    const int saved = errno;
+    ipc_close(fd);
+    errno = saved;
+    return -1;
+  }
+  // bbrnash-lint: allow(process-control) -- the daemon's one listen site.
+  if (listen(fd, 64) != 0) {
+    if (error != nullptr) {
+      *error = std::string{"listen(): "} + std::strerror(errno);
+    }
+    ipc_close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+int ipc_listen(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  if (!fill_addr(path, &addr, error)) {
+    return -1;
+  }
+  errno = 0;
+  int fd = bind_and_listen(path, &addr, error);
+  if (fd >= 0) {
+    return fd;
+  }
+  if (errno != EADDRINUSE) {
+    return -1;
+  }
+  // The path exists. Only a genuinely stale socket file (SIGKILLed daemon
+  // that never unlinked) may be displaced; a live daemon is an error.
+  struct stat st{};
+  if (stat(path.c_str(), &st) == 0 && !S_ISSOCK(st.st_mode)) {
+    if (error != nullptr) {
+      *error = "refusing to remove non-socket file at " + path;
+    }
+    return -1;
+  }
+  std::string probe_err;
+  switch (probe_endpoint(path, &probe_err)) {
+    case ProbeResult::kLive:
+      if (error != nullptr) {
+        *error = "a live daemon is already serving " + path;
+      }
+      return -1;
+    case ProbeResult::kError:
+      if (error != nullptr) {
+        *error = "cannot classify existing socket at " + path + ": " +
+                 probe_err;
+      }
+      return -1;
+    case ProbeResult::kStale:
+      break;
+  }
+  ipc_unlink(path);
+  fd = bind_and_listen(path, &addr, error);
+  return fd;
+}
+
+int ipc_connect(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  if (!fill_addr(path, &addr, error)) {
+    return -1;
+  }
+  const int fd = make_stream_socket(error);
+  if (fd < 0) {
+    return -1;
+  }
+  // bbrnash-lint: allow(process-control) -- the client's one connect site;
+  // retry/backoff policy lives in OracleClient, not here.
+  // bbrnash-lint: allow(reinterpret-cast) -- the POSIX sockaddr pun: the
+  // sockets ABI requires passing sockaddr_un as struct sockaddr*.
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (error != nullptr) {
+      *error = std::string{"connect(): "} + std::strerror(errno) +
+               " (path: " + path + ")";
+    }
+    ipc_close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int ipc_accept(int listen_fd) {
+  for (;;) {
+    // bbrnash-lint: allow(process-control) -- the daemon's one accept site,
+    // called from the poll loop on a nonblocking listener.
+    const int fd = accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      return fd;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return -1;
+  }
+}
+
+void ipc_close(int fd) {
+  if (fd >= 0) {
+    close(fd);
+  }
+}
+
+void ipc_unlink(const std::string& path) {
+  // bbrnash-lint: allow(process-control) -- socket-file teardown (graceful
+  // drain) and stale-endpoint removal both funnel through here.
+  unlink(path.c_str());
+}
+
+void ipc_set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) {
+    fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+}
+
+bool ipc_write_all(int fd, const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    // MSG_NOSIGNAL: a vanished peer surfaces as EPIPE -> false, never as a
+    // process-killing SIGPIPE. This is the satellite contract for every
+    // daemon and client write path.
+    const ssize_t w = send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool ipc_write_line(int fd, const std::string& line) {
+  const std::string framed = line + "\n";
+  return ipc_write_all(fd, framed.data(), framed.size());
+}
+
+long ipc_write_some(int fd, const char* data, std::size_t n) {
+  for (;;) {
+    const ssize_t w = send(fd, data, n, MSG_NOSIGNAL);
+    if (w >= 0) {
+      return static_cast<long>(w);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return 0;
+    }
+    return -1;
+  }
+}
+
+bool IpcLineReader::drain(int fd, std::vector<std::string>* out) {
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buf_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      flush_lines(out);
+      return false;  // peer closed
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      flush_lines(out);
+      return true;
+    }
+    flush_lines(out);
+    return false;  // hard error: treat like a disconnect
+  }
+}
+
+void IpcLineReader::flush_lines(std::vector<std::string>* out) {
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t nl = buf_.find('\n', start);
+    if (nl == std::string::npos) {
+      break;
+    }
+    out->push_back(buf_.substr(start, nl - start));
+    start = nl + 1;
+  }
+  if (start > 0) {
+    buf_.erase(0, start);
+  }
+}
+
+}  // namespace bbrnash

@@ -1,0 +1,88 @@
+// Minimal Unix-domain socket plumbing for the oracle daemon (`bbrnash
+// serve`) and its clients. Every raw socket/signal syscall the serve stack
+// needs lives here behind a narrow, error-string API, so the
+// `process-control` lint rule can keep the rest of the tree syscall-free:
+// this translation unit and src/exp/fabric.cpp are the only places such
+// calls are annotated as intentional.
+//
+// Robustness contracts:
+//   * ipc_listen() detects a STALE socket file (the leftover of a daemon
+//     that was SIGKILLed and never unlinked its endpoint): if bind() fails
+//     with EADDRINUSE it probes the path with a connect(); a refused
+//     connection means nobody is accepting, so the stale file is removed
+//     and the bind retried. A successful probe means a live daemon owns
+//     the path, which is reported as an error rather than clobbered.
+//   * ipc_write_all()/ipc_write_line() send with MSG_NOSIGNAL, so a
+//     disconnected peer yields a `false` return (EPIPE) instead of a
+//     process-killing SIGPIPE — callers turn that into typed incident
+//     records.
+//   * IpcLineReader splits a nonblocking byte stream into complete lines
+//     without ever blocking the caller's poll loop.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bbrnash {
+
+/// Creates, binds, and listens on a Unix-domain stream socket at `path`.
+/// Returns the listening fd (>= 0), or -1 with a description in *error.
+/// Performs stale-socket detection (see file comment); refuses to displace
+/// a live daemon.
+[[nodiscard]] int ipc_listen(const std::string& path, std::string* error);
+
+/// One blocking connect attempt to the daemon at `path`. Returns the
+/// connected fd (>= 0), or -1 with a description in *error. Retry/backoff
+/// policy belongs to the caller (OracleClient), not here.
+[[nodiscard]] int ipc_connect(const std::string& path, std::string* error);
+
+/// accept() one pending connection on a listening fd. Returns the client
+/// fd, or -1 when nothing is pending (EAGAIN on a nonblocking listener)
+/// or on error.
+[[nodiscard]] int ipc_accept(int listen_fd);
+
+/// Closes `fd` if it is >= 0 (EINTR-safe, idempotent for -1).
+void ipc_close(int fd);
+
+/// Removes the socket file at `path` (daemon teardown). Missing files are
+/// not an error.
+void ipc_unlink(const std::string& path);
+
+/// Marks `fd` O_NONBLOCK.
+void ipc_set_nonblocking(int fd);
+
+/// Writes all `n` bytes, retrying on EINTR and short writes. Returns false
+/// on any hard error — in particular EPIPE from a vanished peer, which is
+/// delivered as a return value (MSG_NOSIGNAL), never as a signal.
+[[nodiscard]] bool ipc_write_all(int fd, const char* data, std::size_t n);
+
+/// ipc_write_all() of `line` plus a trailing '\n'.
+[[nodiscard]] bool ipc_write_line(int fd, const std::string& line);
+
+/// Nonblocking write of as much of `data` as the socket accepts right now.
+/// Returns the byte count consumed (>= 0), or -1 on a hard error (EPIPE,
+/// reset). 0 means "try again later" (EAGAIN), not end of stream.
+[[nodiscard]] long ipc_write_some(int fd, const char* data, std::size_t n);
+
+/// Incremental line splitter over a nonblocking socket. drain() consumes
+/// whatever is readable right now; complete lines ('\n'-terminated, the
+/// terminator stripped) are appended to `out`. Returns false once the
+/// peer has closed (EOF) or the connection errored; a partial trailing
+/// line is kept in the buffer across calls.
+class IpcLineReader {
+ public:
+  /// Reads until EAGAIN/EOF. Appends complete lines to *out. Returns true
+  /// while the connection is still open.
+  [[nodiscard]] bool drain(int fd, std::vector<std::string>* out);
+
+  /// Bytes of an incomplete trailing line currently buffered.
+  [[nodiscard]] std::size_t buffered() const { return buf_.size(); }
+
+ private:
+  void flush_lines(std::vector<std::string>* out);
+
+  std::string buf_;
+};
+
+}  // namespace bbrnash

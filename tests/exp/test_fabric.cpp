@@ -574,6 +574,8 @@ TEST(FabricSignals, SigtermInterruptsFlushesAndResumes) {
   ign.sa_handler = SIG_IGN;
   sigemptyset(&ign.sa_mask);
   struct sigaction old_term;
+  // bbrnash-lint: allow(process-control) -- park SIGTERM on SIG_IGN so the
+  // restored-handler delivery cannot kill the test binary.
   sigaction(SIGTERM, &ign, &old_term);
 
   std::thread signaller{[] {
@@ -585,6 +587,8 @@ TEST(FabricSignals, SigtermInterruptsFlushesAndResumes) {
   const FabricOutcome out =
       run_fabric_cells(net, cells, CcKind::kBbr, trial, fab);
   signaller.join();
+  // bbrnash-lint: allow(process-control) -- restore the default SIGTERM
+  // disposition now that the delivery window has passed.
   sigaction(SIGTERM, &old_term, nullptr);
 
   if (out.status == FabricStatus::kInterrupted) {

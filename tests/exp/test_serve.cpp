@@ -1,0 +1,611 @@
+// Oracle-daemon drill suite (exp/serve.hpp): every row of the serve
+// failure matrix, executed for real.
+//
+//   * an 8-client hammer against one daemon: every reply bit-identical to
+//     a fresh reference daemon serving the same cells;
+//   * a genuine `kill -9` mid-batch, then a restart over the stale socket:
+//     the re-hydrated daemon's answers are bit-identical strings to an
+//     uninterrupted daemon's (the headline acceptance gate);
+//   * SIGTERM drain: every request the daemon had received is answered,
+//     the cache is flushed, the socket file is unlinked, exit 0;
+//   * all three daemon chaos classes — kClientDisconnect (client retry
+//     converges), kServeCrash (_Exit(42) mid-compute, restart recovers),
+//     kSlowClient (stalled client dropped, others unharmed) — each leaving
+//     a typed incident record in <cache>.incidents.jsonl;
+//   * load shedding (pending reason=shed, or honest model-only downgrade),
+//     per-request deadlines (pending reason=timeout, compute still lands
+//     in the memo), bad-request error frames, and live-daemon bind
+//     refusal.
+//
+// Forks real daemon processes, so — like test_fabric — this suite is NOT
+// run under ThreadSanitizer; the serve preset configures ASan.
+#include "exp/serve.hpp"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/chaos.hpp"
+#include "exp/oracle.hpp"
+#include "util/ipc.hpp"
+#include "util/jsonl.hpp"
+
+namespace bbrnash {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+void sleep_ms(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+// One tiny compute cell (~1 s of wall clock): 10 Mbps, 20 ms, 1 trial.
+std::string cell_line(double buffer_bdp, int nc, int no, std::uint64_t seed,
+                      double duration_s = 2.0) {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "capacity=10 rtt=20 buffer-bdp=%g cubic=%d other=%d "
+                "trials=1 duration=%g warmup=0.5 seed=%llu",
+                buffer_bdp, nc, no, duration_s,
+                static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+std::size_t count_lines(const std::string& path) {
+  std::ifstream in{path};
+  std::size_t n = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) ++n;
+  }
+  return n;
+}
+
+std::vector<JsonlRecord> read_records(const std::string& path) {
+  std::vector<JsonlRecord> out;
+  std::ifstream in{path};
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (auto rec = JsonlRecord::parse(line)) out.push_back(*rec);
+  }
+  return out;
+}
+
+// ifstream cannot open a socket file, so existence checks go through
+// access(2) — the kill drills assert on the stale socket file itself.
+bool file_exists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+// A heavier cell (~0.3 s Release, seconds under ASan): the unit for drills
+// that must land a signal or a deadline MID-compute.
+std::string heavy_cell_line(int nc, int no, std::uint64_t seed) {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "capacity=200 rtt=40 buffer-bdp=8 cubic=%d other=%d "
+                "trials=1 duration=60 warmup=10 seed=%llu",
+                nc, no, static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+// Daemon hosted on a thread inside the test process (the --smoke shape):
+// request_stop() instead of signals, full access to stats().
+struct HostedDaemon {
+  explicit HostedDaemon(ServeConfig cfg) : daemon(std::move(cfg)) {
+    host = std::thread{[this] { clean = daemon.run(); }};
+    for (int i = 0; i < 1000 && !daemon.serving(); ++i) sleep_ms(10);
+  }
+  ~HostedDaemon() { stop(); }
+  void stop() {
+    if (host.joinable()) {
+      daemon.request_stop();
+      host.join();
+    }
+  }
+
+  OracleDaemon daemon;
+  std::thread host;
+  bool clean = false;
+};
+
+// Daemon in a real child process — the unit a SIGKILL/SIGTERM drill needs.
+pid_t spawn_daemon_process(const ServeConfig& cfg) {
+  // bbrnash-lint: allow(process-control) -- the kill/drain drills need a
+  // daemon that is a real process, not a thread.
+  const pid_t pid = fork();
+  if (pid == 0) {
+    OracleDaemon daemon{cfg};
+    const bool clean = daemon.run();
+    // bbrnash-lint: allow(process-control) -- a fork child of the gtest
+    // process must leave via _exit (no duplicated atexit/flush state).
+    _exit(clean ? 0 : 1);
+  }
+  return pid;
+}
+
+void wait_listening(const std::string& socket_path) {
+  for (int i = 0; i < 1000; ++i) {
+    std::string err;
+    const int fd = ipc_connect(socket_path, &err);
+    if (fd >= 0) {
+      ipc_close(fd);
+      return;
+    }
+    sleep_ms(10);
+  }
+  FAIL() << "daemon on " << socket_path << " never started listening";
+}
+
+ServeConfig base_config(const std::string& tag) {
+  ServeConfig cfg;
+  cfg.socket_path = temp_path(tag + ".sock");
+  cfg.oracle.cache_path = temp_path(tag + ".jsonl");
+  // Heavy cells run seconds under ASan; with the production 10 s deadline a
+  // slow machine would answer some REFERENCE cells model-only and the
+  // bit-identity drills would compare against a timing-dependent string.
+  // Only the deadline drill wants timeouts, and it overrides this.
+  cfg.request_deadline_ms = 600000.0;
+  std::remove(cfg.socket_path.c_str());
+  std::remove(cfg.oracle.cache_path.c_str());
+  std::remove((cfg.oracle.cache_path + ".incidents.jsonl").c_str());
+  return cfg;
+}
+
+ClientConfig client_config(const std::string& socket_path,
+                           int max_attempts = 4) {
+  ClientConfig cc;
+  cc.socket_path = socket_path;
+  cc.max_attempts = max_attempts;
+  cc.backoff_base_ms = 10.0;
+  cc.backoff_cap_ms = 100.0;
+  return cc;
+}
+
+// Reference answers: a fresh daemon on its own cache serving the same
+// cells. Raw reply strings are the unit of comparison — JsonlRecord sorts
+// keys, so equal answers MUST be equal strings.
+std::vector<std::string> reference_replies(
+    const std::string& tag, const std::vector<std::string>& lines) {
+  ServeConfig cfg = base_config(tag);
+  HostedDaemon ref{cfg};
+  OracleClient client{client_config(cfg.socket_path)};
+  std::vector<ServeReply> replies;
+  EXPECT_EQ(client.query_lines(lines, &replies), ClientStatus::kOk);
+  std::vector<std::string> raw;
+  raw.reserve(replies.size());
+  for (const ServeReply& r : replies) raw.push_back(r.raw);
+  return raw;
+}
+
+// --- basic round trip + stats verb ----------------------------------------
+
+TEST(ServeRoundTrip, ComputesThenServesTheMemoBitIdentically) {
+  ServeConfig cfg = base_config("serve_smoke");
+  HostedDaemon hosted{cfg};
+  ASSERT_TRUE(hosted.daemon.serving()) << hosted.daemon.error();
+
+  // Two *sequential* round trips for the same cell: the first is a tier-3
+  // compute, the second must come straight from the memo — and the wire
+  // string must not change. (Pipelining the same cell twice instead may
+  // legitimately compute both: the second arrives mid-compute.)
+  OracleClient client{client_config(cfg.socket_path)};
+  const std::string cell = cell_line(2, 1, 1, 1);
+  std::vector<ServeReply> replies;
+  ASSERT_EQ(client.query_lines({cell}, &replies), ClientStatus::kOk);
+  ASSERT_EQ(replies.size(), 1u);
+  const ServeReply first = replies[0];
+  EXPECT_EQ(first.record.get_string("status"), "ok");
+  EXPECT_EQ(first.record.get_string("fidelity"), "exact");
+  ASSERT_EQ(client.query_lines({cell}, &replies), ClientStatus::kOk);
+  EXPECT_EQ(replies[0].raw, first.raw);
+
+  // The reply is the same record a direct PayoffOracle query would build.
+  OracleConfig direct_cfg;
+  PayoffOracle direct{direct_cfg};
+  const OracleAnswer direct_ans =
+      direct.query(oracle_query_from_tokens(parse_query_tokens(cell)));
+  EXPECT_EQ(first.raw, serve_answer_record(direct_ans).encode());
+
+  JsonlRecord stats;
+  ASSERT_EQ(client.fetch_stats(&stats), ClientStatus::kOk);
+  EXPECT_EQ(stats.get_string("schema"), "bbrnash-serve-stats-v1");
+  EXPECT_EQ(stats.get_u64("requests"), 2u);
+  EXPECT_EQ(stats.get_u64("computed"), 1u);
+  EXPECT_EQ(stats.get_u64("answered_inline"), 1u);
+
+  hosted.stop();
+  EXPECT_TRUE(hosted.clean) << hosted.daemon.error();
+  // Clean drain: cache flushed, socket unlinked.
+  EXPECT_EQ(count_lines(cfg.oracle.cache_path), 1u);
+  EXPECT_FALSE(file_exists(cfg.socket_path));
+}
+
+TEST(ServeRoundTrip, BadRequestsGetErrorFramesNotDisconnects) {
+  ServeConfig cfg = base_config("serve_bad");
+  HostedDaemon hosted{cfg};
+  ASSERT_TRUE(hosted.daemon.serving()) << hosted.daemon.error();
+
+  std::string err;
+  const int fd = ipc_connect(cfg.socket_path, &err);
+  ASSERT_GE(fd, 0) << err;
+  ipc_set_nonblocking(fd);
+  IpcLineReader reader;
+  const auto read_line = [&]() -> std::string {
+    std::vector<std::string> lines;
+    for (int i = 0; i < 500; ++i) {
+      struct pollfd pfd{fd, POLLIN, 0};
+      (void)poll(&pfd, 1, 10);
+      if (!reader.drain(fd, &lines)) break;
+      if (!lines.empty()) return lines.front();
+    }
+    return lines.empty() ? std::string{} : lines.front();
+  };
+
+  ASSERT_TRUE(ipc_write_line(fd, "bogus 7 capacity=10"));
+  EXPECT_EQ(read_line().rfind("error 7 ", 0), 0u);
+  ASSERT_TRUE(ipc_write_line(fd, "query 8 capacity=nope"));
+  EXPECT_EQ(read_line().rfind("error 8 ", 0), 0u);
+  // The session survives its own bad requests.
+  ASSERT_TRUE(ipc_write_line(fd, "ping 9"));
+  EXPECT_EQ(read_line(), "pong 9");
+  ipc_close(fd);
+
+  for (int i = 0; i < 200 && hosted.daemon.stats().bad_requests < 2; ++i) {
+    sleep_ms(10);
+  }
+  EXPECT_EQ(hosted.daemon.stats().bad_requests, 2u);
+}
+
+TEST(ServeRoundTrip, LiveDaemonRefusesASecondBind) {
+  ServeConfig cfg = base_config("serve_live");
+  HostedDaemon hosted{cfg};
+  ASSERT_TRUE(hosted.daemon.serving()) << hosted.daemon.error();
+
+  OracleDaemon second{cfg};
+  EXPECT_FALSE(second.run());
+  EXPECT_FALSE(second.error().empty());
+
+  // The incumbent is unharmed.
+  OracleClient client{client_config(cfg.socket_path)};
+  JsonlRecord stats;
+  EXPECT_EQ(client.fetch_stats(&stats), ClientStatus::kOk);
+}
+
+// --- concurrency: 8 clients share one daemon ------------------------------
+
+TEST(ServeHammer, EightClientsGetBitIdenticalAnswers) {
+  const std::vector<std::string> cells = {
+      cell_line(2, 1, 1, 1),
+      cell_line(4, 1, 1, 2),
+      cell_line(2, 2, 1, 3),
+      cell_line(4, 1, 2, 4),
+  };
+  const std::vector<std::string> want =
+      reference_replies("serve_hammer_ref", cells);
+  ASSERT_EQ(want.size(), cells.size());
+
+  ServeConfig cfg = base_config("serve_hammer");
+  cfg.compute_threads = 2;
+  HostedDaemon hosted{cfg};
+  ASSERT_TRUE(hosted.daemon.serving()) << hosted.daemon.error();
+
+  constexpr int kClients = 8;
+  std::vector<std::vector<std::string>> got(kClients);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      OracleClient client{client_config(cfg.socket_path)};
+      std::vector<ServeReply> replies;
+      const ClientStatus st = client.query_lines(cells, &replies);
+      EXPECT_EQ(st, ClientStatus::kOk) << "client " << c;
+      for (const ServeReply& r : replies) got[c].push_back(r.raw);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_EQ(got[c].size(), want.size()) << "client " << c;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[c][i], want[i]) << "client " << c << " cell " << i;
+    }
+  }
+  const ServeStats s = hosted.daemon.stats();
+  EXPECT_EQ(s.clients_accepted, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(s.requests, static_cast<std::uint64_t>(kClients) * cells.size());
+  // Every request was answered honestly: either straight from the memo or
+  // via a (possibly duplicated, but deterministic) compute — nothing shed,
+  // nothing timed out, nobody dropped.
+  EXPECT_EQ(s.answered_inline + s.computed, s.requests);
+  EXPECT_EQ(s.shed, 0u);
+  EXPECT_EQ(s.timeouts, 0u);
+  EXPECT_EQ(s.slow_clients_dropped, 0u);
+}
+
+// --- kill -9 mid-batch, restart over the stale socket ---------------------
+
+TEST(ServeKillDrill, KillNineMidBatchThenRestartIsBitIdentical) {
+  const std::vector<std::string> cells = {
+      heavy_cell_line(1, 1, 11),
+      heavy_cell_line(2, 1, 12),
+      heavy_cell_line(1, 2, 13),
+      heavy_cell_line(2, 2, 14),
+  };
+  const std::vector<std::string> want =
+      reference_replies("serve_kill9_ref", cells);
+
+  ServeConfig cfg = base_config("serve_kill9");
+  const pid_t pid = spawn_daemon_process(cfg);
+  ASSERT_GE(pid, 0);
+  wait_listening(cfg.socket_path);
+
+  // A client works through the batch on its own thread while the main
+  // thread waits for the first cell to reach the cache log — then SIGKILLs
+  // the daemon mid-batch, exactly like an OOM killer.
+  std::thread batch{[&] {
+    OracleClient client{client_config(cfg.socket_path, 2)};
+    std::vector<ServeReply> replies;
+    (void)client.query_lines(cells, &replies);
+  }};
+  for (int i = 0; i < 3000 && count_lines(cfg.oracle.cache_path) == 0; ++i) {
+    sleep_ms(10);
+  }
+  ASSERT_GE(count_lines(cfg.oracle.cache_path), 1u);
+  // bbrnash-lint: allow(process-control) -- the genuine kill -9 the serve
+  // restart path claims to survive.
+  kill(pid, SIGKILL);
+  int status = 0;
+  // bbrnash-lint: allow(process-control) -- reap the killed daemon.
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  batch.join();
+
+  // SIGKILL leaves the socket file behind: the restart must detect the
+  // stale endpoint, rebind, and re-hydrate everything that reached disk.
+  EXPECT_TRUE(file_exists(cfg.socket_path));
+  HostedDaemon restarted{cfg};
+  ASSERT_TRUE(restarted.daemon.serving()) << restarted.daemon.error();
+
+  OracleClient client{client_config(cfg.socket_path)};
+  std::vector<ServeReply> replies;
+  ASSERT_EQ(client.query_lines(cells, &replies), ClientStatus::kOk);
+  ASSERT_EQ(replies.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(replies[i].raw, want[i]) << "cell " << i;
+  }
+  // At least the pre-kill cell came straight from the re-hydrated memo.
+  EXPECT_GE(restarted.daemon.stats().answered_inline, 1u);
+}
+
+// --- SIGTERM: graceful drain ----------------------------------------------
+
+TEST(ServeDrain, SigtermAnswersEverythingFlushesAndUnlinks) {
+  const std::vector<std::string> cells = {
+      heavy_cell_line(1, 1, 21),
+      heavy_cell_line(2, 1, 22),
+      heavy_cell_line(1, 2, 23),
+  };
+
+  ServeConfig cfg = base_config("serve_drain");
+  cfg.handle_signals = true;
+  const pid_t pid = spawn_daemon_process(cfg);
+  ASSERT_GE(pid, 0);
+  wait_listening(cfg.socket_path);
+
+  // The client pipelines the whole batch at connect, so once the first
+  // reply lands every request has been *received* — the drain contract
+  // covers all of them.
+  std::vector<ServeReply> replies;
+  ClientStatus st = ClientStatus::kConnectFailed;
+  std::thread batch{[&] {
+    OracleClient client{client_config(cfg.socket_path)};
+    st = client.query_lines(cells, &replies);
+  }};
+  for (int i = 0; i < 3000 && count_lines(cfg.oracle.cache_path) == 0; ++i) {
+    sleep_ms(10);
+  }
+  ASSERT_GE(count_lines(cfg.oracle.cache_path), 1u);
+  // bbrnash-lint: allow(process-control) -- the SIGTERM drain drill.
+  kill(pid, SIGTERM);
+  batch.join();
+
+  // Every request got its answer before the daemon closed the session.
+  EXPECT_EQ(st, ClientStatus::kOk);
+  ASSERT_EQ(replies.size(), cells.size());
+  for (std::size_t i = 0; i < replies.size(); ++i) {
+    EXPECT_EQ(replies[i].record.get_string("status"), "ok") << "cell " << i;
+  }
+  int status = 0;
+  // bbrnash-lint: allow(process-control) -- reap the drained daemon.
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  // Drained: cache flushed to disk, socket file removed.
+  EXPECT_EQ(count_lines(cfg.oracle.cache_path), cells.size());
+  EXPECT_FALSE(file_exists(cfg.socket_path));
+}
+
+// --- chaos drills ---------------------------------------------------------
+
+TEST(ServeChaos, ClientDisconnectDrillConvergesViaRetry) {
+  const std::string cell = cell_line(2, 1, 1, 31);
+  const std::vector<std::string> want =
+      reference_replies("serve_chaos_cd_ref", {cell});
+
+  ServeConfig cfg = base_config("serve_chaos_cd");
+  cfg.chaos = std::make_shared<ChaosInjector>(7);
+  cfg.chaos_serve_crash = false;
+  cfg.chaos_slow_client = false;
+  HostedDaemon hosted{cfg};
+  ASSERT_TRUE(hosted.daemon.serving()) << hosted.daemon.error();
+
+  OracleClient client{client_config(cfg.socket_path)};
+  std::vector<ServeReply> replies;
+  ASSERT_EQ(client.query_lines({cell}, &replies), ClientStatus::kOk);
+  // The drill severed the first session mid-request; the bounded-backoff
+  // retry reconnected, resent, and converged on the fault-free answer.
+  EXPECT_GE(client.reconnects(), 1);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].raw, want[0]);
+  EXPECT_EQ(cfg.chaos->fired(ChaosClass::kClientDisconnect), 1u);
+
+  const auto incidents =
+      read_records(cfg.oracle.cache_path + ".incidents.jsonl");
+  ASSERT_GE(incidents.size(), 1u);
+  EXPECT_EQ(incidents[0].get_string("type"), "bbrnash-serve-v1");
+  EXPECT_EQ(incidents[0].get_string("trigger"), "client-disconnect");
+  EXPECT_FALSE(incidents[0].get_string("cell_key").empty());
+  EXPECT_GE(hosted.daemon.stats().incidents, 1u);
+}
+
+TEST(ServeChaos, ServeCrashDrillDiesMidComputeAndRestartRecovers) {
+  const std::string cell = cell_line(2, 1, 1, 41);
+  const std::vector<std::string> want =
+      reference_replies("serve_chaos_crash_ref", {cell});
+
+  ServeConfig cfg = base_config("serve_chaos_crash");
+  cfg.chaos = std::make_shared<ChaosInjector>(7);
+  cfg.chaos_client_disconnect = false;
+  cfg.chaos_slow_client = false;
+  const pid_t pid = spawn_daemon_process(cfg);
+  ASSERT_GE(pid, 0);
+  wait_listening(cfg.socket_path);
+
+  // The drill _Exit(42)s the daemon mid-compute: this client's bounded
+  // retry runs out against the stale socket.
+  OracleClient doomed{client_config(cfg.socket_path, 2)};
+  std::vector<ServeReply> replies;
+  EXPECT_NE(doomed.query_lines({cell}, &replies), ClientStatus::kOk);
+  int status = 0;
+  // bbrnash-lint: allow(process-control) -- reap the crashed daemon.
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 42);
+
+  // The one breadcrumb a mid-compute crash leaves: a typed incident,
+  // written BEFORE the memo commit (the cell must not be in the cache).
+  const auto incidents =
+      read_records(cfg.oracle.cache_path + ".incidents.jsonl");
+  ASSERT_GE(incidents.size(), 1u);
+  EXPECT_EQ(incidents[0].get_string("trigger"), "serve-crash");
+  EXPECT_EQ(count_lines(cfg.oracle.cache_path), 0u);
+
+  // Restart (no chaos) over the stale socket: the answer a retrying client
+  // finally gets is bit-identical to a never-crashed daemon's.
+  cfg.chaos.reset();
+  HostedDaemon restarted{cfg};
+  ASSERT_TRUE(restarted.daemon.serving()) << restarted.daemon.error();
+  OracleClient client{client_config(cfg.socket_path)};
+  ASSERT_EQ(client.query_lines({cell}, &replies), ClientStatus::kOk);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].raw, want[0]);
+}
+
+TEST(ServeChaos, SlowClientDrillDropsTheStalledSessionOnly) {
+  const std::string cell = cell_line(2, 1, 1, 51);
+  const std::vector<std::string> want =
+      reference_replies("serve_chaos_slow_ref", {cell});
+
+  ServeConfig cfg = base_config("serve_chaos_slow");
+  cfg.chaos = std::make_shared<ChaosInjector>(7);
+  cfg.chaos_client_disconnect = false;
+  cfg.chaos_serve_crash = false;
+  cfg.write_stall_ms = 100.0;  // trip the stall detector fast
+  HostedDaemon hosted{cfg};
+  ASSERT_TRUE(hosted.daemon.serving()) << hosted.daemon.error();
+
+  // The drill pins this client's reply in the daemon's write buffer until
+  // the no-progress deadline drops the session; the retry reconnects and
+  // the memoized cell answers instantly (the drill fires once per site).
+  OracleClient client{client_config(cfg.socket_path)};
+  std::vector<ServeReply> replies;
+  ASSERT_EQ(client.query_lines({cell}, &replies), ClientStatus::kOk);
+  EXPECT_GE(client.reconnects(), 1);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].raw, want[0]);
+
+  const ServeStats s = hosted.daemon.stats();
+  EXPECT_EQ(s.slow_clients_dropped, 1u);
+  const auto incidents =
+      read_records(cfg.oracle.cache_path + ".incidents.jsonl");
+  ASSERT_GE(incidents.size(), 1u);
+  EXPECT_EQ(incidents[0].get_string("trigger"), "slow-client");
+}
+
+// --- load shedding + deadlines --------------------------------------------
+
+TEST(ServePressure, ShedRequestsCarryTypedReasonsAndNeverFabricate) {
+  // With the model tier disabled, a shed miss must be pending(reason=shed).
+  ServeConfig cfg = base_config("serve_shed");
+  cfg.shed_queue_limit = 0;  // everything sheds
+  cfg.oracle.allow_model = false;
+  HostedDaemon hosted{cfg};
+  ASSERT_TRUE(hosted.daemon.serving()) << hosted.daemon.error();
+
+  OracleClient client{client_config(cfg.socket_path)};
+  std::vector<ServeReply> replies;
+  ASSERT_EQ(client.query_lines({cell_line(2, 1, 1, 61)}, &replies),
+            ClientStatus::kOk);
+  EXPECT_EQ(replies[0].record.get_string("status"), "pending");
+  EXPECT_EQ(replies[0].record.get_string("reason"), "shed");
+  EXPECT_FALSE(replies[0].record.get_string("message").empty());
+  EXPECT_EQ(hosted.daemon.stats().shed, 1u);
+  EXPECT_EQ(hosted.daemon.stats().computed, 0u);
+  hosted.stop();
+
+  // With the model tier allowed and applicable, shedding downgrades to an
+  // honestly-tagged model-only answer instead.
+  ServeConfig model_cfg = base_config("serve_shed_model");
+  model_cfg.shed_queue_limit = 0;
+  HostedDaemon model_hosted{model_cfg};
+  ASSERT_TRUE(model_hosted.daemon.serving()) << model_hosted.daemon.error();
+  OracleClient model_client{client_config(model_cfg.socket_path)};
+  ASSERT_EQ(model_client.query_lines({cell_line(2, 1, 1, 61)}, &replies),
+            ClientStatus::kOk);
+  EXPECT_EQ(replies[0].record.get_string("status"), "ok");
+  EXPECT_EQ(replies[0].record.get_string("fidelity"), "model-only");
+}
+
+TEST(ServePressure, DeadlineTimeoutIsTypedAndTheComputeStillLands) {
+  ServeConfig cfg = base_config("serve_deadline");
+  cfg.request_deadline_ms = 30.0;  // well under the heavy cell's compute
+  cfg.oracle.allow_model = false;
+  HostedDaemon hosted{cfg};
+  ASSERT_TRUE(hosted.daemon.serving()) << hosted.daemon.error();
+
+  const std::string cell = heavy_cell_line(3, 3, 71);
+  OracleClient client{client_config(cfg.socket_path)};
+  std::vector<ServeReply> replies;
+  ASSERT_EQ(client.query_lines({cell}, &replies), ClientStatus::kOk);
+  EXPECT_EQ(replies[0].record.get_string("status"), "pending");
+  EXPECT_EQ(replies[0].record.get_string("reason"), "timeout");
+  EXPECT_GE(hosted.daemon.stats().timeouts, 1u);
+
+  // The timed-out compute keeps running and is memoized: retrying the same
+  // cell converges on the exact answer.
+  bool converged = false;
+  for (int i = 0; i < 300 && !converged; ++i) {
+    sleep_ms(100);
+    ASSERT_EQ(client.query_lines({cell}, &replies), ClientStatus::kOk);
+    converged = replies[0].record.get_string("status") == "ok";
+  }
+  ASSERT_TRUE(converged) << "timed-out compute never reached the memo";
+  EXPECT_EQ(replies[0].record.get_string("fidelity"), "exact");
+}
+
+}  // namespace
+}  // namespace bbrnash

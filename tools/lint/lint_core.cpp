@@ -526,13 +526,17 @@ void rule_float(const FileContext& ctx) {
 }
 
 void rule_process_control(const FileContext& ctx) {
-  // Forking, signalling, reaping or replacing processes makes results
-  // depend on OS scheduling and host process state. The sweep fabric
-  // (src/exp/fabric.cpp) concentrates every such call into annotated
-  // shims; anywhere else the call needs its own justifying annotation.
+  // Forking, signalling, reaping or replacing processes — and, since the
+  // serve daemon landed, raw socket/signal-disposition/unlink syscalls —
+  // make results depend on OS scheduling and host process state. The
+  // sweep fabric (src/exp/fabric.cpp) and the socket wrapper
+  // (src/util/ipc.cpp) concentrate every such call into annotated shims;
+  // anywhere else the call needs its own justifying annotation.
   static const std::string_view kCalls[] = {
-      "fork",  "vfork", "waitpid", "wait",  "kill",  "raise", "system",
-      "popen", "_exit", "_Exit",   "execv", "execve", "execvp", "execl"};
+      "fork",   "vfork",  "waitpid",   "wait",   "kill",   "raise",
+      "system", "popen",  "_exit",     "_Exit",  "execv",  "execve",
+      "execvp", "execl",  "socket",    "bind",   "listen", "accept",
+      "connect", "sigaction", "signal", "unlink"};
   for (std::size_t i = 0; i < ctx.f.code.size(); ++i) {
     const std::string& line = ctx.f.code[i];
     for (const std::string_view fn : kCalls) {
@@ -540,9 +544,9 @@ void rule_process_control(const FileContext& ctx) {
         if (!is_free_call(line, pos, fn)) return;
         ctx.add("process-control", static_cast<int>(i + 1),
                 std::string{fn} +
-                    "(): process control outside the fabric's annotated "
-                    "shims; route through src/exp/fabric.cpp or justify "
-                    "with an allow annotation");
+                    "(): process/socket/signal control outside the "
+                    "annotated shims; route through src/exp/fabric.cpp or "
+                    "src/util/ipc.cpp, or justify with an allow annotation");
       });
     }
   }
