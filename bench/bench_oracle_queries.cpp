@@ -63,6 +63,7 @@
 #include "exp/oracle.hpp"
 #include "exp/serve.hpp"
 #include "util/jsonl.hpp"
+#include "util/schemas.hpp"
 #include "util/stats.hpp"
 #include "util/units.hpp"
 
@@ -154,7 +155,7 @@ void write_json(const std::string& path, bool quick,
     std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
     std::exit(1);
   }
-  os << "{\n  \"schema\": \"bbrnash-oracle-perf-v1\",\n";
+  os << "{\n  \"schema\": \"" << kSchemaOraclePerf << "\",\n";
   os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
   os << "  \"tiers\": [\n";
   for (std::size_t i = 0; i < tiers.size(); ++i) {
@@ -185,7 +186,7 @@ void write_baseline(const std::string& path, bool quick,
   }
   for (const TierStats& t : tiers) {
     JsonlRecord rec;
-    rec.set("schema", "bbrnash-oracle-baseline-v1");
+    rec.set("schema", kSchemaOracleBaseline);
     rec.set("name", t.name);
     rec.set("quick", static_cast<std::uint64_t>(quick ? 1 : 0));
     rec.set("qps", t.qps());

@@ -64,6 +64,7 @@
 #include "sim/simulator.hpp"
 #include "util/alloc_counter.hpp"
 #include "util/jsonl.hpp"
+#include "util/schemas.hpp"
 #include "util/units.hpp"
 
 namespace bbrnash {
@@ -285,7 +286,7 @@ void write_json(const std::string& path, bool quick,
     std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
     std::exit(1);
   }
-  os << "{\n  \"schema\": \"bbrnash-simcore-perf-v1\",\n";
+  os << "{\n  \"schema\": \"" << kSchemaSimcorePerf << "\",\n";
   os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
   os << "  \"cases\": [\n";
   for (std::size_t i = 0; i < cases.size(); ++i) {
@@ -322,7 +323,7 @@ void write_baseline(const std::string& path, bool quick,
   }
   for (std::size_t i = 0; i < cases.size(); ++i) {
     JsonlRecord rec;
-    rec.set("schema", "bbrnash-simcore-baseline-v1");
+    rec.set("schema", kSchemaSimcoreBaseline);
     rec.set("name", cases[i].name);
     rec.set("quick", static_cast<std::uint64_t>(quick ? 1 : 0));
     rec.set("events_per_sec", results[i].events_per_sec());

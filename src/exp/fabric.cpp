@@ -25,6 +25,7 @@
 #include "exp/chaos.hpp"
 #include "exp/checkpoint.hpp"
 #include "exp/cli_flags.hpp"
+#include "util/schemas.hpp"
 
 namespace bbrnash {
 
@@ -450,7 +451,7 @@ class Supervisor {
                       long long cell, int wait_status,
                       const std::string& note) {
     JsonlRecord rec;
-    rec.set("type", "bbrnash-fabric-v1");
+    rec.set("type", kSchemaFabric);
     rec.set("trigger", trigger);
     if (slot != nullptr) {
       rec.set("worker", slot->id);
@@ -946,7 +947,7 @@ const char* to_string(FabricStatus status) {
 
 JsonlRecord fabric_stats_to_record(const FabricStats& stats) {
   JsonlRecord rec;
-  rec.set("type", "bbrnash-fabric-stats-v1");
+  rec.set("type", kSchemaFabricStats);
   rec.set("workers", static_cast<std::uint64_t>(stats.workers.size()));
   rec.set("cells_total", stats.cells_total);
   rec.set("cells_from_checkpoint", stats.cells_from_checkpoint);

@@ -11,6 +11,7 @@
 #include "model/mishra_model.hpp"
 #include "model/model_band.hpp"
 #include "util/jsonl.hpp"
+#include "util/schemas.hpp"
 
 namespace bbrnash {
 
@@ -134,7 +135,7 @@ bool model_applies(const OracleQuery& q) {
 
 JsonlRecord oracle_record(const MixOutcome& m) {
   JsonlRecord rec = mix_to_record(m);
-  rec.set("schema", "bbrnash-oracle-v1");
+  rec.set("schema", kSchemaOracle);
   return rec;
 }
 

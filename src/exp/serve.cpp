@@ -21,6 +21,7 @@
 #include "exp/cli_flags.hpp"
 #include "model/network_params.hpp"
 #include "util/ipc.hpp"
+#include "util/schemas.hpp"
 
 namespace bbrnash {
 
@@ -187,7 +188,7 @@ JsonlRecord serve_answer_record(const OracleAnswer& a) {
   // answers are equal strings — the kill-drill bit-identity contract.
   JsonlRecord rec;
   if (a.ok()) rec = mix_to_record(a.outcome);
-  rec.set("schema", "bbrnash-oracle-v1");
+  rec.set("schema", kSchemaOracle);
   rec.set("status", to_string(a.status));
   rec.set("fidelity", to_string(a.fidelity));
   rec.set("key", a.key);
@@ -199,7 +200,7 @@ JsonlRecord serve_answer_record(const OracleAnswer& a) {
 
 JsonlRecord serve_stats_to_record(const ServeStats& s) {
   JsonlRecord rec;
-  rec.set("schema", "bbrnash-serve-stats-v1");
+  rec.set("schema", kSchemaServeStats);
   rec.set("clients_accepted", s.clients_accepted);
   rec.set("clients_disconnected", s.clients_disconnected);
   rec.set("slow_clients_dropped", s.slow_clients_dropped);
@@ -279,7 +280,7 @@ struct OracleDaemon::Impl {
   void write_incident(const char* trigger, std::uint64_t client_id,
                       const std::string& key, const std::string& note) {
     JsonlRecord rec;
-    rec.set("type", "bbrnash-serve-v1");
+    rec.set("type", kSchemaServe);
     rec.set("trigger", trigger);
     rec.set("pid", static_cast<std::uint64_t>(getpid()));
     rec.set("client", client_id);
@@ -992,7 +993,7 @@ ClientStatus OracleClient::query_lines(
           // The request itself was malformed: a typed failed record, no
           // retry (resending the same bad tokens cannot succeed).
           JsonlRecord rec;
-          rec.set("schema", "bbrnash-oracle-v1");
+          rec.set("schema", kSchemaOracle);
           rec.set("status", "failed");
           rec.set("message", frame->payload);
           (*replies)[idx].raw = "";

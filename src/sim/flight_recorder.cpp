@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "util/jsonl.hpp"
+#include "util/schemas.hpp"
 
 namespace bbrnash {
 
@@ -55,7 +56,7 @@ void FlightRecorder::dump(std::string_view trigger, std::string_view reason,
 
     JsonlRecord meta;
     meta.set("type", "meta");
-    meta.set("schema", "bbrnash-flight-v1");
+    meta.set("schema", kSchemaFlight);
     meta.set("trigger", std::string{trigger});
     meta.set("reason", std::string{reason});
     meta.set("seed", seed);

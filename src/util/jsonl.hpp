@@ -24,6 +24,11 @@ class JsonlRecord {
  public:
   void set(const std::string& key, std::string v);
   void set(const std::string& key, const char* v) { set(key, std::string{v}); }
+  /// For std::string_view values — notably the schema constants from
+  /// util/schemas.hpp.
+  void set(const std::string& key, std::string_view v) {
+    set(key, std::string{v});
+  }
   void set(const std::string& key, double v);
   void set(const std::string& key, std::uint64_t v);
   /// Convenience for non-negative counters; throws std::invalid_argument on

@@ -1,0 +1,8 @@
+// Fixture: top-of-src layer; including downward is legal.
+#pragma once
+
+#include "util/fx_base.hpp"
+
+namespace fx {
+inline int top_value() { return base_value() + 1; }
+}  // namespace fx

@@ -1,0 +1,11 @@
+// Fixture: model -> sim is a sibling back-edge (both rank 1), but the
+// annotation below masks it — semantic passes ride the same suppression
+// machinery as the per-file rules.
+#pragma once
+
+// bbrnash-lint: allow(include-layering) -- fixture: justified sibling include.
+#include "sim/fx_cycle_a.hpp"
+
+namespace fx {
+inline int allow_value() { return cycle_a_value(); }
+}  // namespace fx

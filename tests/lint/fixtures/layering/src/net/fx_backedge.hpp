@@ -1,0 +1,9 @@
+// Fixture: layering back-edge — net (rank 2) reaching up into exp
+// (rank 5) must be an include-layering violation.
+#pragma once
+
+#include "exp/fx_top.hpp"
+
+namespace fx {
+inline int backedge_value() { return top_value(); }
+}  // namespace fx

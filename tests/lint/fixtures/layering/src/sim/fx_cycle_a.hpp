@@ -1,0 +1,8 @@
+// Fixture: half of a same-layer include cycle (a -> b -> a).
+#pragma once
+
+#include "sim/fx_cycle_b.hpp"
+
+namespace fx {
+inline int cycle_a_value() { return 1; }
+}  // namespace fx

@@ -1,0 +1,9 @@
+// Fixture: the closing edge of the include cycle; the include-cycle
+// finding is attributed to the directive below.
+#pragma once
+
+#include "sim/fx_cycle_a.hpp"
+
+namespace fx {
+inline int cycle_b_value() { return 2; }
+}  // namespace fx

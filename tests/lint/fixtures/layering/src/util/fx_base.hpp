@@ -1,0 +1,6 @@
+// Fixture: bottom-layer header; legal target for every other layer.
+#pragma once
+
+namespace fx {
+inline int base_value() { return 1; }
+}  // namespace fx

@@ -1,0 +1,17 @@
+// Fixture: a writer that uses the registered constant (legal) and then
+// spells a raw schema string (schema-literal violation).
+#include <string>
+
+#include "util/schemas.hpp"
+
+namespace fx {
+
+std::string good_record() {
+  return std::string{kSchemaGood};
+}
+
+std::string raw_record() {
+  return "bbrnash-fx-raw-v2";
+}
+
+}  // namespace fx

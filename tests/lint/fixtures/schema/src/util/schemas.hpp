@@ -1,0 +1,16 @@
+// Fixture registry: one good entry (used by fx_writer.cpp), one
+// duplicate registration of the same schema string, one entry nothing
+// uses — the latter two must be schema-registry violations.
+#pragma once
+
+#include <string_view>
+
+namespace fx {
+
+inline constexpr std::string_view kSchemaGood = "bbrnash-fx-good-v1";
+
+inline constexpr std::string_view kSchemaDup = "bbrnash-fx-good-v1";
+
+inline constexpr std::string_view kSchemaUnused = "bbrnash-fx-unused-v3";
+
+}  // namespace fx

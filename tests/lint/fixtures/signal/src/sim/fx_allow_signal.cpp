@@ -1,0 +1,18 @@
+// Fixture: an unsafe call inside a handler masked by a justified allow
+// annotation — the signal-safety pass rides the suppression machinery.
+#include <csignal>
+#include <cstdio>
+
+namespace fx {
+
+void fx_annotated_handler(int) {
+  // bbrnash-lint: allow(signal-unsafe-call) -- fixture: justified unsafe call.
+  snprintf(nullptr, 0, "x");
+}
+
+void fx_install_annotated() {
+  // bbrnash-lint: allow(process-control) -- fixture: registration under test.
+  std::signal(SIGHUP, fx_annotated_handler);
+}
+
+}  // namespace fx

@@ -1,0 +1,22 @@
+// Fixture: the sanctioned handler shape — set a volatile flag, emit via
+// write(2) (on the async-signal-safe allowlist), return. Must scan clean.
+#include <csignal>
+#include <unistd.h>
+
+namespace fx {
+
+volatile std::sig_atomic_t g_fx_stop = 0;
+
+void fx_safe_handler(int) {
+  g_fx_stop = 1;
+  write(2, "stop\n", 5);
+}
+
+void fx_install_safe() {
+  struct sigaction sa {};
+  sa.sa_handler = fx_safe_handler;
+  // bbrnash-lint: allow(process-control) -- fixture: registration under test.
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+}  // namespace fx

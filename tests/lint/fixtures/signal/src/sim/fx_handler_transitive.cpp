@@ -1,0 +1,22 @@
+// Fixture: the handler itself looks clean, but a helper it calls reaches
+// malloc — the single-TU fixpoint walk must flag the transitive call with
+// the full chain in the detail.
+#include <csignal>
+#include <cstdlib>
+
+namespace fx {
+
+void* fx_helper() {
+  return malloc(16);
+}
+
+void fx_transitive_handler(int) {
+  fx_helper();
+}
+
+void fx_install_transitive() {
+  // bbrnash-lint: allow(process-control) -- fixture: registration under test.
+  std::signal(SIGTERM, fx_transitive_handler);
+}
+
+}  // namespace fx

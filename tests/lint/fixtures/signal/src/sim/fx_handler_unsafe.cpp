@@ -1,0 +1,18 @@
+// Fixture: a signal handler that calls printf directly — stdio is not
+// async-signal-safe, so the call inside the handler body must be a
+// signal-unsafe-call violation.
+#include <csignal>
+#include <cstdio>
+
+namespace fx {
+
+void fx_unsafe_handler(int) {
+  printf("stop\n");
+}
+
+void fx_install_unsafe() {
+  // bbrnash-lint: allow(process-control) -- fixture: registration under test.
+  std::signal(SIGINT, fx_unsafe_handler);
+}
+
+}  // namespace fx

@@ -1,11 +1,15 @@
 // bbrnash-lint driver. Usage:
 //
-//   bbrnash-lint [--root DIR] [--dirs a,b,c] [--no-suppressions]
+//   bbrnash-lint [--root DIR] [--dirs a,b,c] [--no-suppressions] [--json]
 //
 // Scans DIR (default: current directory) under the given subdirectories
-// (default: src,bench,tools,tests) and prints every rule violation as
+// (default: src,bench,tools,tests) — the per-file rules plus the
+// whole-tree semantic passes (include-graph layering, signal-safety,
+// schema-registry) — and prints every rule violation as
 // `file:line: [rule] detail` plus the list of active suppressions.
-// Exit codes: 0 clean, 1 violations found, 2 bad invocation.
+// `--json` emits the machine-readable report (schema
+// bbrnash-lint-report-v1) instead. Exit codes: 0 clean, 1 violations
+// found, 2 bad invocation.
 #include <cstdio>
 #include <exception>
 #include <string>
@@ -34,6 +38,7 @@ int main(int argc, char** argv) {
   std::string root = ".";
   std::vector<std::string> dirs = {"src", "bench", "tools", "tests"};
   bool list_suppressions = true;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
@@ -42,10 +47,12 @@ int main(int argc, char** argv) {
       dirs = split_csv(argv[++i]);
     } else if (arg == "--no-suppressions") {
       list_suppressions = false;
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: bbrnash-lint [--root DIR] [--dirs a,b,c] "
-          "[--no-suppressions]\nrules:");
+          "[--no-suppressions] [--json]\nrules:");
       for (const std::string& r : bbrnash::lint::rule_names()) {
         std::printf(" %s", r.c_str());
       }
@@ -62,7 +69,8 @@ int main(int argc, char** argv) {
         bbrnash::lint::scan_tree(root, dirs);
     std::string text;
     const int rc =
-        bbrnash::lint::render_report(report, text, list_suppressions);
+        json ? bbrnash::lint::render_json(report, text)
+             : bbrnash::lint::render_report(report, text, list_suppressions);
     std::fputs(text.c_str(), stdout);
     return rc;
   } catch (const std::exception& e) {

@@ -1,7 +1,7 @@
 #!/bin/sh
 # clang-tidy gate with a checked-in baseline.
 #
-# Usage: clang_tidy_gate.sh <source-root> <build-dir>
+# Usage: clang_tidy_gate.sh <source-root> <build-dir> [--write-baseline]
 #
 # Runs clang-tidy (config: <source-root>/.clang-tidy) over every
 # translation unit under src/ using the build tree's
@@ -11,13 +11,21 @@
 # the bar can be adopted incrementally: fixing an old finding just means
 # deleting its baseline line.
 #
+# --write-baseline regenerates tools/lint/clang_tidy_baseline.txt from
+# the current findings (preserving its comment header) instead of
+# diffing. Use it after a deliberate clang-tidy or toolchain bump, then
+# review the baseline diff like any other code change.
+#
 # Exit codes: 0 clean (no new findings), 1 new findings, 77 skipped
 # (clang-tidy or compile_commands.json unavailable — ctest maps 77 to
 # SKIP via SKIP_RETURN_CODE), 2 usage error.
 set -u
 
-if [ "$#" -ne 2 ]; then
-  echo "usage: $0 <source-root> <build-dir>" >&2
+WRITE_BASELINE=0
+if [ "$#" -eq 3 ] && [ "$3" = "--write-baseline" ]; then
+  WRITE_BASELINE=1
+elif [ "$#" -ne 2 ]; then
+  echo "usage: $0 <source-root> <build-dir> [--write-baseline]" >&2
   exit 2
 fi
 # Canonicalize: clang-tidy prints absolute paths, and the normalization
@@ -57,6 +65,17 @@ xargs "$TIDY" -p "$BUILD_DIR" --quiet < "$TMP_DIR/files" \
 # dropped so unrelated edits on the same line don't churn the baseline.
 sed -n 's|^'"$SRC_ROOT"'/\(.*\):\([0-9]*\):[0-9]*: warning: .*\[\(.*\)\]$|\1:\2: [\3]|p' \
   "$TMP_DIR/raw" | LC_ALL=C sort -u > "$TMP_DIR/current"
+
+if [ "$WRITE_BASELINE" -eq 1 ]; then
+  if [ -f "$BASELINE" ]; then
+    grep '^[[:space:]]*#' "$BASELINE" > "$TMP_DIR/header" || true
+  else
+    : > "$TMP_DIR/header"
+  fi
+  cat "$TMP_DIR/header" "$TMP_DIR/current" > "$BASELINE"
+  echo "clang_tidy_gate: wrote $(wc -l < "$TMP_DIR/current") finding(s) to $BASELINE"
+  exit 0
+fi
 
 # Baseline lines, comments and blanks stripped.
 if [ -f "$BASELINE" ]; then

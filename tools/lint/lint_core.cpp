@@ -5,6 +5,9 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <tuple>
+
+#include "lint_passes.hpp"
 
 namespace bbrnash::lint {
 
@@ -20,6 +23,10 @@ bool is_ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
 
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
 std::string trim(std::string_view s) {
   std::size_t b = 0;
   std::size_t e = s.size();
@@ -29,14 +36,16 @@ std::string trim(std::string_view s) {
 }
 
 // ---------------------------------------------------------------------------
-// Pass 1: strip comments and string/char literals (preserving line and
-// column structure), extracting allow-annotations from comment text.
+// Pass 1a: strip comments and string/char literals (preserving line and
+// column structure), extracting allow-annotations from comment text and
+// recording every string literal's contents as a StringFact.
 // ---------------------------------------------------------------------------
 
 struct StrippedFile {
   std::vector<std::string> raw;   ///< original lines
   std::vector<std::string> code;  ///< literals/comments blanked to spaces
   std::vector<Suppression> annotations;  ///< file field left empty
+  std::vector<StringFact> strings;
 };
 
 void parse_annotation(const std::string& comment, int line,
@@ -70,6 +79,8 @@ StrippedFile strip_file(const std::filesystem::path& path) {
   std::string code_line;
   std::string comment_text;  // accumulated text of the comment in progress
   int comment_start_line = 0;
+  std::string string_text;  // accumulated contents of the literal in progress
+  int string_start_line = 0;
   int line = 1;
 
   enum class State {
@@ -94,6 +105,10 @@ StrippedFile strip_file(const std::filesystem::path& path) {
     parse_annotation(comment_text, comment_start_line, out.annotations);
     comment_text.clear();
   };
+  auto flush_string = [&] {
+    out.strings.push_back(StringFact{string_text, string_start_line});
+    string_text.clear();
+  };
 
   for (std::size_t i = 0; i < text.size(); ++i) {
     const char c = text[i];
@@ -103,6 +118,7 @@ StrippedFile strip_file(const std::filesystem::path& path) {
         flush_comment();
         state = State::kCode;
       }
+      if (state == State::kRawString) string_text.push_back('\n');
       end_line();
       continue;
     }
@@ -137,6 +153,7 @@ StrippedFile strip_file(const std::filesystem::path& path) {
           } else {
             state = State::kString;
           }
+          string_start_line = line;
           code_line.push_back(' ');
         } else if (c == '\'') {
           // Distinguish digit separators (1'000) from char literals.
@@ -173,11 +190,16 @@ StrippedFile strip_file(const std::filesystem::path& path) {
       case State::kString:
         code_line.push_back(' ');
         if (c == '\\' && next != '\0' && next != '\n') {
+          string_text.push_back(c);
+          string_text.push_back(next);
           raw_line.push_back(next);
           code_line.push_back(' ');
           ++i;
         } else if (c == '"') {
+          flush_string();
           state = State::kCode;
+        } else {
+          string_text.push_back(c);
         }
         break;
       case State::kChar:
@@ -198,7 +220,10 @@ StrippedFile strip_file(const std::filesystem::path& path) {
             code_line.push_back(' ');
           }
           i += raw_delim.size() - 1;
+          flush_string();
           state = State::kCode;
+        } else {
+          string_text.push_back(c);
         }
         break;
     }
@@ -206,6 +231,7 @@ StrippedFile strip_file(const std::filesystem::path& path) {
   if (state == State::kLineComment || state == State::kBlockComment) {
     flush_comment();
   }
+  if (state == State::kString || state == State::kRawString) flush_string();
   if (!raw_line.empty() || !code_line.empty()) end_line();
   return out;
 }
@@ -284,7 +310,264 @@ bool is_float_literal(std::string_view tok) {
 }
 
 // ---------------------------------------------------------------------------
-// Rules. Each appends candidate findings; suppressions are applied after.
+// Pass 1b: fact extraction for the semantic passes — includes, function
+// definitions with their call sites, and signal-handler registrations.
+// The function parser is a deliberate heuristic (a brace/paren tracker
+// over the stripped token stream, not a C++ front end); it is tuned to
+// this codebase's style and covered by the fixture corpus.
+// ---------------------------------------------------------------------------
+
+void collect_includes(const StrippedFile& f, FileFacts& facts) {
+  for (std::size_t i = 0; i < f.raw.size(); ++i) {
+    const std::string t = trim(f.raw[i]);
+    if (t.empty() || t[0] != '#') continue;
+    std::size_t j = 1;
+    while (j < t.size() && std::isspace(static_cast<unsigned char>(t[j])) != 0) {
+      ++j;
+    }
+    if (t.compare(j, 7, "include") != 0) continue;
+    const std::size_t open = t.find('"', j + 7);
+    if (open == std::string::npos) continue;
+    const std::size_t close = t.find('"', open + 1);
+    if (close == std::string::npos) continue;
+    facts.includes.push_back(IncludeFact{
+        t.substr(open + 1, close - open - 1), static_cast<int>(i + 1)});
+  }
+}
+
+struct Tok {
+  std::string text;
+  int line = 0;
+  bool ident = false;
+};
+
+/// Tokenizes the stripped code view into identifiers and punctuation
+/// ("::" and "->" kept as single tokens); numbers are consumed and
+/// dropped, preprocessor lines are skipped entirely (a `#define` body
+/// could otherwise unbalance the brace tracker).
+std::vector<Tok> tokenize(const StrippedFile& f) {
+  std::vector<Tok> toks;
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    if (is_preprocessor_line(f.raw[i])) continue;
+    const std::string& l = f.code[i];
+    const int line = static_cast<int>(i + 1);
+    std::size_t j = 0;
+    while (j < l.size()) {
+      const char c = l[j];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++j;
+        continue;
+      }
+      if (is_ident_start(c)) {
+        std::size_t e = j;
+        while (e < l.size() && is_ident_char(l[e])) ++e;
+        toks.push_back(Tok{l.substr(j, e - j), line, true});
+        j = e;
+      } else if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        std::size_t e = j;
+        while (e < l.size() && (is_ident_char(l[e]) || l[e] == '.')) ++e;
+        j = e;  // numeric literal: dropped
+      } else if (c == ':' && j + 1 < l.size() && l[j + 1] == ':') {
+        toks.push_back(Tok{"::", line, false});
+        j += 2;
+      } else if (c == '-' && j + 1 < l.size() && l[j + 1] == '>') {
+        toks.push_back(Tok{"->", line, false});
+        j += 2;
+      } else {
+        toks.push_back(Tok{std::string(1, c), line, false});
+        ++j;
+      }
+    }
+  }
+  return toks;
+}
+
+bool is_control_keyword(const std::string& s) {
+  static const std::string_view kControl[] = {"if", "for", "while", "switch",
+                                              "catch", "return", "do"};
+  for (const std::string_view k : kControl) {
+    if (s == k) return true;
+  }
+  return false;
+}
+
+/// Identifiers that look like calls syntactically but are operators,
+/// casts, builtin-type conversions, or declaration noise.
+bool is_call_noise(const std::string& s) {
+  static const std::string_view kNoise[] = {
+      "if",       "for",      "while",    "switch",     "catch",
+      "return",   "sizeof",   "alignof",  "alignas",    "decltype",
+      "noexcept", "throw",    "new",      "delete",     "static_assert",
+      "defined",  "typeid",   "void",     "bool",       "char",
+      "int",      "long",     "short",    "unsigned",   "signed",
+      "float",    "double",   "auto",     "explicit",   "operator",
+      "assert"};
+  for (const std::string_view k : kNoise) {
+    if (s == k) return true;
+  }
+  return false;
+}
+
+bool is_sig_disposition(const std::string& s) {
+  return s == "SIG_IGN" || s == "SIG_DFL" || s == "SIG_ERR" ||
+         s == "nullptr" || s == "NULL";
+}
+
+void collect_functions_and_handlers(const StrippedFile& f, FileFacts& facts) {
+  const std::vector<Tok> toks = tokenize(f);
+
+  enum class ScopeKind { kNamespace, kType, kFunction, kBlock };
+  struct Scope {
+    ScopeKind kind;
+    int fn = -1;  ///< index into facts.functions for kFunction scopes
+  };
+  std::vector<Scope> scopes;
+  std::vector<Tok> window;  // tokens since the last ';' / '{' / '}'
+
+  auto innermost_function = [&]() -> int {
+    for (std::size_t s = scopes.size(); s > 0; --s) {
+      if (scopes[s - 1].kind == ScopeKind::kFunction) return scopes[s - 1].fn;
+      if (scopes[s - 1].kind == ScopeKind::kNamespace) break;
+    }
+    return -1;
+  };
+
+  // Classifies the scope a '{' opens from its statement-head window.
+  auto classify = [&](const std::vector<Tok>& w) -> Scope {
+    for (const Tok& t : w) {
+      if (t.ident && t.text == "namespace") return Scope{ScopeKind::kNamespace};
+    }
+    if (!w.empty()) {
+      const std::string& last = w.back().text;
+      if (last == "=" || last == "," || last == "(" || last == "return") {
+        return Scope{ScopeKind::kBlock};  // braced initializer
+      }
+    }
+    // Walk back over trailing specifiers (const, noexcept, override, a
+    // trailing return type...) to the parameter list's ')'.
+    std::size_t i = w.size();
+    while (i > 0) {
+      const Tok& t = w[i - 1];
+      if (t.text == ")") break;
+      if (t.ident || t.text == "::" || t.text == "->" || t.text == "<" ||
+          t.text == ">" || t.text == "*" || t.text == "&") {
+        --i;
+        continue;
+      }
+      break;
+    }
+    if (i == 0 || w[i - 1].text != ")") {
+      bool has_type_key = false;
+      for (const Tok& t : w) {
+        if (t.ident && (t.text == "class" || t.text == "struct" ||
+                        t.text == "union" || t.text == "enum")) {
+          has_type_key = true;
+        }
+      }
+      return Scope{has_type_key ? ScopeKind::kType : ScopeKind::kBlock};
+    }
+    // Match the ')' at w[i-1] back to its '('.
+    int depth = 0;
+    std::size_t open = i - 1;
+    for (std::size_t k = i; k > 0; --k) {
+      const std::string& s = w[k - 1].text;
+      if (s == ")") ++depth;
+      if (s == "(" && --depth == 0) {
+        open = k - 1;
+        break;
+      }
+    }
+    if (depth != 0 || open == 0) return Scope{ScopeKind::kBlock};
+    const Tok& name = w[open - 1];
+    if (!name.ident || is_control_keyword(name.text) ||
+        name.text == "noexcept") {
+      return Scope{ScopeKind::kBlock};
+    }
+    facts.functions.push_back(
+        FunctionFact{name.text, w[open - 1].line, {}});
+    return Scope{ScopeKind::kFunction,
+                 static_cast<int>(facts.functions.size()) - 1};
+  };
+
+  for (std::size_t k = 0; k < toks.size(); ++k) {
+    const Tok& t = toks[k];
+    if (t.text == "{") {
+      Scope s = classify(window);
+      if (s.kind == ScopeKind::kFunction) {
+        facts.functions[static_cast<std::size_t>(s.fn)].line = t.line;
+      }
+      scopes.push_back(s);
+      window.clear();
+      continue;
+    }
+    if (t.text == "}") {
+      if (!scopes.empty()) scopes.pop_back();
+      window.clear();
+      continue;
+    }
+    if (t.text == ";") {
+      window.clear();
+      continue;
+    }
+    window.push_back(t);
+
+    // Handler registration: `sa_handler = fn` / `sa_sigaction = fn`.
+    if (t.ident && (t.text == "sa_handler" || t.text == "sa_sigaction") &&
+        k + 1 < toks.size() && toks[k + 1].text == "=") {
+      std::size_t a = k + 2;
+      if (a < toks.size() && toks[a].text == "&") ++a;
+      if (a < toks.size() && toks[a].ident &&
+          !is_sig_disposition(toks[a].text)) {
+        facts.handlers.push_back(HandlerFact{toks[a].text, toks[a].line});
+      }
+    }
+    // Handler registration: `signal(SIG..., fn)` (free or std::-qualified).
+    if (t.ident && t.text == "signal" && k + 1 < toks.size() &&
+        toks[k + 1].text == "(") {
+      int depth = 0;
+      for (std::size_t a = k + 1; a < toks.size(); ++a) {
+        const std::string& s = toks[a].text;
+        if (s == "(") ++depth;
+        if (s == ")" && --depth == 0) break;
+        if (s == "," && depth == 1) {
+          std::size_t h = a + 1;
+          while (h < toks.size() &&
+                 (toks[h].text == "&" || toks[h].text == "+")) {
+            ++h;
+          }
+          if (h < toks.size() && toks[h].ident &&
+              !is_sig_disposition(toks[h].text)) {
+            facts.handlers.push_back(HandlerFact{toks[h].text, toks[h].line});
+          }
+          break;
+        }
+      }
+    }
+    // Call sites inside function bodies: `callee(` as a free or
+    // namespace-qualified call.
+    const int fn = innermost_function();
+    if (fn >= 0 && t.ident && k + 1 < toks.size() &&
+        toks[k + 1].text == "(" && !is_call_noise(t.text)) {
+      // Walk back over a `ns::ns::` qualification chain to the receiver.
+      std::size_t head = k;
+      while (head >= 2 && toks[head - 1].text == "::" &&
+             toks[head - 2].ident) {
+        head -= 2;
+      }
+      const bool member =
+          head > 0 &&
+          (toks[head - 1].text == "." || toks[head - 1].text == "->");
+      if (!member) {
+        facts.functions[static_cast<std::size_t>(fn)].calls.push_back(
+            CallFact{t.text, t.line});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-file rules. Each appends candidate findings; suppressions are
+// applied after the semantic passes, in finalize_report.
 // ---------------------------------------------------------------------------
 
 struct FileContext {
@@ -293,7 +576,8 @@ struct FileContext {
   std::vector<Finding>& out;
 
   void add(const std::string& rule, int line, std::string detail) const {
-    out.push_back(Finding{rule, std::string{relpath}, line, std::move(detail)});
+    out.push_back(Finding{rule, std::string{relpath}, line, std::move(detail),
+                          std::string{}});
   }
 };
 
@@ -583,6 +867,87 @@ void rule_pragma_once(const FileContext& ctx) {
   ctx.add("pragma-once", 1, "header is missing #pragma once");
 }
 
+// ---------------------------------------------------------------------------
+// Suppression application (shared by scan_file and finalize_report).
+// ---------------------------------------------------------------------------
+
+void apply_suppressions(ScanUnit& unit, TreeReport& out) {
+  const int n_lines = static_cast<int>(unit.code.size());
+  auto line_has_code = [&](int line1) {
+    return unit.code[static_cast<std::size_t>(line1 - 1)].find_first_not_of(
+               " \t\r") != std::string::npos;
+  };
+  // A suppression covers its own line through the next line carrying any
+  // code, so it can sit on the offending line or in a (possibly
+  // multi-line) comment immediately above it.
+  auto cover_end = [&](const Suppression& s) {
+    int l = s.line + 1;
+    while (l <= n_lines && !line_has_code(l)) ++l;
+    return std::min(l, n_lines);
+  };
+  for (Finding& fd : unit.candidates) {
+    bool masked = false;
+    for (Suppression& s : unit.suppressions) {
+      if (s.rule == fd.rule && s.line <= fd.line && fd.line <= cover_end(s)) {
+        s.used = true;
+        masked = true;
+      }
+    }
+    if (!masked) out.findings.push_back(std::move(fd));
+  }
+  for (const Suppression& s : unit.suppressions) {
+    if (!s.used) {
+      out.findings.push_back(
+          Finding{"unused-suppression", s.file, s.line,
+                  "allow(" + s.rule + ") masks nothing; remove the stale "
+                  "annotation",
+                  std::string{}});
+    }
+  }
+  out.suppressions.insert(out.suppressions.end(), unit.suppressions.begin(),
+                          unit.suppressions.end());
+  ++out.files_scanned;
+}
+
+void sort_report(TreeReport& report) {
+  // Deterministic (file, line) order regardless of directory traversal
+  // order and of which pass appended a finding; `detail` participates so
+  // two same-rule findings on one line render in a stable order too.
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.detail) <
+                     std::tie(b.file, b.line, b.rule, b.detail);
+            });
+  std::sort(report.suppressions.begin(), report.suppressions.end(),
+            [](const Suppression& a, const Suppression& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::vector<std::string> rule_names() {
@@ -590,14 +955,21 @@ std::vector<std::string> rule_names() {
           "unordered-iteration", "const-cast",       "reinterpret-cast",
           "raw-parse",        "float-type",          "float-equality",
           "pragma-once",      "process-control",     "cc-virtual",
-          "unused-suppression"};
+          "include-layering", "include-cycle",       "signal-unsafe-call",
+          "schema-literal",   "schema-registry",     "unused-suppression"};
 }
 
-void scan_file(const std::filesystem::path& path, std::string_view relpath,
-               TreeReport& out) {
-  const StrippedFile f = strip_file(path);
-  std::vector<Finding> candidates;
-  const FileContext ctx{relpath, f, candidates};
+ScanUnit scan_unit(const std::filesystem::path& path,
+                   std::string_view relpath) {
+  StrippedFile f = strip_file(path);
+
+  ScanUnit unit;
+  unit.relpath = std::string{relpath};
+  unit.facts.strings = f.strings;
+  collect_includes(f, unit.facts);
+  collect_functions_and_handlers(f, unit.facts);
+
+  const FileContext ctx{relpath, f, unit.candidates};
   rule_wall_clock(ctx);
   rule_nondeterminism(ctx);
   rule_unordered(ctx);
@@ -608,7 +980,7 @@ void scan_file(const std::filesystem::path& path, std::string_view relpath,
   rule_cc_virtual(ctx);
   rule_pragma_once(ctx);
 
-  std::vector<Suppression> sups = f.annotations;
+  unit.suppressions = std::move(f.annotations);
   const int n_lines = static_cast<int>(f.code.size());
   auto line_has_code = [&](int line1) {
     return f.code[static_cast<std::size_t>(line1 - 1)].find_first_not_of(
@@ -618,7 +990,7 @@ void scan_file(const std::filesystem::path& path, std::string_view relpath,
     return !line_has_code(line1) &&
            starts_with(trim(f.raw[static_cast<std::size_t>(line1 - 1)]), "//");
   };
-  for (Suppression& s : sups) {
+  for (Suppression& s : unit.suppressions) {
     s.file = std::string{relpath};
     // Merge continuation comment lines into the justification.
     for (int l = s.line + 1; l <= n_lines && is_comment_only(l); ++l) {
@@ -631,40 +1003,26 @@ void scan_file(const std::filesystem::path& path, std::string_view relpath,
     }
   }
 
-  // A suppression covers its own line through the next line carrying any
-  // code, so it can sit on the offending line or in a (possibly
-  // multi-line) comment immediately above it.
-  auto cover_end = [&](const Suppression& s) {
-    int l = s.line + 1;
-    while (l <= n_lines && !line_has_code(l)) ++l;
-    return std::min(l, n_lines);
-  };
-  for (Finding& fd : candidates) {
-    bool masked = false;
-    for (Suppression& s : sups) {
-      if (s.rule == fd.rule && s.line <= fd.line &&
-          fd.line <= cover_end(s)) {
-        s.used = true;
-        masked = true;
-      }
-    }
-    if (!masked) out.findings.push_back(std::move(fd));
-  }
-  for (const Suppression& s : sups) {
-    if (!s.used) {
-      out.findings.push_back(
-          Finding{"unused-suppression", s.file, s.line,
-                  "allow(" + s.rule + ") masks nothing; remove the stale "
-                  "annotation"});
-    }
-  }
-  out.suppressions.insert(out.suppressions.end(), sups.begin(), sups.end());
-  ++out.files_scanned;
+  unit.raw = std::move(f.raw);
+  unit.code = std::move(f.code);
+  return unit;
+}
+
+TreeReport finalize_report(std::vector<ScanUnit> units) {
+  TreeReport report;
+  for (ScanUnit& unit : units) apply_suppressions(unit, report);
+  sort_report(report);
+  return report;
+}
+
+void scan_file(const std::filesystem::path& path, std::string_view relpath,
+               TreeReport& out) {
+  ScanUnit unit = scan_unit(path, relpath);
+  apply_suppressions(unit, out);
 }
 
 TreeReport scan_tree(const std::filesystem::path& root,
                      const std::vector<std::string>& dirs) {
-  TreeReport report;
   std::vector<std::pair<std::string, std::filesystem::path>> files;
   for (const std::string& dir : dirs) {
     const std::filesystem::path base = root / dir;
@@ -682,15 +1040,22 @@ TreeReport scan_tree(const std::filesystem::path& root,
       files.emplace_back(std::move(rel), entry.path());
     }
   }
+  // Sort AND deduplicate: overlapping --dirs entries (e.g. "src,src/sim")
+  // must not scan — and report — a file twice.
   std::sort(files.begin(), files.end());
-  for (const auto& [rel, path] : files) scan_file(path, rel, report);
+  files.erase(std::unique(files.begin(), files.end(),
+                          [](const auto& a, const auto& b) {
+                            return a.first == b.first;
+                          }),
+              files.end());
 
-  auto by_site = [](const auto& a, const auto& b) {
-    return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
-  };
-  std::sort(report.findings.begin(), report.findings.end(), by_site);
-  std::sort(report.suppressions.begin(), report.suppressions.end(), by_site);
-  return report;
+  std::vector<ScanUnit> units;
+  units.reserve(files.size());
+  for (const auto& [rel, path] : files) units.push_back(scan_unit(path, rel));
+
+  run_semantic_passes(root, units);
+
+  return finalize_report(std::move(units));
 }
 
 int render_report(const TreeReport& report, std::string& out,
@@ -712,6 +1077,36 @@ int render_report(const TreeReport& report, std::string& out,
      << report.suppressions.size() << " suppression"
      << (report.suppressions.size() == 1 ? "" : "s") << ", "
      << report.files_scanned << " files scanned\n";
+  out = os.str();
+  return report.findings.empty() ? 0 : 1;
+}
+
+int render_json(const TreeReport& report, std::string& out) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"" << lint_report_schema() << "\",\n";
+  os << "  \"files_scanned\": " << report.files_scanned << ",\n";
+  os << "  \"violations\": [";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const Finding& f = report.findings[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"rule\": \"" << json_escape(f.rule) << "\", \"file\": \""
+       << json_escape(f.file) << "\", \"line\": " << f.line
+       << ", \"pass\": \""
+       << (f.pass_name.empty() ? "scan" : json_escape(f.pass_name))
+       << "\", \"detail\": \"" << json_escape(f.detail) << "\"}";
+  }
+  os << (report.findings.empty() ? "],\n" : "\n  ],\n");
+  os << "  \"suppressions\": [";
+  for (std::size_t i = 0; i < report.suppressions.size(); ++i) {
+    const Suppression& s = report.suppressions[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"rule\": \"" << json_escape(s.rule) << "\", \"file\": \""
+       << json_escape(s.file) << "\", \"line\": " << s.line
+       << ", \"used\": " << (s.used ? "true" : "false")
+       << ", \"reason\": \"" << json_escape(s.reason) << "\"}";
+  }
+  os << (report.suppressions.empty() ? "]\n" : "\n  ]\n");
+  os << "}\n";
   out = os.str();
   return report.findings.empty() ? 0 : 1;
 }

@@ -4,10 +4,21 @@
 // conservation audits) enforce bit-identical reproducibility at run time,
 // but only probabilistically: a refactor that sneaks in a wall-clock read
 // or an unordered-iteration order dependence passes until a run happens to
-// exercise it. This tool makes the repo invariants a *lint-time* property:
-// it scans src/, bench/, tools/, and tests/ for constructs that are banned
-// by contract, with a scoped suppression syntax for the handful of
-// legitimate sites.
+// exercise it. This tool makes the repo invariants a *lint-time* property.
+//
+// Since the cross-file semantic gate landed, the tool is a TWO-PHASE
+// analyzer:
+//
+//   phase 1 (per-file scan)   — each *.cpp/*.hpp under the scanned dirs is
+//       stripped of comments and string/char literals, the line-local
+//       rules run on the stripped view, and a `FileFacts` record is
+//       collected: `#include "..."` edges, function definitions with the
+//       calls inside them, signal-handler registrations, and the contents
+//       of every string literal.
+//   phase 2 (semantic passes) — whole-tree passes over the collected
+//       facts (tools/lint/lint_passes.cpp): include-graph layering and
+//       cycle detection, async-signal-safety of registered handlers, and
+//       the `bbrnash-*-vN` schema registry checks.
 //
 // Suppression syntax (a line comment; covers its own line through the
 // next line carrying code, so it can sit on the offending line or in a
@@ -20,10 +31,13 @@
 // written literally here so this header stays clean under self-scan).
 // Every suppression is parsed, counted, and listed in the report; a
 // suppression that masks nothing is itself a violation
-// (`unused-suppression`), so stale allows can't accumulate.
+// (`unused-suppression`), so stale allows can't accumulate. Semantic-pass
+// findings ride the same syntax: the annotation lives in the file the
+// finding is attributed to (the includer, the unsafe call site, the
+// registry entry).
 //
 // Matching runs on a comment- and string-literal-stripped view of each
-// file, so prose and log messages can mention banned identifiers freely —
+// file, so prose and log messages can name banned identifiers freely —
 // which is also what keeps this tool's own sources (full of rule patterns
 // in string literals) clean under the tree scan.
 #pragma once
@@ -36,12 +50,15 @@
 namespace bbrnash::lint {
 
 /// One rule violation. `rule` is the stable kebab-case rule name that the
-/// suppression syntax and the fixture tests key on.
+/// suppression syntax and the fixture tests key on. `pass_name` is empty
+/// for the per-file scan rules and names the semantic pass family
+/// otherwise ("include-graph", "signal-safety", "schema-registry").
 struct Finding {
   std::string rule;
   std::string file;  ///< path relative to the scan root
   int line = 0;      ///< 1-based
   std::string detail;
+  std::string pass_name;
 };
 
 /// One parsed allow-annotation.
@@ -53,6 +70,68 @@ struct Suppression {
   bool used = false;  ///< did it mask at least one finding?
 };
 
+// --- Phase-1 facts for the semantic passes ---------------------------------
+
+/// One `#include "target"` directive (quoted form only; angle includes are
+/// system headers and carry no layering information).
+struct IncludeFact {
+  std::string target;  ///< verbatim include target, e.g. "util/units.hpp"
+  int line = 0;
+};
+
+/// One call site inside a function body: `callee(...)` as a free or
+/// namespace-qualified call (member calls through `.`/`->` are excluded —
+/// the signal-safety pass reasons about free functions).
+struct CallFact {
+  std::string callee;
+  int line = 0;
+};
+
+/// One function definition found by the heuristic single-TU parser, with
+/// the calls made anywhere in its body (including inside nested blocks
+/// and lambdas, which is deliberately conservative for signal safety).
+struct FunctionFact {
+  std::string name;  ///< unqualified name (last `::` component)
+  int line = 0;      ///< line of the opening brace
+  std::vector<CallFact> calls;
+};
+
+/// One signal-handler registration: `signal(SIG..., fn)` /
+/// `sa.sa_handler = fn` / `sa.sa_sigaction = fn` with a named function
+/// (SIG_IGN / SIG_DFL / SIG_ERR / nullptr are ignored).
+struct HandlerFact {
+  std::string handler;
+  int line = 0;
+};
+
+/// One string literal's raw contents (escape sequences unexpanded). Raw
+/// strings record their opening line.
+struct StringFact {
+  std::string value;
+  int line = 0;
+};
+
+struct FileFacts {
+  std::vector<IncludeFact> includes;
+  std::vector<FunctionFact> functions;
+  std::vector<HandlerFact> handlers;
+  std::vector<StringFact> strings;
+};
+
+/// Everything phase 1 learns about one file: the raw and stripped line
+/// views (the suppression-cover logic and the schema-registry usage scan
+/// both need them), the parsed suppressions (reasons folded, file field
+/// set), the collected facts, and the per-file rule findings — candidates
+/// until `finalize_report` applies the suppressions.
+struct ScanUnit {
+  std::string relpath;
+  std::vector<std::string> raw;
+  std::vector<std::string> code;  ///< literals/comments blanked to spaces
+  FileFacts facts;
+  std::vector<Suppression> suppressions;
+  std::vector<Finding> candidates;
+};
+
 struct TreeReport {
   std::vector<Finding> findings;
   std::vector<Suppression> suppressions;
@@ -62,15 +141,29 @@ struct TreeReport {
 /// Names of every rule, for help text and fixture tests.
 [[nodiscard]] std::vector<std::string> rule_names();
 
-/// Scans `dirs` (relative to `root`) recursively for *.cpp / *.hpp files
-/// and appends findings + suppressions. Paths containing the fixture
-/// corpus (`tests/lint/fixtures`) are skipped: fixtures hold deliberate
-/// violations. Findings are reported in deterministic (path, line) order.
+/// Phase 1 for a single file: strip, collect facts, run the per-file
+/// rules. Findings land in `candidates` (suppressions NOT yet applied).
+[[nodiscard]] ScanUnit scan_unit(const std::filesystem::path& path,
+                                 std::string_view relpath);
+
+/// Applies suppressions to every unit's candidates (per-file and semantic
+/// alike), emits `unused-suppression` findings, and renders the final
+/// deterministically ordered report: findings sorted by (file, line,
+/// rule, detail), suppressions by (file, line, rule) — independent of
+/// directory traversal order and of the order passes appended candidates.
+[[nodiscard]] TreeReport finalize_report(std::vector<ScanUnit> units);
+
+/// Scans `dirs` (relative to `root`) recursively for *.cpp / *.hpp files:
+/// phase 1 on every file (deduplicated, sorted), then the semantic passes
+/// (lint_passes.hpp) over the collected facts, then finalize. Paths
+/// containing the fixture corpus (`tests/lint/fixtures`) are skipped:
+/// fixtures hold deliberate violations.
 [[nodiscard]] TreeReport scan_tree(const std::filesystem::path& root,
                                    const std::vector<std::string>& dirs);
 
-/// Scans a single file as `relpath` (the path rules key on). Exposed for
-/// the fixture tests.
+/// Scans a single file as `relpath` (the path rules key on) and applies
+/// its suppressions. Per-file rules only — semantic passes need the whole
+/// tree. Exposed for the fixture tests.
 void scan_file(const std::filesystem::path& path, std::string_view relpath,
                TreeReport& out);
 
@@ -79,5 +172,11 @@ void scan_file(const std::filesystem::path& path, std::string_view relpath,
 /// 1 violations found.
 [[nodiscard]] int render_report(const TreeReport& report, std::string& out,
                                 bool list_suppressions);
+
+/// Renders the machine-readable JSON report (schema
+/// `bbrnash-lint-report-v1`: rule, file, line, pass, detail for every
+/// violation plus the full suppression inventory). Same exit-code
+/// contract as render_report.
+[[nodiscard]] int render_json(const TreeReport& report, std::string& out);
 
 }  // namespace bbrnash::lint

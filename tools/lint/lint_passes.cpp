@@ -1,0 +1,459 @@
+#include "lint_passes.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+
+#include "util/schemas.hpp"
+
+namespace bbrnash::lint {
+
+namespace {
+
+constexpr std::string_view kRegistryPath = "src/util/schemas.hpp";
+constexpr std::string_view kAllowlistPath =
+    "tools/lint/signal_safe_allowlist.txt";
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+/// True when `line` contains `tok` with identifier boundaries.
+bool contains_token(const std::string& line, std::string_view tok) {
+  std::size_t at = line.find(tok);
+  while (at != std::string::npos) {
+    const bool left_ok = at == 0 || !is_ident_char(line[at - 1]);
+    const std::size_t after = at + tok.size();
+    const bool right_ok = after >= line.size() || !is_ident_char(line[after]);
+    if (left_ok && right_ok) return true;
+    at = line.find(tok, at + 1);
+  }
+  return false;
+}
+
+void add_finding(ScanUnit& unit, std::string rule, int line,
+                 std::string detail, std::string pass) {
+  unit.candidates.push_back(Finding{std::move(rule), unit.relpath, line,
+                                    std::move(detail), std::move(pass)});
+}
+
+// ---------------------------------------------------------------------------
+// Pass: include-graph layering + cycle detection.
+// ---------------------------------------------------------------------------
+
+/// Declared layer order (DESIGN.md §8). Higher rank may include lower or
+/// same-layer; an include whose target ranks higher — or ranks equal in a
+/// *different* layer (the model/sim siblings) — is a back-edge.
+int layer_rank(std::string_view layer) {
+  if (layer == "util") return 0;
+  if (layer == "model" || layer == "sim") return 1;
+  if (layer == "net") return 2;
+  if (layer == "cc") return 3;
+  if (layer == "flow") return 4;
+  if (layer == "exp") return 5;
+  return 6;  // "top": tools, tests, bench, examples
+}
+
+constexpr std::string_view kDeclaredOrder =
+    "util -> {model, sim} -> net -> cc -> flow -> exp -> "
+    "top(tools/tests/bench)";
+
+/// Layer of a scanned file. Everything outside src/ is "top"; a src/
+/// subdirectory outside the declared order has no layer (empty) and is
+/// reported once per file.
+std::string layer_of(std::string_view relpath) {
+  if (!starts_with(relpath, "src/")) return "top";
+  const std::string_view rest = relpath.substr(4);
+  const std::size_t slash = rest.find('/');
+  if (slash == std::string_view::npos) return std::string{};
+  const std::string dir{rest.substr(0, slash)};
+  if (dir == "util" || dir == "model" || dir == "sim" || dir == "net" ||
+      dir == "cc" || dir == "flow" || dir == "exp") {
+    return dir;
+  }
+  return std::string{};
+}
+
+/// Resolves a quoted include target to the relpath of a scanned unit, or
+/// "" when it names nothing in the scan set (system-style quoted include,
+/// generated file, prose in a comment fixture).
+std::string resolve_include(const std::set<std::string>& known,
+                            std::string_view includer,
+                            const std::string& target) {
+  std::vector<std::string> candidates;
+  const std::size_t slash = includer.rfind('/');
+  if (slash != std::string_view::npos) {
+    candidates.push_back(std::string{includer.substr(0, slash + 1)} + target);
+  }
+  for (const std::string_view prefix :
+       {"src/", "tests/", "bench/", "tools/", "tools/lint/", "examples/",
+        ""}) {
+    candidates.push_back(std::string{prefix} + target);
+  }
+  for (const std::string& c : candidates) {
+    const std::string norm =
+        std::filesystem::path{c}.lexically_normal().generic_string();
+    if (known.count(norm) != 0) return norm;
+  }
+  return std::string{};
+}
+
+void pass_include_graph(std::vector<ScanUnit>& units) {
+  std::set<std::string> known;
+  std::map<std::string, ScanUnit*> by_path;
+  for (ScanUnit& u : units) {
+    known.insert(u.relpath);
+    by_path[u.relpath] = &u;
+  }
+
+  // Resolved edge list: includer relpath -> (resolved target, line).
+  std::map<std::string, std::vector<std::pair<std::string, int>>> graph;
+  for (ScanUnit& u : units) {
+    const std::string from_layer = layer_of(u.relpath);
+    if (from_layer.empty()) {
+      add_finding(u, "include-layering", 1,
+                  "src/ subdirectory is not in the declared layer order (" +
+                      std::string{kDeclaredOrder} +
+                      "); add the new layer to DESIGN.md SS8 and "
+                      "tools/lint/lint_passes.cpp first",
+                  "include-graph");
+      continue;
+    }
+    for (const IncludeFact& inc : u.facts.includes) {
+      const std::string target = resolve_include(known, u.relpath, inc.target);
+      if (target.empty()) continue;
+      graph[u.relpath].emplace_back(target, inc.line);
+      const std::string to_layer = layer_of(target);
+      if (to_layer.empty()) continue;  // reported on the target itself
+      const int from_rank = layer_rank(from_layer);
+      const int to_rank = layer_rank(to_layer);
+      const bool back_edge =
+          to_rank > from_rank || (to_rank == from_rank && to_layer != from_layer);
+      if (back_edge) {
+        add_finding(u, "include-layering", inc.line,
+                    "back-edge " + u.relpath + " (layer " + from_layer +
+                        ") -> " + target + " (layer " + to_layer +
+                        ") violates the declared order " +
+                        std::string{kDeclaredOrder},
+                    "include-graph");
+      }
+    }
+  }
+
+  // Cycle detection: iterative colored DFS over the resolved graph, in
+  // sorted node order so reports are deterministic. Each cycle is
+  // reported once, keyed by its canonical rotation, and attributed to the
+  // include directive that closes it.
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  std::set<std::vector<std::string>> reported;
+  std::vector<std::string> stack;
+
+  struct Frame {
+    std::string node;
+    std::size_t next_edge = 0;
+  };
+
+  auto report_cycle = [&](const std::vector<std::string>& chain,
+                          const std::string& closer, int line) {
+    // chain = path from the gray node back to `closer` (inclusive);
+    // canonicalize by rotating the smallest element to the front.
+    std::vector<std::string> key = chain;
+    std::rotate(key.begin(), std::min_element(key.begin(), key.end()),
+                key.end());
+    if (!reported.insert(key).second) return;
+    std::string rendered;
+    for (const std::string& n : chain) rendered += n + " -> ";
+    rendered += chain.front();
+    ScanUnit* owner = by_path[closer];
+    add_finding(*owner, "include-cycle", line,
+                "include cycle: " + rendered, "include-graph");
+  };
+
+  for (const auto& [start, edges] : graph) {
+    (void)edges;
+    if (color[start] != 0) continue;
+    std::vector<Frame> frames;
+    frames.push_back(Frame{start});
+    color[start] = 1;
+    stack.push_back(start);
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto it = graph.find(f.node);
+      if (it == graph.end() || f.next_edge >= it->second.size()) {
+        color[f.node] = 2;
+        stack.pop_back();
+        frames.pop_back();
+        continue;
+      }
+      const auto& [target, line] = it->second[f.next_edge];
+      ++f.next_edge;
+      if (color[target] == 1) {
+        // Back edge to a gray node: the cycle is the stack suffix from
+        // `target` through f.node.
+        const auto at = std::find(stack.begin(), stack.end(), target);
+        report_cycle(std::vector<std::string>{at, stack.end()}, f.node, line);
+      } else if (color[target] == 0) {
+        color[target] = 1;
+        stack.push_back(target);
+        frames.push_back(Frame{target});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass: async-signal-safety.
+// ---------------------------------------------------------------------------
+
+std::set<std::string> load_allowlist(const std::filesystem::path& root) {
+  std::set<std::string> allow;
+  std::ifstream in{root / kAllowlistPath};
+  if (in) {
+    std::string line;
+    while (std::getline(in, line)) {
+      const std::size_t hash = line.find('#');
+      if (hash != std::string::npos) line.erase(hash);
+      std::string tok;
+      for (const char c : line) {
+        if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+          if (!tok.empty()) allow.insert(tok);
+          tok.clear();
+        } else {
+          tok.push_back(c);
+        }
+      }
+      if (!tok.empty()) allow.insert(tok);
+    }
+  } else {
+    for (const std::string_view fn : default_signal_safe_allowlist()) {
+      allow.insert(std::string{fn});
+    }
+  }
+  return allow;
+}
+
+void pass_signal_safety(const std::filesystem::path& root,
+                        std::vector<ScanUnit>& units) {
+  const std::set<std::string> allow = load_allowlist(root);
+  for (ScanUnit& u : units) {
+    if (u.facts.handlers.empty()) continue;
+    // Single-TU function index: name -> every definition in this unit.
+    std::map<std::string, std::vector<const FunctionFact*>> defs;
+    for (const FunctionFact& fn : u.facts.functions) {
+      defs[fn.name].push_back(&fn);
+    }
+    std::set<std::string> handler_names;
+    for (const HandlerFact& h : u.facts.handlers) {
+      handler_names.insert(h.handler);
+    }
+    for (const std::string& handler : handler_names) {
+      if (defs.count(handler) == 0) continue;  // defined in another TU
+      // Fixpoint walk: visit every function reachable from the handler,
+      // carrying the call chain for the report.
+      std::set<std::string> visited;
+      std::vector<std::pair<std::string, std::string>> todo;  // (fn, chain)
+      todo.emplace_back(handler, handler);
+      visited.insert(handler);
+      while (!todo.empty()) {
+        const auto [name, chain] = todo.back();
+        todo.pop_back();
+        for (const FunctionFact* fn : defs[name]) {
+          for (const CallFact& call : fn->calls) {
+            if (allow.count(call.callee) != 0) continue;
+            if (defs.count(call.callee) != 0) {
+              if (visited.insert(call.callee).second) {
+                todo.emplace_back(call.callee, chain + " -> " + call.callee);
+              }
+              continue;
+            }
+            add_finding(u, "signal-unsafe-call", call.line,
+                        "'" + call.callee +
+                            "' is not on the async-signal-safe allowlist (" +
+                            std::string{kAllowlistPath} +
+                            ") but is reachable from signal handler '" +
+                            handler + "' via " + chain + " -> " + call.callee,
+                        "signal-safety");
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass: schema registry.
+// ---------------------------------------------------------------------------
+
+/// Extracts every `bbrnash-<words>-vN` schema token embedded in a string
+/// literal's contents.
+std::vector<std::string> schema_tokens(const std::string& s) {
+  constexpr std::string_view kPrefix = "bbrnash-";
+  std::vector<std::string> out;
+  std::size_t at = s.find(kPrefix);
+  while (at != std::string::npos) {
+    std::size_t end = at;
+    while (end < s.size() &&
+           (std::islower(static_cast<unsigned char>(s[end])) != 0 ||
+            std::isdigit(static_cast<unsigned char>(s[end])) != 0 ||
+            s[end] == '-')) {
+      ++end;
+    }
+    const std::string run = s.substr(at, end - at);
+    // Qualifies iff the run ends in "-v<digits>" with a nonempty middle.
+    const std::size_t vdash = run.rfind("-v");
+    if (vdash != std::string::npos && vdash > kPrefix.size() &&
+        vdash + 2 < run.size() &&
+        std::all_of(run.begin() + static_cast<std::ptrdiff_t>(vdash) + 2,
+                    run.end(), [](char c) {
+                      return std::isdigit(static_cast<unsigned char>(c)) != 0;
+                    })) {
+      out.push_back(run);
+    }
+    at = s.find(kPrefix, end > at ? end : at + 1);
+  }
+  return out;
+}
+
+/// The constant name a registry string literal is bound to: the last
+/// identifier before the '=' on the literal's (stripped) line.
+std::string bound_constant(const std::string& code_line) {
+  const std::size_t eq = code_line.find('=');
+  if (eq == std::string::npos) return std::string{};
+  std::size_t j = eq;
+  while (j > 0 &&
+         std::isspace(static_cast<unsigned char>(code_line[j - 1])) != 0) {
+    --j;
+  }
+  const std::size_t end = j;
+  while (j > 0 && is_ident_char(code_line[j - 1])) --j;
+  return code_line.substr(j, end - j);
+}
+
+void pass_schema_registry(std::vector<ScanUnit>& units) {
+  ScanUnit* registry = nullptr;
+  for (ScanUnit& u : units) {
+    if (u.relpath == kRegistryPath) registry = &u;
+  }
+
+  struct Entry {
+    std::string name;    // kSchemaFoo
+    std::string schema;  // bbrnash-foo-v1
+    int line = 0;
+  };
+  std::vector<Entry> entries;
+  if (registry != nullptr) {
+    std::set<std::string> seen_schema;
+    for (const StringFact& s : registry->facts.strings) {
+      const std::vector<std::string> toks = schema_tokens(s.value);
+      if (toks.empty()) continue;
+      // The '=' binding may sit on the literal's own line or, for a
+      // wrapped declaration, up to two lines above it.
+      std::string name;
+      for (int l = s.line; l >= 1 && l >= s.line - 2 && name.empty(); --l) {
+        name = bound_constant(registry->code[static_cast<std::size_t>(l - 1)]);
+      }
+      for (const std::string& tok : toks) {
+        if (!seen_schema.insert(tok).second) {
+          add_finding(*registry, "schema-registry", s.line,
+                      "duplicate registry entry for schema '" + tok +
+                          "'; bump the version instead of re-registering",
+                      "schema-registry");
+          continue;
+        }
+        entries.push_back(Entry{name, tok, s.line});
+      }
+    }
+  }
+
+  // Raw schema literals outside the registry. Scope: src/ and bench/ —
+  // the wire/persistence writers. Tests pin wire bytes deliberately and
+  // tools (this lint, CI scripts) reason *about* schemas.
+  for (ScanUnit& u : units) {
+    if (&u == registry) continue;
+    if (!starts_with(u.relpath, "src/") && !starts_with(u.relpath, "bench/")) {
+      continue;
+    }
+    for (const StringFact& s : u.facts.strings) {
+      for (const std::string& tok : schema_tokens(s.value)) {
+        std::string hint;
+        for (const Entry& e : entries) {
+          if (e.schema == tok && !e.name.empty()) hint = e.name;
+        }
+        add_finding(u, "schema-literal", s.line,
+                    "raw schema literal '" + tok + "' outside " +
+                        std::string{kRegistryPath} + "; use " +
+                        (hint.empty() ? "a registered constant" : hint) +
+                        " so readers and writers cannot drift",
+                    "schema-registry");
+      }
+    }
+  }
+
+  // Registered-but-unused entries: the constant's name must appear in at
+  // least one other scanned file.
+  if (registry != nullptr) {
+    for (const Entry& e : entries) {
+      if (e.name.empty()) {
+        add_finding(*registry, "schema-registry", e.line,
+                    "schema '" + e.schema +
+                        "' is not bound to a named constant; registry "
+                        "entries must be usable from writers",
+                    "schema-registry");
+        continue;
+      }
+      bool used = false;
+      for (const ScanUnit& u : units) {
+        if (&u == registry || used) continue;
+        for (const std::string& line : u.code) {
+          if (contains_token(line, e.name)) {
+            used = true;
+            break;
+          }
+        }
+      }
+      if (!used) {
+        add_finding(*registry, "schema-registry", e.line,
+                    "registered schema constant '" + e.name + "' ('" +
+                        e.schema +
+                        "') has no user in the scanned tree; delete the "
+                        "entry or migrate its writer",
+                    "schema-registry");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string_view> default_signal_safe_allowlist() {
+  // Mirrors tools/lint/signal_safe_allowlist.txt (POSIX.1-2017
+  // async-signal-safe subset this codebase plausibly touches). Used for
+  // fixture mini-trees, which do not carry the checked-in list.
+  return {"_exit",       "_Exit",      "abort",       "write",
+          "read",        "close",      "open",        "dup",
+          "dup2",        "fsync",      "fdatasync",   "unlink",
+          "kill",        "raise",      "signal",      "sigaction",
+          "sigemptyset", "sigfillset", "sigaddset",   "sigdelset",
+          "sigismember", "getpid",     "getppid",     "alarm",
+          "time",        "umask",      "sem_post",    "send",
+          "recv",        "accept",     "pipe",        "poll",
+          "clock_gettime"};
+}
+
+std::string_view lint_report_schema() { return kSchemaLintReport; }
+
+void run_semantic_passes(const std::filesystem::path& root,
+                         std::vector<ScanUnit>& units) {
+  pass_include_graph(units);
+  pass_signal_safety(root, units);
+  pass_schema_registry(units);
+}
+
+}  // namespace bbrnash::lint

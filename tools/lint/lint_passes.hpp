@@ -1,0 +1,52 @@
+// Phase-2 semantic passes for bbrnash-lint (see lint_core.hpp for the
+// two-phase architecture). Each pass walks the whole-tree `ScanUnit`
+// facts and appends candidate findings to the unit the finding is
+// attributed to, so the ordinary suppression machinery applies:
+//
+//   include-graph   — layering (declared order util → {model, sim} → net
+//                     → cc → flow → exp, everything outside src/ on top)
+//                     and include-cycle detection over the resolved
+//                     `#include "..."` graph. Rules: `include-layering`,
+//                     `include-cycle`.
+//   signal-safety   — functions registered as signal handlers
+//                     (signal() / sa_handler / sa_sigaction) are walked
+//                     to a single-TU call-graph fixpoint; any reachable
+//                     call outside the async-signal-safe allowlist
+//                     (tools/lint/signal_safe_allowlist.txt, built-in
+//                     defaults when the file is absent) is flagged with
+//                     the full call chain. Rule: `signal-unsafe-call`.
+//   schema-registry — `src/util/schemas.hpp` is the single registry of
+//                     `bbrnash-*-vN` wire/persistence schema strings.
+//                     A raw schema literal in any other file under src/
+//                     or bench/ (`schema-literal`), and a duplicate or
+//                     registered-but-unused registry entry
+//                     (`schema-registry`), are violations. Tests are
+//                     exempt from `schema-literal`: they deliberately pin
+//                     wire bytes.
+#pragma once
+
+#include <filesystem>
+#include <string_view>
+#include <vector>
+
+#include "lint_core.hpp"
+
+namespace bbrnash::lint {
+
+/// Runs every semantic pass over the phase-1 units of one tree scan.
+/// `root` is the scan root (used to load the signal-safe allowlist).
+/// Findings are appended to the attributed unit's `candidates`.
+void run_semantic_passes(const std::filesystem::path& root,
+                         std::vector<ScanUnit>& units);
+
+/// The machine-readable report's own schema tag (kSchemaLintReport from
+/// util/schemas.hpp — re-exported here so lint_core.cpp does not need the
+/// src/ include path at every call site).
+[[nodiscard]] std::string_view lint_report_schema();
+
+/// The built-in async-signal-safe allowlist used when
+/// `tools/lint/signal_safe_allowlist.txt` is absent under the scan root
+/// (fixture mini-trees). Exposed for tests.
+[[nodiscard]] std::vector<std::string_view> default_signal_safe_allowlist();
+
+}  // namespace bbrnash::lint
